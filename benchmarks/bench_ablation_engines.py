@@ -1,0 +1,158 @@
+"""Ablation — why SFA wins: per-character work vs automaton size.
+
+Table II's central contrast measured directly: Algorithm 3's per-chunk
+cost is ``O(|D|)`` gathers per character, so its runtime grows with the
+DFA while Algorithm 5 (and the lockstep engine) stay flat.  Also ablates
+the two reduction strategies and the two regex→NFA constructions.
+"""
+
+import time
+
+import numpy as np
+
+from repro import compile_pattern
+from repro.automata import glushkov_nfa, minimize, subset_construction, thompson_nfa
+from repro.bench.harness import BenchRecord, format_table, shape_check, time_callable
+from repro.bench.report import emit
+from repro.matching.lockstep import lockstep_run
+from repro.matching.parallel_sfa import parallel_sfa_run
+from repro.matching.speculative import speculative_run
+from repro.regex.parser import parse
+from repro.workloads.patterns import rn_pattern
+from repro.workloads.textgen import rn_accepted_text
+
+TEXT_BYTES = 200_000
+P = 8
+
+
+def test_speculative_cost_grows_with_dfa(benchmark):
+    # SFA engines: flat across a 25x |D| range (SFAs feasible up to r_50)
+    rows = []
+    sfa_times = {}
+    for n in [2, 10, 50]:
+        m = compile_pattern(rn_pattern(n))
+        classes = m.translate(rn_accepted_text(n, TEXT_BYTES, seed=0))
+        t_spec = time_callable(lambda: speculative_run(m.min_dfa, classes, P), repeat=2)
+        t_sfa = time_callable(lambda: parallel_sfa_run(m.sfa, classes, P), repeat=2)
+        t_lock = time_callable(lambda: lockstep_run(m.sfa, classes, P), repeat=2)
+        sfa_times[n] = t_sfa
+        rows.append(BenchRecord(f"r_{n} (|D|={2*n+1})", {
+            "Alg3 s": t_spec, "Alg5 s": t_sfa, "lockstep s": t_lock,
+            "Alg3/Alg5": t_spec / t_sfa,
+        }))
+    # Alg3 alone: push |D| to where the O(|D|)-wide gather dominates.
+    # (no SFA needed — Algorithm 3 runs on the DFA)
+    spec_times = {}
+    small_text = 50_000
+    for n in [5, 500, 2000]:
+        m = compile_pattern(rn_pattern(n), max_dfa_states=10_000)
+        classes = m.translate(rn_accepted_text(n, small_text, seed=0))
+        t_spec = time_callable(lambda: speculative_run(m.min_dfa, classes, P), repeat=2)
+        spec_times[n] = t_spec
+        rows.append(BenchRecord(f"r_{n} (|D|={2*n+1}) Alg3 only", {
+            "Alg3 s": t_spec * (TEXT_BYTES / small_text), "Alg5 s": None,
+            "lockstep s": None, "Alg3/Alg5": None,
+        }))
+    emit(
+        format_table(
+            f"Ablation — Algorithm 3 vs Algorithm 5 on {TEXT_BYTES//1000} KB, p={P}",
+            ["Alg3 s", "Alg5 s", "lockstep s", "Alg3/Alg5"],
+            rows,
+            note="Alg3 simulates all |D| states per char; Alg5 does one "
+            "lookup per char, so the gap widens linearly with |D| "
+            "(Alg3-only rows normalized to the same text size).",
+        )
+    )
+    # Alg5 flat within noise across a 25x DFA-size range
+    # (the bound is loose for timer noise; the point is the contrast with
+    # Alg3's ~|D|-fold growth over the same range)
+    sfa_spread = max(sfa_times.values()) / min(sfa_times.values())
+    shape_check("Alg5 cost independent of |D|", sfa_spread < 3.0, f"spread {sfa_spread:.2f}")
+    # Alg3 clearly grows once |D| exceeds the vector-overhead floor
+    shape_check("Alg3 cost grows with |D|", spec_times[2000] > 3 * spec_times[5],
+                f"{spec_times[2000]:.3f} vs {spec_times[5]:.3f}")
+
+    m = compile_pattern(rn_pattern(25))
+    classes = m.translate(rn_accepted_text(25, TEXT_BYTES, seed=0))
+    benchmark.pedantic(lambda: parallel_sfa_run(m.sfa, classes, P), rounds=3, iterations=1)
+
+
+def test_reduction_strategies(benchmark):
+    """Sequential vs tree reduction: same verdicts, different cost model."""
+    m = compile_pattern(rn_pattern(10))
+    classes = m.translate(rn_accepted_text(10, TEXT_BYTES, seed=0))
+    rows = []
+    for p in [2, 8, 32, 128]:
+        seq = parallel_sfa_run(m.sfa, classes, p, reduction="sequential")
+        tree = parallel_sfa_run(m.sfa, classes, p, reduction="tree")
+        assert seq.accepted == tree.accepted
+        rows.append(BenchRecord(f"p={p}", {
+            "seq red ops": seq.reduction_ops,
+            "tree red ops": tree.reduction_ops,
+        }))
+    emit(
+        format_table(
+            "Ablation — reduction strategies (ops = mapping applications / compositions)",
+            ["seq red ops", "tree red ops"],
+            rows,
+            note="Sequential reduction: p cheap applications (O(p) total). "
+            "Tree: p-1 compositions, each O(|D|) work but log p span.",
+        )
+    )
+    benchmark.pedantic(
+        lambda: parallel_sfa_run(m.sfa, classes, 32, reduction="tree"),
+        rounds=3, iterations=1,
+    )
+
+
+def test_nfa_construction_ablation(benchmark):
+    """Glushkov (paper's choice) vs Thompson: sizes and downstream effect."""
+    rows = []
+    for pattern in ["(ab)*", rn_pattern(5), "(a|b)*abb", "(GET|POST) /[a-z]{1,8}"]:
+        ast = parse(pattern)
+        g = glushkov_nfa(ast)
+        t = thompson_nfa(ast)
+        dg = minimize(subset_construction(g))
+        dt_ = minimize(subset_construction(t))
+        assert dg.num_states == dt_.num_states  # same minimal DFA
+        rows.append(BenchRecord(pattern[:28], {
+            "Glushkov |N|": g.size,
+            "Thompson |N|": t.size,
+            "min |D|": dg.num_states,
+        }))
+    emit(
+        format_table(
+            "Ablation — McNaughton–Yamada (Glushkov) vs Thompson NFA sizes",
+            ["Glushkov |N|", "Thompson |N|", "min |D|"],
+            rows,
+            note="The position construction yields smaller, epsilon-free NFAs "
+            "— the paper's choice; both reach the same minimal DFA.",
+        )
+    )
+    benchmark.pedantic(lambda: glushkov_nfa(parse(rn_pattern(50))), rounds=3, iterations=1)
+
+
+def test_byte_class_compression_ablation(benchmark):
+    """Byte-class alphabet vs expanded 256-symbol tables (memory)."""
+    rows = []
+    for n in [5, 50]:
+        m = compile_pattern(rn_pattern(n))
+        sfa = m.sfa
+        rows.append(BenchRecord(f"r_{n}", {
+            "classes": sfa.num_classes,
+            "table KB (classes)": sfa.table_bytes() / 1024,
+            "table KB (256-wide)": sfa.table_bytes(expanded=True) / 1024,
+            "ratio": sfa.table_bytes(expanded=True) / sfa.table_bytes(),
+        }))
+    emit(
+        format_table(
+            "Ablation — byte-class compression of transition tables",
+            ["classes", "table KB (classes)", "table KB (256-wide)", "ratio"],
+            rows,
+            note="The paper stores 256×4 B rows (1 KB/state, the Fig. 8 "
+            "cache pressure); class compression shrinks tables ~85x for "
+            "digit patterns without changing the language.",
+        )
+    )
+    m = compile_pattern(rn_pattern(5))
+    benchmark.pedantic(lambda: m.sfa.table_bytes(expanded=True), rounds=5, iterations=10)

@@ -1,0 +1,97 @@
+"""Fig. 3 — D-SFA size vs minimal-DFA size over an IDS-style ruleset.
+
+The paper built minimal DFAs and D-SFAs for 20 312 SNORT regexes (dropping
+DFAs over 1000 states and non-regular rules) and found:
+
+* only 0.5 % of rules give a D-SFA over 10 000 states;
+* only 1.4 % are over-square (|S_d| > |D|²), 6 rules over-cube;
+* none over-quartic;
+* the over-cube tail comes from ``.*``-chain patterns.
+
+We regenerate the scatter over the synthetic ruleset (same generative
+mechanisms; see DESIGN.md §3) — default 400 rules, REPRO_HEAVY=1 for
+4000 — and check the same distribution claims.  The scatter data lands in
+``benchmarks/out/fig3_scatter.csv``.
+"""
+
+import math
+import pathlib
+
+from repro import StateExplosionError, compile_pattern
+from repro.bench.harness import BenchRecord, format_table, shape_check
+from repro.bench.report import emit, out_path
+from repro.workloads.snort import generate_ruleset
+
+
+def _study(patterns):
+    points = []  # (|D|, |S_d|, pattern)
+    dropped = 0
+    for pat in patterns:
+        try:
+            m = compile_pattern(pat, max_dfa_states=1000, max_sfa_states=2_000_000)
+            d = m.min_dfa.partial_size
+            s = m.sfa.partial_size
+        except StateExplosionError:
+            dropped += 1
+            continue
+        if d < 2:
+            continue
+        points.append((d, s, pat))
+    return points, dropped
+
+
+def test_fig3_size_distribution(benchmark, heavy):
+    num_rules = 4000 if heavy else 400
+    ruleset = generate_ruleset(num_rules, seed=2940)
+
+    points, dropped = benchmark.pedantic(
+        lambda: _study(ruleset.patterns), rounds=1, iterations=1
+    )
+
+    total = len(points)
+    over_10k = sum(1 for d, s, _ in points if s > 10_000)
+    over_sq = sum(1 for d, s, _ in points if s > d * d)
+    over_cube = sum(1 for d, s, _ in points if s > d**3)
+    over_quartic = sum(1 for d, s, _ in points if s > d**4)
+    max_exp = max(math.log(s) / math.log(d) for d, s, _ in points)
+
+    records = [
+        BenchRecord("rules studied", {"count": total, "share": 1.0}),
+        BenchRecord("dropped (DFA > 1000 states)", {"count": dropped, "share": dropped / max(1, total)}),
+        BenchRecord("|S_d| > 10,000  [paper: 0.5%]", {"count": over_10k, "share": over_10k / total}),
+        BenchRecord("|S_d| > |D|^2   [paper: 1.4%]", {"count": over_sq, "share": over_sq / total}),
+        BenchRecord("|S_d| > |D|^3   [paper: 6 of 20,312]", {"count": over_cube, "share": over_cube / total}),
+        BenchRecord("|S_d| > |D|^4   [paper: none]", {"count": over_quartic, "share": over_quartic / total}),
+        BenchRecord("max growth exponent", {"count": round(max_exp, 2), "share": None}),
+    ]
+    emit(
+        format_table(
+            f"Fig. 3 — D-SFA size vs DFA size on {total} synthetic IDS rules",
+            ["count", "share"],
+            records,
+            note="Scatter written to benchmarks/out/fig3_scatter.csv "
+            "(columns: dfa_states, dsfa_states, pattern).",
+        )
+    )
+
+    # persist the scatter
+    csv = out_path().parent / "fig3_scatter.csv"
+    csv.parent.mkdir(parents=True, exist_ok=True)
+    with open(csv, "w") as fh:
+        fh.write("dfa_states,dsfa_states,pattern\n")
+        for d, s, pat in points:
+            fh.write(f'{d},{s},"{pat}"\n')
+
+    # the paper's distribution claims, at our corpus scale
+    shape_check("most rules stay small", over_10k / total < 0.05)
+    shape_check("over-square is a small tail", over_sq / total < 0.10,
+                f"got {over_sq/total:.1%}")
+    shape_check("over-cube is rare", over_cube / total < 0.02,
+                f"got {over_cube/total:.1%}")
+    shape_check("nothing over-quartic", over_quartic == 0)
+    # the over-square tail is driven by .*-chains, as in the paper
+    tail = [pat for d, s, pat in points if s > d * d]
+    if tail:
+        dotstar_share = sum(1 for p in tail if ".*" in p) / len(tail)
+        shape_check("tail dominated by .*-chains", dotstar_share > 0.5,
+                    f"got {dotstar_share:.1%}")

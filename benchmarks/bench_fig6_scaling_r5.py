@@ -1,0 +1,106 @@
+"""Fig. 6 — throughput vs thread count for ``r_5`` (|D|=10, |S_d|=109).
+
+Paper: near-linear scaling from ~1.1 GB/s (1 thread, DFA) to ~13 GB/s at
+12 threads on 1 GB of accepted text.
+
+Two reproductions (DESIGN.md §3):
+
+* **measured** — the lockstep engine on this machine: one NumPy process
+  advances ``p`` chunk scans per vector step, so Python-loop iterations
+  drop as ``n/p``; we check the speedup-vs-p shape directly.
+* **simulated** — the machine model with the paper's cache geometry and
+  the *measured* per-chunk locality of the real SFA, at the paper's 1 GB /
+  12-thread scale.
+"""
+
+from repro import compile_pattern
+from repro.bench.harness import (
+    BenchRecord,
+    format_table,
+    measure_locality,
+    measure_throughput,
+    shape_check,
+)
+from repro.bench.report import emit
+from repro.matching.lockstep import lockstep_run
+from repro.parallel.cache import table_working_set_bytes
+from repro.parallel.simulator import SimulatedMachine
+from repro.workloads.patterns import rn_pattern
+from repro.workloads.textgen import rn_accepted_text
+
+# Paper Fig. 6 series (read off the plot): thread -> GB/s
+PAPER_FIG6 = {1: 1.1, 2: 2.2, 4: 4.4, 6: 6.5, 8: 8.7, 10: 10.8, 12: 13.0}
+
+TEXT_BYTES = 2_000_000
+CHUNKS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def test_fig6_measured_lockstep(benchmark):
+    m = compile_pattern(rn_pattern(5))
+    text = rn_accepted_text(5, TEXT_BYTES, seed=0)
+    classes = m.translate(text)
+
+    rows = []
+    tput = {}
+    for p in CHUNKS:
+        mbps = measure_throughput(
+            lambda p=p: lockstep_run(m.sfa, classes, p), len(text), repeat=2
+        )
+        tput[p] = mbps
+        rows.append(BenchRecord(f"p={p}", {
+            "MB/s": mbps, "speedup vs p=1": mbps / tput[1],
+        }))
+    emit(
+        format_table(
+            f"Fig. 6 (measured) — lockstep SFA on r_5, {TEXT_BYTES/1e6:.0f} MB accepted text",
+            ["MB/s", "speedup vs p=1"],
+            rows,
+            note="Chunk count p plays the paper's thread role: the lockstep "
+            "engine executes n/p vector steps. Near-linear speedup in p "
+            "is the Fig. 6 claim.",
+        )
+    )
+    shape_check("speedup grows with p", tput[16] > 8 * tput[1],
+                f"p16/p1 = {tput[16]/tput[1]:.1f}")
+    shape_check("monotone through p=32", tput[32] > tput[16] > tput[8] > tput[4])
+
+    benchmark.pedantic(lambda: lockstep_run(m.sfa, classes, 16), rounds=3, iterations=1)
+
+
+def test_fig6_simulated_paper_scale(benchmark):
+    m = compile_pattern(rn_pattern(5))
+    text = rn_accepted_text(5, 200_000, seed=0)
+    loc = measure_locality(m.sfa, m.translate(text), 12)
+    visited = loc["max_states"]
+    sfa_ws = table_working_set_bytes(int(visited), 2, row_bytes=1024, full_rows=True)
+    dfa_ws = table_working_set_bytes(m.min_dfa.num_states, 2, row_bytes=1024, full_rows=True)
+
+    sim = SimulatedMachine()
+    curve = benchmark.pedantic(
+        lambda: sim.speedup_curve(
+            10**9, sfa_ws, dfa_ws,
+            sfa_pages_per_thread=visited, dfa_pages=m.min_dfa.num_states / 4,
+        ),
+        rounds=3, iterations=1,
+    )
+    rows = [
+        BenchRecord(f"p={p}", {
+            "GB/s (sim)": v,
+            "GB/s (paper)": PAPER_FIG6.get(p),
+            "speedup": v / curve[1],
+        })
+        for p, v in curve.items()
+    ]
+    emit(
+        format_table(
+            "Fig. 6 (simulated, paper machine) — r_5, 1 GB input, p = 1..12",
+            ["GB/s (sim)", "GB/s (paper)", "speedup"],
+            rows,
+            note=f"Per-chunk locality measured on the real SFA: ~{visited:.0f} "
+            "hot states → table slice fits L1; scaling is compute-bound.",
+        )
+    )
+    shape_check("near-linear to 12 threads", curve[12] / curve[1] > 8,
+                f"got {curve[12]/curve[1]:.1f}")
+    shape_check("over 10x total (paper: >10x)", curve[12] / curve[1] >= 10,
+                f"got {curve[12]/curve[1]:.1f}")

@@ -1,0 +1,112 @@
+"""Fig. 8 — ``r_500`` (|D|=1000, |S_d|=1 000 999): the SFA *loses*.
+
+Paper: the 1 GB expanded SFA table overflows the caches; parallel SFA
+matching stays below sequential DFA matching even at 12 threads
+(~0.05 GB/s at 2 threads rising to ~0.31 at 12, vs ~0.33+ for the DFA).
+
+Constructing the r_500 D-SFA needs ~2 GB of mapping payloads in Python, so
+this bench (a) measures per-chunk locality on real SFAs at n = 25/50/100
+and extrapolates the linear law visited ≈ c·n to n = 500 (the trajectory
+is a transient plus one loop of the 2n-periodic text — see the Fig. 5
+structure tests), then (b) runs the paper-scale curve on the machine
+model.  The mechanism (hot rows on more pages than the TLB covers + L3
+contention) is what the model encodes; see DESIGN.md §3.
+"""
+
+import numpy as np
+
+from repro import compile_pattern
+from repro.bench.harness import (
+    BenchRecord,
+    format_table,
+    measure_locality,
+    shape_check,
+)
+from repro.bench.report import emit
+from repro.parallel.cache import table_working_set_bytes
+from repro.parallel.simulator import SimulatedMachine
+from repro.workloads.patterns import rn_expected_sizes, rn_pattern
+from repro.workloads.textgen import rn_accepted_text
+
+PAPER_FIG8 = {2: 0.05, 4: 0.11, 6: 0.16, 8: 0.21, 10: 0.26, 12: 0.31}
+PAPER_DFA_BASELINE = 0.33  # 1-thread point of Fig. 8 (sequential DFA)
+
+
+def _visited_per_chunk(n: int, chunks: int = 12) -> float:
+    m = compile_pattern(rn_pattern(n))
+    text = rn_accepted_text(n, max(200_000, 40 * 2 * n), seed=0)
+    return measure_locality(m.sfa, m.translate(text), chunks)["max_states"]
+
+
+def test_fig8_locality_law(benchmark):
+    """Visited SFA states per chunk grow linearly in n (≈ transient + loop)."""
+    ns = [25, 50, 100]
+    visited = [benchmark.pedantic(lambda n=n: _visited_per_chunk(n), rounds=1,
+                                  iterations=1) if n == ns[0] else _visited_per_chunk(n)
+               for n in ns]
+    rows = [
+        BenchRecord(f"r_{n}", {"visited states/chunk": v, "visited / n": v / n})
+        for n, v in zip(ns, visited)
+    ]
+    ratio = [v / n for n, v in zip(ns, visited)]
+    emit(
+        format_table(
+            "Fig. 8 (locality law) — distinct SFA states visited per chunk scan",
+            ["visited states/chunk", "visited / n"],
+            rows,
+            note="The per-chunk working set is Θ(n) rows: a transient of the "
+            "identity-start mappings plus one 2n-long loop. The constant "
+            "is used to extrapolate r_500.",
+        )
+    )
+    shape_check("visited/n stable (linear law)",
+                max(ratio) / min(ratio) < 1.8, f"ratios {ratio}")
+
+
+def test_fig8_simulated_reversal(benchmark):
+    # extrapolate visited rows to n = 500 with the measured constant
+    c = _visited_per_chunk(100) / 100
+    visited_500 = c * 500
+    d_states, s_states = rn_expected_sizes(500)
+
+    sfa_ws = table_working_set_bytes(int(visited_500), 2, row_bytes=1024, full_rows=True)
+    dfa_ws = table_working_set_bytes(d_states, 2, row_bytes=1024, full_rows=True)
+
+    sim = SimulatedMachine()
+    curve = benchmark.pedantic(
+        lambda: sim.speedup_curve(
+            10**9, sfa_ws, dfa_ws,
+            sfa_pages_per_thread=visited_500,
+            dfa_pages=d_states * 1024 / 4096,  # DFA table is dense: 4 rows/page
+        ),
+        rounds=3, iterations=1,
+    )
+    rows = [
+        BenchRecord(f"p={p}", {
+            "GB/s (sim)": v,
+            "GB/s (paper)": PAPER_DFA_BASELINE if p == 1 else PAPER_FIG8.get(p),
+        })
+        for p, v in curve.items()
+    ]
+    emit(
+        format_table(
+            "Fig. 8 (simulated, paper machine) — r_500, 1 GB input",
+            ["GB/s (sim)", "GB/s (paper)"],
+            rows,
+            note=f"|S_d| = {s_states:,}; ~{visited_500:.0f} hot rows/chunk "
+            "scattered over a 1 GB table exceed the 512-entry STLB, so "
+            "every lookup pays a page walk — parallel SFA stays below "
+            "the sequential DFA at every thread count, as in the paper.",
+        )
+    )
+    shape_check(
+        "SFA loses to sequential DFA at all p (the Fig. 8 reversal)",
+        max(curve[p] for p in range(2, 13)) < curve[1],
+        f"SFA max {max(curve[p] for p in range(2,13)):.2f} vs DFA {curve[1]:.2f}",
+    )
+    shape_check("2-thread point collapses ~an order of magnitude",
+                curve[2] < 0.25 * curve[1])
+    # magnitudes land in the paper's axis range (0.05 – 0.35 GB/s)
+    shape_check("simulated SFA magnitudes in paper range",
+                0.01 < curve[2] < 0.15 and 0.1 < curve[12] < 0.6,
+                f"p2={curve[2]:.3f}, p12={curve[12]:.3f}")

@@ -1,0 +1,105 @@
+"""Fig. 9 — ``([0-4]{500}[5-9]{500})*|a*`` on a 1 GB run of "a".
+
+Paper: the SFA is the *biggest* of the study (1 001 000 states) yet this
+case has the *best* throughput (~13 GB/s at 12 threads): on 'aaaa…' every
+chunk scan self-loops in a single SFA state after one step, so there are
+no cache misses at all.  Size is not what matters — locality is.
+
+Measured here with the n = 50 instance (|S_d| = 10 100) plus the lockstep
+engine; simulated at full paper scale with a one-row working set.
+"""
+
+from repro import compile_pattern
+from repro.bench.harness import (
+    BenchRecord,
+    format_table,
+    measure_locality,
+    measure_throughput,
+    shape_check,
+)
+from repro.bench.report import emit
+from repro.matching.lockstep import lockstep_run
+from repro.parallel.cache import table_working_set_bytes
+from repro.parallel.simulator import SimulatedMachine
+from repro.workloads.patterns import fig9_expected_sizes, fig9_pattern, rn_pattern
+from repro.workloads.textgen import fig9_text, rn_accepted_text
+
+PAPER_FIG9 = {2: 2.2, 4: 4.4, 6: 6.6, 8: 8.8, 10: 11.0, 12: 13.2}
+
+TEXT_BYTES = 2_000_000
+N = 50  # scaled instance of the paper's n = 500
+
+
+def test_fig9_single_state_locality(benchmark):
+    m = compile_pattern(fig9_pattern(N))
+    exp_d, exp_s = fig9_expected_sizes(N)
+    assert m.min_dfa.partial_size == exp_d
+    assert m.sfa.partial_size == exp_s
+
+    text = fig9_text(TEXT_BYTES)
+    classes = m.translate(text)
+
+    # the entire scan stays in one SFA state per chunk
+    loc = measure_locality(m.sfa, classes, 12)
+    shape_check("single hot state per chunk", loc["max_states"] <= 2,
+                f"got {loc['max_states']}")
+
+    rows = []
+    tput = {}
+    for p in [1, 4, 16, 64]:
+        mbps = measure_throughput(
+            lambda p=p: lockstep_run(m.sfa, classes, p), len(text), repeat=2
+        )
+        tput[p] = mbps
+        rows.append(BenchRecord(f"p={p}", {"MB/s": mbps, "speedup vs p=1": mbps / tput[1]}))
+
+    # contrast: the r_50 accepted-text run touches ~3n states per chunk
+    m_rn = compile_pattern(rn_pattern(N))
+    rn_classes = m_rn.translate(rn_accepted_text(N, TEXT_BYTES, seed=0))
+    rn_mbps = measure_throughput(
+        lambda: lockstep_run(m_rn.sfa, rn_classes, 16), len(rn_classes), repeat=2
+    )
+    rows.append(BenchRecord("r_50 digits p=16 (contrast)", {"MB/s": rn_mbps, "speedup vs p=1": None}))
+
+    emit(
+        format_table(
+            f"Fig. 9 (measured) — |S_d| = {m.sfa.partial_size:,} but one hot state, 'a'*{TEXT_BYTES//10**6} MB",
+            ["MB/s", "speedup vs p=1"],
+            rows,
+            note="Biggest SFA of the study, best locality: the 'a' self-loop "
+            "keeps every chunk in one state.",
+        )
+    )
+    shape_check("scales linearly", tput[16] > 8 * tput[1])
+    shape_check("at least matches the digit workload", tput[16] >= 0.8 * rn_mbps)
+
+    benchmark.pedantic(lambda: lockstep_run(m.sfa, classes, 16), rounds=3, iterations=1)
+
+
+def test_fig9_simulated_paper_scale(benchmark):
+    d_states, s_states = fig9_expected_sizes(500)
+    sim = SimulatedMachine()
+    # working set: literally one row (one state, one symbol column)
+    sfa_ws = table_working_set_bytes(1, 1, row_bytes=1024, full_rows=True)
+    dfa_ws = table_working_set_bytes(1, 1, row_bytes=1024, full_rows=True)
+    curve = benchmark.pedantic(
+        lambda: sim.speedup_curve(
+            10**9, sfa_ws, dfa_ws, sfa_pages_per_thread=1, dfa_pages=1
+        ),
+        rounds=3, iterations=1,
+    )
+    rows = [
+        BenchRecord(f"p={p}", {"GB/s (sim)": v, "GB/s (paper)": PAPER_FIG9.get(p)})
+        for p, v in curve.items()
+    ]
+    emit(
+        format_table(
+            f"Fig. 9 (simulated, paper machine) — |S_d| = {s_states:,}, input 'a'*1GB",
+            ["GB/s (sim)", "GB/s (paper)"],
+            rows,
+            note="Identical to the r_5 curve despite a 10,000x bigger table: "
+            "the working set, not the table size, sets the throughput.",
+        )
+    )
+    shape_check("near-linear to 12", curve[12] / curve[1] > 8)
+    shape_check("best-of-study throughput", curve[12] >= 9.0, f"got {curve[12]:.1f}")

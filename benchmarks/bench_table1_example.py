@@ -1,0 +1,47 @@
+"""Table I / Figs. 1–2 — the worked example ``(ab)*``.
+
+Regenerates the six state mappings of S1 and times the full compile
+pipeline on the worked example.
+"""
+
+import numpy as np
+
+from repro import compile_pattern
+from repro.bench.harness import BenchRecord, format_table, shape_check
+from repro.bench.report import emit
+
+
+def test_table1_mappings(benchmark):
+    m = benchmark(lambda: compile_pattern("(ab)*").sfa)
+    d = compile_pattern("(ab)*")
+    dfa, sfa = d.min_dfa, d.sfa
+
+    shape_check("|D1| = 3", dfa.num_states == 3)
+    shape_check("|S1| = 6", sfa.num_states == 6)
+
+    # Render Table I: the mapping of every SFA state, in paper order
+    # (identity first, then BFS order of the correspondence construction).
+    records = []
+    for i in range(sfa.num_states):
+        row = {f"{q} ->": int(sfa.maps[i, q]) for q in range(dfa.num_states)}
+        row["accepting"] = bool(sfa.accept[i])
+        records.append(BenchRecord(label=f"f{i}", values=row))
+    emit(
+        format_table(
+            "Table I — state mappings of S1 for (ab)*   [paper: 6 mappings f0–f5]",
+            [f"{q} ->" for q in range(dfa.num_states)] + ["accepting"],
+            records,
+            note="f0 is the identity; exactly one all-dead mapping exists "
+            "(the paper's f3); 2 of 6 mappings are accepting (f0, f4).",
+        )
+    )
+
+    accepting = int(sfa.accept.sum())
+    shape_check("two accepting mappings", accepting == 2, f"got {accepting}")
+    dead = sfa.trap_states()
+    shape_check("one dead mapping", len(dead) == 1)
+    identity_rows = [
+        i for i in range(sfa.num_states)
+        if (sfa.maps[i] == np.arange(dfa.num_states)).all()
+    ]
+    shape_check("identity present once", identity_rows == [0])

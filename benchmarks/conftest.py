@@ -1,0 +1,18 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench prints a paper-style table (run pytest with ``-s`` to see it
+live) and appends it to ``benchmarks/out/results.txt`` so the output
+survives capture.  Shape assertions make the benches self-checking.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def heavy() -> bool:
+    """Opt-in to paper-scale parameters via REPRO_HEAVY=1."""
+    return os.environ.get("REPRO_HEAVY", "0") == "1"

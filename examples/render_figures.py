@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate the paper's automaton drawings as Graphviz DOT files.
+
+Writes one ``.dot`` per figure to ``benchmarks/out/figures/``:
+
+* fig1_d1.dot   — the DFA of ``(ab)*`` (complete, with sink)
+* fig2_s1.dot   — its SFA, nodes annotated with their Table I mappings
+* fig4_r2_dfa.dot — the r_2 minimal DFA, partial convention (no sink)
+* fig5_r2_sfa.dot — the r_2 D-SFA, partial convention (2n loops visible)
+* fig11_ex3.dot — the Example 3 blow-up NFA (n = 4)
+* fig12_ex4.dot — the Example 4 blow-up DFA (n = 4)
+
+Render with ``dot -Tsvg fig2_s1.dot -o fig2_s1.svg`` where graphviz is
+installed; the DOT text itself is diff-stable and covered by tests.
+
+Run:  python examples/render_figures.py
+"""
+
+import pathlib
+
+from repro import compile_pattern
+from repro.automata.dot import dfa_to_dot, nfa_to_dot, sfa_to_dot
+from repro.theory.witness import ex3_nfa, ex4_dfa
+from repro.workloads.patterns import rn_pattern
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "out" / "figures"
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+
+    ab = compile_pattern("(ab)*")
+    figures = {
+        "fig1_d1.dot": dfa_to_dot(ab.min_dfa, name="D1"),
+        "fig2_s1.dot": sfa_to_dot(ab.sfa, name="S1", show_mappings=True),
+    }
+
+    r2 = compile_pattern(rn_pattern(2))
+    figures["fig4_r2_dfa.dot"] = dfa_to_dot(r2.min_dfa, name="D_r2", hide_traps=True)
+    figures["fig5_r2_sfa.dot"] = sfa_to_dot(r2.sfa, name="S_r2", hide_traps=True)
+
+    figures["fig11_ex3.dot"] = nfa_to_dot(ex3_nfa(4), name="N_ex3")
+    figures["fig12_ex4.dot"] = dfa_to_dot(ex4_dfa(4), name="D_ex4")
+
+    for name, dot in figures.items():
+        path = OUT / name
+        path.write_text(dot + "\n")
+        nodes = dot.count("->")
+        print(f"wrote {path.relative_to(OUT.parent.parent.parent)}  ({nodes} edges)")
+
+    print()
+    print("Sanity (matches the paper):")
+    print(f"  |D1| = {ab.min_dfa.num_states} (paper: 3)")
+    print(f"  |S1| = {ab.sfa.num_states} (paper: 6)")
+    print(f"  r_2 partial sizes = {r2.min_dfa.partial_size}, {r2.sfa.partial_size} "
+          "(paper: 4, 19)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — Simultaneous Finite Automata for data-parallel regex matching.
+
+A complete reproduction of:
+
+    Ryoma Sin'ya, Kiminori Matsuzaki, Masataka Sassa.
+    "Simultaneous Finite Automata: An Efficient Data-Parallel Model for
+    Regular Expression Matching".  ICPP 2013, pp. 220–229.
+
+Quickstart
+----------
+>>> from repro import compile_pattern
+>>> m = compile_pattern("(ab)*")
+>>> m.fullmatch(b"abababab")
+True
+>>> m.fullmatch(b"abababab", engine="lockstep", num_chunks=4)
+True
+>>> m.sizes()["d_sfa"]
+6
+
+Package layout (see DESIGN.md for the full inventory):
+
+- :mod:`repro.regex`     — parser / AST / byte-class compression
+- :mod:`repro.automata`  — NFA, DFA, mappings, SFA, lazy construction
+- :mod:`repro.matching`  — Algorithms 2, 3, 5 and the lockstep engine
+- :mod:`repro.parallel`  — chunking, executors, reductions, machine+cache sim
+- :mod:`repro.theory`    — monoids, boolean matrices, worst-case witnesses
+- :mod:`repro.workloads` — paper pattern families, synthetic SNORT rules,
+  text generators
+"""
+
+from repro.errors import (
+    AutomatonError,
+    MatchEngineError,
+    RegexSyntaxError,
+    ReproError,
+    SimulationError,
+    StateExplosionError,
+    UnsupportedFeatureError,
+)
+from repro.matching.engine import CompiledPattern, compile_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutomatonError",
+    "CompiledPattern",
+    "MatchEngineError",
+    "RegexSyntaxError",
+    "ReproError",
+    "SimulationError",
+    "StateExplosionError",
+    "UnsupportedFeatureError",
+    "__version__",
+    "compile_pattern",
+]

@@ -1,0 +1,42 @@
+"""Automata core: NFA, DFA, state mappings, SFA, lazy construction, ops.
+
+The central objects of the reproduction:
+
+* :class:`~repro.automata.nfa.NFA` — built from a regex AST by the
+  McNaughton–Yamada (Glushkov) position construction, as in the paper.
+* :class:`~repro.automata.dfa.DFA` — built by subset construction
+  (paper Algorithm 1), minimized by Moore/Hopcroft.
+* :class:`~repro.automata.sfa.SFA` — built by *correspondence construction*
+  (paper Algorithm 4) from either a DFA (D-SFA) or an NFA (N-SFA); its
+  states are mappings over the original automaton's states.
+"""
+
+from repro.automata.dfa import DFA, minimize, subset_construction
+from repro.automata.dot import to_dot
+from repro.automata.mapping import Correspondence, Transformation
+from repro.automata.nfa import NFA, glushkov_nfa, thompson_nfa
+from repro.automata.serialize import load_dfa, load_sfa, save_dfa, save_sfa
+from repro.automata.sfa import SFA, correspondence_construction
+from repro.automata.lazy import LazyDFA, LazySFA
+from repro.automata import ops
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "SFA",
+    "Correspondence",
+    "LazyDFA",
+    "LazySFA",
+    "Transformation",
+    "correspondence_construction",
+    "glushkov_nfa",
+    "load_dfa",
+    "load_sfa",
+    "minimize",
+    "ops",
+    "save_dfa",
+    "save_sfa",
+    "subset_construction",
+    "thompson_nfa",
+    "to_dot",
+]

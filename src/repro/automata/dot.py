@@ -1,0 +1,147 @@
+"""Graphviz DOT export for automata.
+
+Regenerates the paper's automaton drawings as artifacts: Fig. 1 (DFA of
+``(ab)*``), Fig. 2 (its SFA), Figs. 4–5 (the r_2 DFA and D-SFA), and the
+witness automata of Figs. 11–12.  Transitions sharing (source, target)
+are merged into one edge labelled with the union of their byte classes.
+
+The output is plain DOT text; render with ``dot -Tsvg`` where graphviz is
+available, or just diff it in tests (which is what we do — structure is
+asserted without needing the binary).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.sfa import SFA
+from repro.regex.charclass import ByteClassPartition, CharSet
+from repro.regex.printer import charset_to_pattern
+from repro.util.bitset import bits_of, iter_bits
+
+
+def _class_label(partition: Optional[ByteClassPartition], cls: int) -> str:
+    """Human label for a byte class (falls back to the class index)."""
+    if partition is None:
+        return f"c{cls}"
+    members = [b for b in range(256) if partition.classmap[b] == cls]
+    return charset_to_pattern(CharSet.from_bytes(members))
+
+
+def _merge_labels(labels: List[str]) -> str:
+    return ", ".join(labels)
+
+
+def _header(name: str, rankdir: str) -> List[str]:
+    return [
+        f"digraph {name} {{",
+        f"  rankdir={rankdir};",
+        "  node [shape=circle, fontsize=11];",
+        '  __start [shape=point, label=""];',
+    ]
+
+
+def nfa_to_dot(nfa: NFA, name: str = "NFA", rankdir: str = "LR") -> str:
+    """Render an NFA; initial states get an arrow, finals double circles."""
+    lines = _header(name, rankdir)
+    for q in bits_of(nfa.final):
+        lines.append(f"  q{q} [shape=doublecircle];")
+    for q in bits_of(nfa.initial):
+        lines.append(f"  __start -> q{q};")
+    edges: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for q in range(nfa.num_states):
+        for c in range(nfa.num_classes):
+            for r in iter_bits(nfa.trans[q][c]):
+                edges[(q, r)].append(_class_label(nfa.partition, c))
+    for (q, r), labels in sorted(edges.items()):
+        lines.append(f'  q{q} -> q{r} [label="{_merge_labels(labels)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(
+    dfa: DFA,
+    name: str = "DFA",
+    rankdir: str = "LR",
+    hide_traps: bool = False,
+) -> str:
+    """Render a DFA.  ``hide_traps`` drops fail sinks (the paper's Fig. 4
+    convention, which draws the partial automaton)."""
+    traps = set(dfa.trap_states().tolist()) if hide_traps else set()
+    lines = _header(name, rankdir)
+    for q in range(dfa.num_states):
+        if q in traps:
+            continue
+        if dfa.accept[q]:
+            lines.append(f"  q{q} [shape=doublecircle];")
+    lines.append(f"  __start -> q{dfa.initial};")
+    edges: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for q in range(dfa.num_states):
+        if q in traps:
+            continue
+        for c in range(dfa.num_classes):
+            r = int(dfa.table[q, c])
+            if r in traps:
+                continue
+            edges[(q, r)].append(_class_label(dfa.partition, c))
+    for (q, r), labels in sorted(edges.items()):
+        lines.append(f'  q{q} -> q{r} [label="{_merge_labels(labels)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sfa_to_dot(
+    sfa: SFA,
+    name: str = "SFA",
+    rankdir: str = "LR",
+    hide_traps: bool = False,
+    show_mappings: bool = False,
+) -> str:
+    """Render an SFA; with ``show_mappings`` each node is annotated with
+    its mapping (Table I inline), feasible for small SFAs only."""
+    traps = set(sfa.trap_states().tolist()) if hide_traps else set()
+    lines = _header(name, rankdir)
+    for i in range(sfa.num_states):
+        if i in traps:
+            continue
+        attrs = []
+        if sfa.accept[i]:
+            attrs.append("shape=doublecircle")
+        if show_mappings:
+            if sfa.kind == "D-SFA":
+                body = ",".join(str(int(x)) for x in sfa.maps[i])
+            else:
+                body = ";".join(
+                    "".join("1" if v else "0" for v in row) for row in sfa.maps[i]
+                )
+            attrs.append(f'label="f{i}\\n[{body}]"')
+        if attrs:
+            lines.append(f"  f{i} [{', '.join(attrs)}];")
+    lines.append(f"  __start -> f{sfa.initial};")
+    edges: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for i in range(sfa.num_states):
+        if i in traps:
+            continue
+        for c in range(sfa.num_classes):
+            j = int(sfa.table[i, c])
+            if j in traps:
+                continue
+            edges[(i, j)].append(_class_label(sfa.partition, c))
+    for (i, j), labels in sorted(edges.items()):
+        lines.append(f'  f{i} -> f{j} [label="{_merge_labels(labels)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_dot(automaton: Union[NFA, DFA, SFA], **kwargs) -> str:
+    """Dispatching convenience wrapper."""
+    if isinstance(automaton, NFA):
+        return nfa_to_dot(automaton, **kwargs)
+    if isinstance(automaton, DFA):
+        return dfa_to_dot(automaton, **kwargs)
+    if isinstance(automaton, SFA):
+        return sfa_to_dot(automaton, **kwargs)
+    raise TypeError(f"cannot render {type(automaton).__name__}")

@@ -1,0 +1,150 @@
+"""On-the-fly (lazy) DFA and SFA construction (paper Sect. V-A).
+
+Instead of materializing the full automaton before matching, states are
+created the first time a transition needs them.  After reading a text of
+length ``n`` at most ``n+1`` states exist, even when the full construction
+would explode — the standard technique the paper points to (Cox's RE2 notes)
+and notes "we can easily apply ... because the correspondence construction
+is a natural extension of the subset construction".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+from repro.util.bitset import iter_bits
+
+
+class LazyDFA:
+    """Subset-construction DFA materialized on demand.
+
+    The transition table is an ``int32`` array grown geometrically; missing
+    entries are ``-1`` and get filled by one subset step on first use.
+    """
+
+    def __init__(self, nfa: NFA):
+        self.nfa = nfa
+        self.partition = nfa.partition
+        self._index: Dict[int, int] = {nfa.initial: 0}
+        self._subsets: List[int] = [nfa.initial]
+        self._table = -np.ones((16, nfa.num_classes), dtype=np.int32)
+        self._accept: List[bool] = [(nfa.initial & nfa.final) != 0]
+        self.initial = 0
+
+    @property
+    def num_materialized(self) -> int:
+        """Number of DFA states created so far."""
+        return len(self._subsets)
+
+    def _grow(self) -> None:
+        new = -np.ones((self._table.shape[0] * 2, self.nfa.num_classes), dtype=np.int32)
+        new[: self._table.shape[0]] = self._table
+        self._table = new
+
+    def step(self, state: int, cls: int) -> int:
+        nxt = int(self._table[state, cls])
+        if nxt >= 0:
+            return nxt
+        mask = 0
+        for q in iter_bits(self._subsets[state]):
+            mask |= self.nfa.trans[q][cls]
+        idx = self._index.get(mask)
+        if idx is None:
+            idx = len(self._subsets)
+            self._index[mask] = idx
+            self._subsets.append(mask)
+            self._accept.append((mask & self.nfa.final) != 0)
+            if idx >= self._table.shape[0]:
+                self._grow()
+        self._table[state, cls] = idx
+        return idx
+
+    def run_classes(self, classes: Iterable[int], start: Optional[int] = None) -> int:
+        q = self.initial if start is None else start
+        for c in classes:
+            q = self.step(q, int(c))
+        return q
+
+    def accepts_classes(self, classes: Iterable[int]) -> bool:
+        return self._accept[self.run_classes(classes)]
+
+    def accepts(self, data: bytes) -> bool:
+        if self.partition is None:
+            raise AutomatonError("byte input needs a ByteClassPartition")
+        return self.accepts_classes(self.partition.translate(data))
+
+
+class LazySFA:
+    """Correspondence-construction D-SFA materialized on demand.
+
+    Mirrors :class:`LazyDFA`: SFA states (transformations of the DFA's
+    state set) are interned by their byte signature when first reached.
+    """
+
+    def __init__(self, dfa: DFA):
+        self.dfa = dfa
+        self.partition = dfa.partition
+        n = dfa.num_states
+        self._columns = [np.ascontiguousarray(dfa.table[:, c]) for c in range(dfa.num_classes)]
+        identity = np.arange(n, dtype=np.int32)
+        self._index: Dict[bytes, int] = {identity.tobytes(): 0}
+        self._maps: List[np.ndarray] = [identity]
+        self._table = -np.ones((16, dfa.num_classes), dtype=np.int32)
+        self.initial = 0
+
+    @property
+    def num_materialized(self) -> int:
+        """Number of SFA states created so far."""
+        return len(self._maps)
+
+    def _grow(self) -> None:
+        new = -np.ones((self._table.shape[0] * 2, self.dfa.num_classes), dtype=np.int32)
+        new[: self._table.shape[0]] = self._table
+        self._table = new
+
+    def step(self, state: int, cls: int) -> int:
+        nxt = int(self._table[state, cls])
+        if nxt >= 0:
+            return nxt
+        fnext = self._columns[cls][self._maps[state]]
+        key = fnext.tobytes()
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._maps)
+            self._index[key] = idx
+            self._maps.append(np.ascontiguousarray(fnext))
+            if idx >= self._table.shape[0]:
+                self._grow()
+        self._table[state, cls] = idx
+        return idx
+
+    def mapping_row(self, idx: int) -> np.ndarray:
+        return self._maps[idx]
+
+    def run_classes(self, classes: Iterable[int], start: Optional[int] = None) -> int:
+        f = self.initial if start is None else start
+        for c in classes:
+            f = self.step(f, int(c))
+        return f
+
+    def accepts_classes(self, classes: Iterable[int]) -> bool:
+        f = self.run_classes(classes)
+        return bool(self.dfa.accept[self._maps[f][self.dfa.initial]])
+
+    def accepts(self, data: bytes) -> bool:
+        if self.partition is None:
+            raise AutomatonError("byte input needs a ByteClassPartition")
+        return self.accepts_classes(self.partition.translate(data))
+
+    def run_chunks(self, chunks: List[np.ndarray]) -> bool:
+        """Algorithm 5 on a lazy SFA: per-chunk scans + sequential reduction."""
+        finals = [self.run_classes(ch) for ch in chunks]
+        q = self.dfa.initial
+        for f in finals:
+            q = int(self._maps[f][q])
+        return bool(self.dfa.accept[q])

@@ -1,0 +1,177 @@
+"""State mappings: the *states of an SFA*.
+
+Definition 5 of the paper makes an SFA state a mapping ``f : Q → P(Q)`` over
+the states of the original automaton.  Two concrete representations:
+
+* :class:`Transformation` — when the original automaton is deterministic the
+  image of every state is a singleton, so ``f`` collapses to ``Q → Q``,
+  stored as a NumPy ``int32`` vector (``arr[q]`` is the image of ``q``).
+* :class:`Correspondence` — the general ``Q → P(Q)`` case, stored as an
+  ``n×n`` boolean matrix (``mat[q, r]`` iff ``r ∈ f(q)``).
+
+Both carry the associative composition ``⊙`` (reverse composition:
+``(f ⊙ g)(q) = g(f(q))`` — *apply f first, then g*), matching how chunk
+results are combined left-to-right in Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import AutomatonError
+
+
+class Transformation:
+    """A total map ``Q → Q`` backed by an int vector; hashable, immutable."""
+
+    __slots__ = ("arr", "_key")
+
+    def __init__(self, arr: np.ndarray | Iterable[int]):
+        a = np.ascontiguousarray(np.asarray(arr, dtype=np.int32))
+        if a.ndim != 1:
+            raise AutomatonError("Transformation must be a 1-D vector")
+        n = a.shape[0]
+        if a.size and (a.min() < 0 or a.max() >= n):
+            raise AutomatonError("Transformation image out of range")
+        a.setflags(write=False)
+        self.arr = a
+        self._key = a.tobytes()
+
+    @classmethod
+    def identity(cls, n: int) -> "Transformation":
+        """``f_I`` — the identity mapping (initial SFA state)."""
+        return cls(np.arange(n, dtype=np.int32))
+
+    @property
+    def domain_size(self) -> int:
+        return self.arr.shape[0]
+
+    def __call__(self, q: int) -> int:
+        return int(self.arr[q])
+
+    def then(self, other: "Transformation") -> "Transformation":
+        """``self ⊙ other``: apply ``self`` first, then ``other``."""
+        return Transformation(other.arr[self.arr])
+
+    def compose(self, other: "Transformation") -> "Transformation":
+        """Classic composition ``self ∘ other``: apply ``other`` first."""
+        return Transformation(self.arr[other.arr])
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.arr, np.arange(self.domain_size)))
+
+    def is_constant(self) -> bool:
+        """True iff every state maps to the same image (rank 1)."""
+        return self.arr.size > 0 and bool((self.arr == self.arr[0]).all())
+
+    def rank(self) -> int:
+        """Number of distinct images — the transformation's rank."""
+        return int(np.unique(self.arr).size)
+
+    def image(self) -> np.ndarray:
+        return np.unique(self.arr)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Transformation) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        body = ",".join(map(str, self.arr[:12]))
+        if self.domain_size > 12:
+            body += ",..."
+        return f"Transformation([{body}])"
+
+
+class Correspondence:
+    """A total map ``Q → P(Q)`` backed by a boolean matrix; hashable."""
+
+    __slots__ = ("mat", "_key")
+
+    def __init__(self, mat: np.ndarray):
+        m = np.ascontiguousarray(np.asarray(mat, dtype=bool))
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise AutomatonError("Correspondence must be a square matrix")
+        m.setflags(write=False)
+        self.mat = m
+        self._key = np.packbits(m).tobytes()
+
+    @classmethod
+    def identity(cls, n: int) -> "Correspondence":
+        return cls(np.eye(n, dtype=bool))
+
+    @classmethod
+    def from_transformation(cls, t: Transformation) -> "Correspondence":
+        n = t.domain_size
+        m = np.zeros((n, n), dtype=bool)
+        m[np.arange(n), t.arr] = True
+        return cls(m)
+
+    @property
+    def domain_size(self) -> int:
+        return self.mat.shape[0]
+
+    def __call__(self, q: int) -> List[int]:
+        return np.nonzero(self.mat[q])[0].tolist()
+
+    def then(self, other: "Correspondence") -> "Correspondence":
+        """``self ⊙ other``: apply ``self`` first, then ``other``.
+
+        ``(f ⊙ g)(q) = ∪_{r ∈ f(q)} g(r)`` — a boolean matrix product.
+        """
+        prod = (self.mat.astype(np.uint8) @ other.mat.astype(np.uint8)) > 0
+        return Correspondence(prod)
+
+    def compose(self, other: "Correspondence") -> "Correspondence":
+        """Classic composition ``self ∘ other`` (apply ``other`` first)."""
+        return other.then(self)
+
+    def apply_set(self, mask_row: np.ndarray) -> np.ndarray:
+        """Image of a state set given as a boolean vector."""
+        return (mask_row.astype(np.uint8) @ self.mat.astype(np.uint8)) > 0
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.mat, np.eye(self.domain_size, dtype=bool)))
+
+    def is_functional(self) -> bool:
+        """True iff every image is a singleton (i.e. it is a transformation)."""
+        return bool((self.mat.sum(axis=1) == 1).all())
+
+    def to_transformation(self) -> Transformation:
+        if not self.is_functional():
+            raise AutomatonError("correspondence is not functional")
+        return Transformation(np.argmax(self.mat, axis=1).astype(np.int32))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Correspondence) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"Correspondence(n={self.domain_size}, edges={int(self.mat.sum())})"
+
+
+def compose_chain_transformations(parts: Iterable[Transformation]) -> Transformation:
+    """Left-to-right ``⊙``-fold of transformations (tree-free reference)."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("empty composition chain")
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = acc.then(p)
+    return acc
+
+
+def compose_chain_correspondences(parts: Iterable[Correspondence]) -> Correspondence:
+    """Left-to-right ``⊙``-fold of correspondences."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("empty composition chain")
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = acc.then(p)
+    return acc

@@ -1,0 +1,414 @@
+"""Nondeterministic finite automata over a class-compressed byte alphabet.
+
+State sets are represented as int bitmasks (see :mod:`repro.util.bitset`),
+which makes subset construction and the extended transition function cheap.
+
+Two regex→NFA constructions are provided:
+
+* :func:`glushkov_nfa` — the McNaughton–Yamada *position automaton* used by
+  the paper's matcher (one state per literal position + a start state, no
+  epsilon transitions);
+* :func:`thompson_nfa` — the classic Thompson construction with epsilon
+  transitions, plus :func:`remove_epsilon`; kept as an ablation/cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import AutomatonError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+    expand_repeats,
+)
+from repro.regex.charclass import ByteClassPartition, CharSet
+from repro.util.bitset import bits_of, iter_bits
+
+
+@dataclass
+class NFA:
+    """An NFA ``(Q, Σ, δ, I, F)`` with ``Σ`` = byte classes.
+
+    Attributes
+    ----------
+    num_states:
+        ``|Q|``; states are ``0..num_states-1``.
+    num_classes:
+        alphabet size after byte-class compression.
+    trans:
+        ``trans[q][c]`` is the successor set ``δ(q, c)`` as an int bitmask.
+    initial:
+        bitmask of initial states ``I``.
+    final:
+        bitmask of final states ``F``.
+    partition:
+        the byte-class partition, or ``None`` for raw symbolic alphabets
+        (used by the theory witness families).
+    """
+
+    num_states: int
+    num_classes: int
+    trans: List[List[int]]
+    initial: int
+    final: int
+    partition: Optional[ByteClassPartition] = None
+
+    def __post_init__(self) -> None:
+        if len(self.trans) != self.num_states:
+            raise AutomatonError("trans length != num_states")
+        for row in self.trans:
+            if len(row) != self.num_classes:
+                raise AutomatonError("trans row width != num_classes")
+
+    # -- core semantics --------------------------------------------------
+    def step_set(self, mask: int, cls: int) -> int:
+        """Extended transition of a state set on one symbol class."""
+        out = 0
+        for q in iter_bits(mask):
+            out |= self.trans[q][cls]
+        return out
+
+    def run_classes(self, classes: Iterable[int]) -> int:
+        """Run over a class-index sequence; return the final state set."""
+        mask = self.initial
+        for c in classes:
+            mask = self.step_set(mask, int(c))
+            if mask == 0:
+                return 0
+        return mask
+
+    def accepts_classes(self, classes: Iterable[int]) -> bool:
+        """Membership test on a class-index sequence."""
+        return (self.run_classes(classes) & self.final) != 0
+
+    def accepts(self, data: bytes) -> bool:
+        """Membership test on raw bytes (requires a partition)."""
+        if self.partition is None:
+            raise AutomatonError("byte input needs a ByteClassPartition")
+        return self.accepts_classes(self.partition.translate(data))
+
+    # -- derived views -----------------------------------------------------
+    def class_matrices(self) -> np.ndarray:
+        """Boolean transition matrices, shape ``(num_classes, n, n)``.
+
+        ``M[c, q, r]`` is true iff ``r ∈ δ(q, c)``.  These are the boolean
+        matrices whose generated semigroup Sect. VII relates to N-SFA size.
+        """
+        n = self.num_states
+        mats = np.zeros((self.num_classes, n, n), dtype=bool)
+        for q in range(n):
+            for c in range(self.num_classes):
+                for r in iter_bits(self.trans[q][c]):
+                    mats[c, q, r] = True
+        return mats
+
+    def reverse(self) -> "NFA":
+        """The reversal automaton (accepts the mirror language)."""
+        n = self.num_states
+        trans = [[0] * self.num_classes for _ in range(n)]
+        for q in range(n):
+            for c in range(self.num_classes):
+                for r in iter_bits(self.trans[q][c]):
+                    trans[r][c] |= 1 << q
+        return NFA(n, self.num_classes, trans, self.final, self.initial, self.partition)
+
+    def num_transitions(self) -> int:
+        """Total number of (q, c, r) transition triples."""
+        return sum(m.bit_count() for row in self.trans for m in row)
+
+    @property
+    def size(self) -> int:
+        """``|N|`` — the number of states (the paper's automaton size)."""
+        return self.num_states
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={self.num_states}, classes={self.num_classes}, "
+            f"transitions={self.num_transitions()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Glushkov / McNaughton–Yamada position construction
+# ---------------------------------------------------------------------------
+
+
+class _Glushkov:
+    """Computes nullable/first/last/follow over an expanded AST."""
+
+    def __init__(self) -> None:
+        self.pos_charsets: List[CharSet] = []
+        self.follow: Dict[int, Set[int]] = {}
+
+    def analyze(self, node: Node) -> Tuple[bool, Set[int], Set[int]]:
+        if isinstance(node, Empty):
+            return True, set(), set()
+        if isinstance(node, Never):
+            return False, set(), set()
+        if isinstance(node, Literal):
+            idx = len(self.pos_charsets)
+            self.pos_charsets.append(node.charset)
+            self.follow[idx] = set()
+            return False, {idx}, {idx}
+        if isinstance(node, Concat):
+            nullable, first, last = True, set(), set()
+            for child in node.children:
+                c_null, c_first, c_last = self.analyze(child)
+                for p in last:
+                    self.follow[p] |= c_first
+                if nullable:
+                    first |= c_first
+                if c_null:
+                    last |= c_last
+                else:
+                    last = c_last
+                nullable = nullable and c_null
+            return nullable, first, last
+        if isinstance(node, Alternation):
+            nullable, first, last = False, set(), set()
+            for child in node.children:
+                c_null, c_first, c_last = self.analyze(child)
+                nullable = nullable or c_null
+                first |= c_first
+                last |= c_last
+            return nullable, first, last
+        if isinstance(node, Star):
+            _, c_first, c_last = self.analyze(node.child)
+            for p in c_last:
+                self.follow[p] |= c_first
+            return True, c_first, c_last
+        raise AutomatonError(f"unexpanded node in Glushkov construction: {node!r}")
+
+
+def glushkov_nfa(
+    node: Node, partition: Optional[ByteClassPartition] = None
+) -> NFA:
+    """Build the position automaton of ``node`` (McNaughton–Yamada).
+
+    State 0 is the unique start state; states ``1..m`` correspond to the
+    ``m`` literal positions of the (repeat-expanded) expression.  The
+    automaton has no epsilon transitions by construction.
+    """
+    node = expand_repeats(node)
+    if partition is None:
+        partition = ByteClassPartition(list(node.charsets()))
+    g = _Glushkov()
+    nullable, first, last = g.analyze(node)
+    m = len(g.pos_charsets)
+    num_classes = partition.num_classes
+    trans = [[0] * num_classes for _ in range(m + 1)]
+
+    cls_cache: Dict[CharSet, List[int]] = {}
+
+    def classes_for(cs: CharSet) -> List[int]:
+        if cs not in cls_cache:
+            cls_cache[cs] = partition.classes_of(cs)
+        return cls_cache[cs]
+
+    for p in first:
+        for c in classes_for(g.pos_charsets[p]):
+            trans[0][c] |= 1 << (p + 1)
+    for p, followers in g.follow.items():
+        for q in followers:
+            for c in classes_for(g.pos_charsets[q]):
+                trans[p + 1][c] |= 1 << (q + 1)
+
+    final = sum(1 << (p + 1) for p in last)
+    if nullable:
+        final |= 1
+    return NFA(m + 1, num_classes, trans, initial=1, final=final, partition=partition)
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction (with epsilon) + epsilon elimination
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EpsilonNFA:
+    """Thompson-style NFA with explicit epsilon edges (ablation path)."""
+
+    num_states: int
+    num_classes: int
+    trans: List[List[int]]
+    eps: List[int] = field(default_factory=list)
+    initial: int = 0
+    final: int = 0
+    partition: Optional[ByteClassPartition] = None
+
+    def epsilon_closure(self, mask: int) -> int:
+        """Reflexive-transitive closure of ``mask`` under epsilon edges."""
+        seen = mask
+        frontier = mask
+        while frontier:
+            nxt = 0
+            for q in iter_bits(frontier):
+                nxt |= self.eps[q]
+            frontier = nxt & ~seen
+            seen |= frontier
+        return seen
+
+
+class _ThompsonBuilder:
+    def __init__(self, partition: ByteClassPartition):
+        self.partition = partition
+        self.trans: List[List[int]] = []
+        self.eps: List[int] = []
+
+    def new_state(self) -> int:
+        self.trans.append([0] * self.partition.num_classes)
+        self.eps.append(0)
+        return len(self.trans) - 1
+
+    def build(self, node: Node) -> Tuple[int, int]:
+        """Return (entry, exit) state pair for the fragment."""
+        if isinstance(node, Empty):
+            s, t = self.new_state(), self.new_state()
+            self.eps[s] |= 1 << t
+            return s, t
+        if isinstance(node, Never):
+            return self.new_state(), self.new_state()
+        if isinstance(node, Literal):
+            s, t = self.new_state(), self.new_state()
+            for c in self.partition.classes_of(node.charset):
+                self.trans[s][c] |= 1 << t
+            return s, t
+        if isinstance(node, Concat):
+            if not node.children:
+                return self.build(Empty())
+            entry, cur = self.build(node.children[0])
+            for child in node.children[1:]:
+                nxt_in, nxt_out = self.build(child)
+                self.eps[cur] |= 1 << nxt_in
+                cur = nxt_out
+            return entry, cur
+        if isinstance(node, Alternation):
+            s, t = self.new_state(), self.new_state()
+            for child in node.children:
+                ci, co = self.build(child)
+                self.eps[s] |= 1 << ci
+                self.eps[co] |= 1 << t
+            return s, t
+        if isinstance(node, Star):
+            s, t = self.new_state(), self.new_state()
+            ci, co = self.build(node.child)
+            self.eps[s] |= (1 << ci) | (1 << t)
+            self.eps[co] |= (1 << ci) | (1 << t)
+            return s, t
+        raise AutomatonError(f"unexpanded node in Thompson construction: {node!r}")
+
+
+def thompson_epsilon_nfa(
+    node: Node, partition: Optional[ByteClassPartition] = None
+) -> EpsilonNFA:
+    """Thompson construction; returns an automaton with epsilon edges."""
+    node = expand_repeats(node)
+    if partition is None:
+        partition = ByteClassPartition(list(node.charsets()))
+    b = _ThompsonBuilder(partition)
+    entry, exit_ = b.build(node)
+    return EpsilonNFA(
+        num_states=len(b.trans),
+        num_classes=partition.num_classes,
+        trans=b.trans,
+        eps=b.eps,
+        initial=1 << entry,
+        final=1 << exit_,
+        partition=partition,
+    )
+
+
+def remove_epsilon(enfa: EpsilonNFA) -> NFA:
+    """Eliminate epsilon edges (closure-based) and trim unreachable states."""
+    n = enfa.num_states
+    closures = [enfa.epsilon_closure(1 << q) for q in range(n)]
+    trans = [[0] * enfa.num_classes for _ in range(n)]
+    final = 0
+    for q in range(n):
+        cq = closures[q]
+        for c in range(enfa.num_classes):
+            out = 0
+            for r in iter_bits(cq):
+                out |= enfa.trans[r][c]
+            # successors are taken up to closure as well
+            closed = 0
+            for r in iter_bits(out):
+                closed |= closures[r]
+            trans[q][c] = closed
+        if cq & enfa.final:
+            final |= 1 << q
+    initial = 0
+    for q in iter_bits(enfa.initial):
+        initial |= closures[q]
+    nfa = NFA(n, enfa.num_classes, trans, initial, final, enfa.partition)
+    return trim_nfa(nfa)
+
+
+def trim_nfa(nfa: NFA) -> NFA:
+    """Drop states unreachable from the initial set (renumbering)."""
+    reach = nfa.initial
+    frontier = nfa.initial
+    while frontier:
+        nxt = 0
+        for q in iter_bits(frontier):
+            for c in range(nfa.num_classes):
+                nxt |= nfa.trans[q][c]
+        frontier = nxt & ~reach
+        reach |= frontier
+    keep = bits_of(reach)
+    remap = {old: new for new, old in enumerate(keep)}
+
+    def remask(mask: int) -> int:
+        out = 0
+        for q in iter_bits(mask):
+            if q in remap:
+                out |= 1 << remap[q]
+        return out
+
+    trans = [
+        [remask(nfa.trans[old][c]) for c in range(nfa.num_classes)] for old in keep
+    ]
+    return NFA(
+        len(keep),
+        nfa.num_classes,
+        trans,
+        remask(nfa.initial),
+        remask(nfa.final),
+        nfa.partition,
+    )
+
+
+def thompson_nfa(node: Node, partition: Optional[ByteClassPartition] = None) -> NFA:
+    """Thompson construction followed by epsilon elimination."""
+    return remove_epsilon(thompson_epsilon_nfa(node, partition))
+
+
+def nfa_from_transitions(
+    num_states: int,
+    num_classes: int,
+    edges: Sequence[Tuple[int, int, int]],
+    initial: Iterable[int],
+    final: Iterable[int],
+    partition: Optional[ByteClassPartition] = None,
+) -> NFA:
+    """Convenience builder from explicit ``(src, cls, dst)`` edges."""
+    trans = [[0] * num_classes for _ in range(num_states)]
+    for src, cls, dst in edges:
+        trans[src][cls] |= 1 << dst
+    init = 0
+    for q in initial:
+        init |= 1 << q
+    fin = 0
+    for q in final:
+        fin |= 1 << q
+    return NFA(num_states, num_classes, trans, init, fin, partition)

@@ -1,0 +1,148 @@
+"""Persistence for compiled automata.
+
+Construction can dominate end-to-end latency (Table III), so a production
+matcher compiles once and ships tables.  DFAs and SFAs serialize to a
+single ``.npz`` (NumPy archive) holding the transition table, acceptance,
+mapping payloads and the byte-class map; loading re-validates every
+structural invariant, so a corrupted file raises
+:class:`~repro.errors.AutomatonError` instead of producing wrong matches.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.sfa import SFA
+from repro.errors import AutomatonError
+from repro.regex.charclass import ByteClassPartition, CharSet
+
+FORMAT_VERSION = 1
+
+
+def _partition_from_classmap(classmap: np.ndarray) -> ByteClassPartition:
+    """Rebuild a partition object from a stored uint8[256] classmap."""
+    classmap = np.asarray(classmap, dtype=np.uint8)
+    if classmap.shape != (256,):
+        raise AutomatonError("classmap must have 256 entries")
+    charsets = []
+    for idx in np.unique(classmap):
+        charsets.append(CharSet.from_bytes(np.nonzero(classmap == idx)[0].tolist()))
+    p = ByteClassPartition(charsets)
+    if not np.array_equal(p.classmap, classmap):
+        # the reconstructed numbering must match the stored one exactly
+        raise AutomatonError("classmap is not a canonical partition numbering")
+    return p
+
+
+def save_dfa(dfa: DFA, path_or_file: Union[str, io.IOBase]) -> None:
+    """Serialize a DFA to ``.npz``."""
+    meta = {"format": FORMAT_VERSION, "kind": "DFA", "initial": int(dfa.initial)}
+    arrays = {
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "table": dfa.table,
+        "accept": dfa.accept,
+    }
+    if dfa.partition is not None:
+        arrays["classmap"] = dfa.partition.classmap
+    np.savez_compressed(path_or_file, **arrays)
+
+
+def load_dfa(path_or_file: Union[str, io.IOBase]) -> DFA:
+    """Load and re-validate a DFA from ``.npz``."""
+    with np.load(path_or_file) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("kind") != "DFA":
+            raise AutomatonError(f"not a DFA archive: {meta.get('kind')!r}")
+        if meta.get("format") != FORMAT_VERSION:
+            raise AutomatonError(f"unsupported format version {meta.get('format')}")
+        partition = (
+            _partition_from_classmap(data["classmap"]) if "classmap" in data else None
+        )
+        return DFA(
+            table=data["table"],
+            initial=int(meta["initial"]),
+            accept=data["accept"],
+            partition=partition,
+        )
+
+
+def save_sfa(sfa: SFA, path_or_file: Union[str, io.IOBase]) -> None:
+    """Serialize an SFA (D-SFA or N-SFA) to ``.npz``."""
+    origin_initial = sfa.origin_initial
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "SFA",
+        "sfa_kind": sfa.kind,
+        "initial": int(sfa.initial),
+        "origin_initial": (
+            int(origin_initial) if isinstance(origin_initial, int) else list(origin_initial)
+        ),
+    }
+    arrays = {
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "table": sfa.table,
+        "accept": sfa.accept,
+        "maps": sfa.maps,
+        "origin_final": sfa.origin_final,
+    }
+    if sfa.partition is not None:
+        arrays["classmap"] = sfa.partition.classmap
+    np.savez_compressed(path_or_file, **arrays)
+
+
+def load_sfa(path_or_file: Union[str, io.IOBase]) -> SFA:
+    """Load and re-validate an SFA from ``.npz``.
+
+    Beyond shape checks, this verifies the defining SFA property on the
+    archive: ``maps[table[f, c]] == step(maps[f], c)`` spot-checked per
+    class on the identity state, and the identity payload at ``initial``.
+    """
+    with np.load(path_or_file) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("kind") != "SFA":
+            raise AutomatonError(f"not an SFA archive: {meta.get('kind')!r}")
+        if meta.get("format") != FORMAT_VERSION:
+            raise AutomatonError(f"unsupported format version {meta.get('format')}")
+        partition = (
+            _partition_from_classmap(data["classmap"]) if "classmap" in data else None
+        )
+        origin_initial = meta["origin_initial"]
+        if isinstance(origin_initial, list):
+            origin_initial = [int(q) for q in origin_initial]
+        sfa = SFA(
+            table=data["table"],
+            initial=int(meta["initial"]),
+            accept=data["accept"],
+            maps=data["maps"],
+            kind=str(meta["sfa_kind"]),
+            origin_initial=origin_initial,
+            origin_final=data["origin_final"],
+            partition=partition,
+        )
+    _validate_sfa(sfa)
+    return sfa
+
+
+def _validate_sfa(sfa: SFA) -> None:
+    n = sfa.origin_size
+    if sfa.kind == "D-SFA":
+        ident = sfa.maps[sfa.initial]
+        if not np.array_equal(ident, np.arange(n)):
+            raise AutomatonError("initial SFA state is not the identity mapping")
+        if sfa.maps.shape[0] != sfa.num_states:
+            raise AutomatonError("maps/table state-count mismatch")
+        if sfa.maps.size and (sfa.maps.min() < 0 or sfa.maps.max() >= n):
+            raise AutomatonError("mapping image out of range")
+    else:
+        ident = sfa.maps[sfa.initial]
+        if not np.array_equal(ident, np.eye(n, dtype=bool)):
+            raise AutomatonError("initial SFA state is not the identity mapping")
+    if sfa.accept.shape != (sfa.num_states,):
+        raise AutomatonError("accept length mismatch")
+    if sfa.table.min() < 0 or sfa.table.max() >= sfa.num_states:
+        raise AutomatonError("SFA transition target out of range")

@@ -1,0 +1,338 @@
+"""Simultaneous finite automata (paper Sect. IV–V).
+
+An SFA's states are mappings over the original automaton's states; its
+transition on symbol class ``c`` sends mapping ``f`` to ``f ⊙ δ_c``.  The
+*correspondence construction* (paper Algorithm 4) explores exactly the
+mappings reachable from the identity — which is the transition monoid of the
+original automaton (plus the identity), the algebraic fact behind the
+Sect. VII syntactic-monoid discussion.
+
+Both flavours are supported:
+
+* **D-SFA** (from a DFA): states are :class:`Transformation` vectors; the
+  construction step is one vectorized gather ``f_next = table[:, c][f]``.
+* **N-SFA** (from an NFA): states are :class:`Correspondence` boolean
+  matrices; the step is a boolean matrix product with the letter matrix.
+
+The SFA itself is stored exactly like a DFA — a dense ``int32`` transition
+table — plus the per-state mapping payload needed for reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError, StateExplosionError
+from repro.regex.charclass import ByteClassPartition
+from repro.util.bitset import bits_of
+
+
+@dataclass
+class SFA:
+    """An SFA ``(Q_s, Σ, δ_s, {f_I}, F_s)``.
+
+    Attributes
+    ----------
+    table:
+        ``int32`` array ``(num_states, num_classes)`` — ``δ_s`` by table
+        lookup, exactly like a DFA (SFA are deterministic by construction).
+    initial:
+        index of the identity mapping ``f_I`` (always state 0).
+    accept:
+        ``F_s`` membership per SFA state: ``∃q ∈ I. f(q) ∩ F ≠ ∅``.
+    maps:
+        mapping payloads.  For a D-SFA an ``(num_states, n)`` int32 array
+        (row ``i`` is the transformation of SFA state ``i``); for an N-SFA
+        an ``(num_states, n, n)`` boolean array of correspondence matrices.
+    kind:
+        ``"D-SFA"`` or ``"N-SFA"``.
+    origin_initial / origin_final:
+        the original automaton's initial state(s) and final-state mask,
+        needed to finish a reduced computation.
+    """
+
+    table: np.ndarray
+    initial: int
+    accept: np.ndarray
+    maps: np.ndarray
+    kind: str
+    origin_initial: Union[int, List[int]]
+    origin_final: np.ndarray
+    partition: Optional[ByteClassPartition] = None
+
+    def __post_init__(self) -> None:
+        self.table = np.ascontiguousarray(self.table, dtype=np.int32)
+        self.accept = np.ascontiguousarray(self.accept, dtype=bool)
+        if self.kind not in ("D-SFA", "N-SFA"):
+            raise AutomatonError(f"unknown SFA kind {self.kind!r}")
+
+    # -- basic properties ----------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return self.table.shape[1]
+
+    @property
+    def size(self) -> int:
+        """``|S|`` — the number of SFA states."""
+        return self.num_states
+
+    @property
+    def origin_size(self) -> int:
+        """Number of states of the original automaton."""
+        return self.maps.shape[1]
+
+    def table_bytes(self, expanded: bool = False) -> int:
+        """Transition-table footprint; ``expanded`` = paper's 1 KB/state."""
+        width = 256 if expanded else self.num_classes
+        return self.num_states * width * 4
+
+    def trap_states(self) -> np.ndarray:
+        """Non-accepting SFA states with only self-loops.
+
+        For a D-SFA built from a complete DFA this is the all-dead mapping
+        (every original state sent to the fail sink) — the state a
+        partial-map implementation keeps implicit.
+        """
+        self_loop = (self.table == np.arange(self.num_states)[:, None]).all(axis=1)
+        return np.nonzero(self_loop & ~self.accept)[0]
+
+    @property
+    def partial_size(self) -> int:
+        """State count under the partial-mapping convention (paper's tool).
+
+        Excludes trap mappings; ``r_5``'s D-SFA is 109 in the paper and 110
+        here (the +1 being the explicit all-dead mapping).
+        """
+        return self.num_states - len(self.trap_states())
+
+    # -- execution --------------------------------------------------------
+    def run_classes(self, classes, start: Optional[int] = None) -> int:
+        """Scan a class sequence; return the reached SFA state index."""
+        f = self.initial if start is None else start
+        table = self.table
+        for c in classes:
+            f = table[f, c]
+        return int(f)
+
+    def accepts_classes(self, classes) -> bool:
+        return bool(self.accept[self.run_classes(classes)])
+
+    def accepts(self, data: bytes) -> bool:
+        if self.partition is None:
+            raise AutomatonError("byte input needs a ByteClassPartition")
+        return self.accepts_classes(self.partition.translate(data))
+
+    # -- mapping algebra ----------------------------------------------------
+    def mapping_row(self, idx: int) -> np.ndarray:
+        """The mapping payload of SFA state ``idx``."""
+        return self.maps[idx]
+
+    def apply_mapping(self, idx: int, state: int) -> Union[int, np.ndarray]:
+        """Apply state ``idx``'s mapping to an original-automaton state.
+
+        For a D-SFA returns the image state; for an N-SFA returns the
+        boolean image row.
+        """
+        if self.kind == "D-SFA":
+            return int(self.maps[idx, state])
+        return self.maps[idx, state]
+
+    def compose_indices(self, i: int, j: int) -> int:
+        """Index of ``f_i ⊙ f_j`` (apply ``i`` first, then ``j``).
+
+        The reachable mappings are closed under ``⊙`` (they form the
+        transition monoid), so the result is always a valid SFA state.
+        Uses a lazily-populated cache.
+        """
+        cache = self._compose_cache()
+        key = (i, j)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        if self.kind == "D-SFA":
+            composed = self.maps[j][self.maps[i]]
+            out = self._index_of_map(composed.tobytes())
+        else:
+            composed = (self.maps[i].astype(np.uint8) @ self.maps[j].astype(np.uint8)) > 0
+            out = self._index_of_map(np.packbits(composed).tobytes())
+        cache[key] = out
+        return out
+
+    def _compose_cache(self) -> Dict:
+        cache = getattr(self, "_ccache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_ccache", cache)
+        return cache
+
+    def _index_of_map(self, key: bytes) -> int:
+        index = getattr(self, "_map_index", None)
+        if index is None:
+            index = {}
+            if self.kind == "D-SFA":
+                for i in range(self.num_states):
+                    index[self.maps[i].tobytes()] = i
+            else:
+                for i in range(self.num_states):
+                    index[np.packbits(self.maps[i]).tobytes()] = i
+            object.__setattr__(self, "_map_index", index)
+        try:
+            return index[key]
+        except KeyError:
+            raise AutomatonError("composition left the SFA state set") from None
+
+    def final_verdict_from_mapping(self, idx: int) -> bool:
+        """Accept/reject from a (possibly reduced) final mapping index."""
+        return bool(self.accept[idx])
+
+    def final_states_of_mapping(self, idx: int) -> List[int]:
+        """``S_fin`` of Algorithm 5: image of the initial state(s)."""
+        if self.kind == "D-SFA":
+            return [int(self.maps[idx, self.origin_initial])]
+        row = np.zeros(self.origin_size, dtype=bool)
+        for q in self.origin_initial:
+            row |= self.maps[idx, q]
+        return np.nonzero(row)[0].tolist()
+
+    def __repr__(self) -> str:
+        return (
+            f"SFA(kind={self.kind}, states={self.num_states}, "
+            f"classes={self.num_classes}, origin={self.origin_size})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Correspondence construction (paper Algorithm 4)
+# ---------------------------------------------------------------------------
+
+
+def correspondence_construction(
+    automaton: Union[DFA, NFA], max_states: Optional[int] = None
+) -> SFA:
+    """Build an SFA from a DFA (→ D-SFA) or an NFA (→ N-SFA).
+
+    The BFS over mappings mirrors subset construction: start at the identity
+    mapping, close under "step every original state one symbol".  The bound
+    is ``n^n`` (D-SFA) / ``2^{n²}`` (N-SFA) by Theorem 2; ``max_states``
+    converts a blow-up into :class:`~repro.errors.StateExplosionError`.
+    """
+    if isinstance(automaton, DFA):
+        return _construct_dsfa(automaton, max_states)
+    if isinstance(automaton, NFA):
+        return _construct_nsfa(automaton, max_states)
+    raise TypeError(f"cannot build an SFA from {type(automaton).__name__}")
+
+
+def _construct_dsfa(dfa: DFA, max_states: Optional[int]) -> SFA:
+    n = dfa.num_states
+    k = dfa.num_classes
+    columns = [np.ascontiguousarray(dfa.table[:, c]) for c in range(k)]
+
+    identity = np.arange(n, dtype=np.int32)
+    index: Dict[bytes, int] = {identity.tobytes(): 0}
+    maps: List[np.ndarray] = [identity]
+    rows: List[List[int]] = []
+    i = 0
+    while i < len(maps):
+        f = maps[i]
+        row = [0] * k
+        for c in range(k):
+            # f_next(q) = δ(f(q), c) — one vectorized gather.
+            fnext = columns[c][f]
+            key = fnext.tobytes()
+            idx = index.get(key)
+            if idx is None:
+                if max_states is not None and len(maps) >= max_states:
+                    raise StateExplosionError(
+                        "correspondence construction exceeded state budget",
+                        max_states,
+                        len(maps) + 1,
+                    )
+                idx = len(maps)
+                index[key] = idx
+                maps.append(np.ascontiguousarray(fnext))
+            row[c] = idx
+        rows.append(row)
+        i += 1
+
+    table = np.array(rows, dtype=np.int32)
+    maps_arr = np.stack(maps).astype(np.int32)
+    # f ∈ F_s  ⟺  f(q0) ∈ F
+    accept = dfa.accept[maps_arr[:, dfa.initial]]
+    origin_final = dfa.accept.copy()
+    return SFA(
+        table=table,
+        initial=0,
+        accept=np.ascontiguousarray(accept),
+        maps=maps_arr,
+        kind="D-SFA",
+        origin_initial=dfa.initial,
+        origin_final=origin_final,
+        partition=dfa.partition,
+    )
+
+
+def _construct_nsfa(nfa: NFA, max_states: Optional[int]) -> SFA:
+    n = nfa.num_states
+    k = nfa.num_classes
+    letters = nfa.class_matrices().astype(np.uint8)  # (k, n, n)
+
+    identity = np.eye(n, dtype=bool)
+    index: Dict[bytes, int] = {np.packbits(identity).tobytes(): 0}
+    maps: List[np.ndarray] = [identity]
+    rows: List[List[int]] = []
+    init_states = bits_of(nfa.initial)
+    i = 0
+    while i < len(maps):
+        f = maps[i]
+        row = [0] * k
+        fu = f.astype(np.uint8)
+        for c in range(k):
+            fnext = (fu @ letters[c]) > 0
+            key = np.packbits(fnext).tobytes()
+            idx = index.get(key)
+            if idx is None:
+                if max_states is not None and len(maps) >= max_states:
+                    raise StateExplosionError(
+                        "correspondence construction exceeded state budget",
+                        max_states,
+                        len(maps) + 1,
+                    )
+                idx = len(maps)
+                index[key] = idx
+                maps.append(fnext)
+            row[c] = idx
+        rows.append(row)
+        i += 1
+
+    table = np.array(rows, dtype=np.int32)
+    maps_arr = np.stack(maps)
+    final_row = np.zeros(n, dtype=bool)
+    for q in bits_of(nfa.final):
+        final_row[q] = True
+    # f ∈ F_s ⟺ ∃q ∈ I. f(q) ∩ F ≠ ∅
+    accept = np.zeros(len(maps), dtype=bool)
+    for idx in range(len(maps)):
+        for q in init_states:
+            if (maps_arr[idx, q] & final_row).any():
+                accept[idx] = True
+                break
+    return SFA(
+        table=table,
+        initial=0,
+        accept=accept,
+        maps=maps_arr,
+        kind="N-SFA",
+        origin_initial=init_states,
+        origin_final=final_row,
+        partition=nfa.partition,
+    )

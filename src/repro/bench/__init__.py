@@ -1,0 +1,19 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    BenchRecord,
+    format_table,
+    measure_locality,
+    measure_throughput,
+    shape_check,
+)
+from repro.bench.report import emit
+
+__all__ = [
+    "BenchRecord",
+    "emit",
+    "format_table",
+    "measure_locality",
+    "measure_throughput",
+    "shape_check",
+]

@@ -1,0 +1,177 @@
+"""Measurement and reporting helpers for the paper-reproduction benches.
+
+Each ``benchmarks/bench_*.py`` regenerates one table or figure of the
+paper: it builds the workload, measures (or simulates) the series, prints a
+paper-style table with the paper's reference values alongside, and asserts
+the *shape* claims (who wins, rough factors, crossover positions) — never
+absolute numbers, since the substrate differs (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BenchRecord:
+    """One row of a reproduced table/figure."""
+
+    label: str
+    values: Dict[str, object] = field(default_factory=dict)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    records: Sequence[BenchRecord],
+    note: str = "",
+) -> str:
+    """Render records as a monospace table with a title block."""
+    headers = ["case"] + list(columns)
+    rows = [[r.label] + [_fmt(r.values.get(c)) for c in columns] for r in records]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        "",
+        "=" * len(sep),
+        title,
+        "=" * len(sep),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "—"
+    if isinstance(v, bool):  # before int: bool is an int subclass
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.3g}"
+        return f"{v:.3g}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def measure_throughput(
+    run: Callable[[], object],
+    n_bytes: int,
+    repeat: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Best-of-``repeat`` throughput in MB/s for a runnable."""
+    for _ in range(warmup):
+        run()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return (n_bytes / 1e6) / best if best > 0 else float("inf")
+
+
+def measure_locality(
+    sfa,
+    classes: np.ndarray,
+    num_chunks: int,
+) -> Dict[str, float]:
+    """Distinct SFA states visited per chunk scan — the cache working set.
+
+    Runs each chunk from the identity state (exactly Algorithm 5's thread
+    work) and reports mean/max distinct visited states, which the machine
+    simulator converts to bytes via the paper's 1 KB-per-state layout.
+    """
+    from repro.parallel.chunking import split_classes
+
+    per_chunk: List[int] = []
+    table = sfa.table
+    k = sfa.num_classes
+    flat = table.ravel().tolist()
+    for ch in split_classes(classes, num_chunks):
+        f = sfa.initial
+        visited = {f}
+        for c in ch.tolist():
+            f = flat[f * k + c]
+            visited.add(f)
+        per_chunk.append(len(visited))
+    return {
+        "mean_states": float(np.mean(per_chunk)) if per_chunk else 0.0,
+        "max_states": float(np.max(per_chunk)) if per_chunk else 0.0,
+    }
+
+
+def shape_check(name: str, condition: bool, detail: str = "") -> None:
+    """Assert a qualitative claim, with a readable failure message."""
+    assert condition, f"shape check failed: {name} {detail}"
+
+
+def geometric_sizes(lo: int, hi: int, steps: int) -> List[int]:
+    """Geometrically spaced sizes for sweep axes."""
+    return [int(round(x)) for x in np.geomspace(lo, hi, steps)]
+
+
+def paper_reference(series: Dict[int, float], label: str = "paper") -> BenchRecord:
+    """Wrap a paper-read data series as a record for side-by-side printing."""
+    return BenchRecord(label=label, values={str(k): v for k, v in series.items()})
+
+
+class Timer:
+    """Tiny context-manager stopwatch (re-export for bench convenience)."""
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self.t0
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def throughput_series_to_speedups(series: Dict[int, float]) -> Dict[int, float]:
+    """Normalize a thread→throughput series by its 1-thread value."""
+    base = series.get(1)
+    if not base:
+        return {k: float("nan") for k in series}
+    return {k: v / base for k, v in series.items()}
+
+
+def crossover_point(
+    xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> Optional[float]:
+    """First x where series ``a`` drops below series ``b`` (linear scan).
+
+    Used by the Fig. 10 bench to locate the DFA-vs-parallel-SFA crossover.
+    """
+    for x, va, vb in zip(xs, a, b):
+        if va > vb:
+            return x
+    return None

@@ -1,0 +1,31 @@
+"""Report emission for the benchmark suite.
+
+Benchmarks print paper-style tables and also persist them to
+``benchmarks/out/results.txt`` (override with ``REPRO_BENCH_OUT``) so the
+reproduction record survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+
+def out_path() -> pathlib.Path:
+    env = os.environ.get("REPRO_BENCH_OUT")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.cwd() / "benchmarks" / "out" / "results.txt"
+
+
+def emit(text: str) -> None:
+    """Print a report block and append it to the results file."""
+    print(text)
+    path = out_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(text)
+            fh.write("\n")
+    except OSError:
+        pass  # printing is the primary channel; persistence is best-effort

@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+    python -m repro sizes  '(ab)*'
+    python -m repro match  '(ab)*' input.bin --engine lockstep --chunks 8
+    python -m repro grep   'ERROR [0-9]+' server.log
+    python -m repro dot    '(ab)*' --stage sfa --hide-traps
+    python -m repro save   '(ab)*' --stage sfa -o abstar.npz
+    python -m repro ruleset --rules 20 --seed 2940
+
+Exit codes follow grep conventions for ``match``/``grep``: 0 = matched,
+1 = no match, 2 = usage/compile error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.matching.engine import compile_pattern
+
+
+def _read_input(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    sizes = m.sizes()
+    sizes["d_sfa_partial"] = m.sfa.partial_size
+    sizes["min_dfa_partial"] = m.min_dfa.partial_size
+    sizes["byte_classes"] = m.partition.num_classes
+    sizes["sfa_table_bytes_expanded"] = m.sfa.table_bytes(expanded=True)
+    width = max(len(k) for k in sizes)
+    for k, v in sizes.items():
+        print(f"{k.ljust(width)}  {v:,}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    data = _read_input(args.input)
+    if args.contains:
+        ok = m.contains(data, engine=args.engine, num_chunks=args.chunks)
+    else:
+        ok = m.fullmatch(data, engine=args.engine, num_chunks=args.chunks)
+    print("match" if ok else "no match")
+    return 0 if ok else 1
+
+
+def _cmd_grep(args: argparse.Namespace) -> int:
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    search = m.search_pattern()
+    data = _read_input(args.input)
+    hit = False
+    for lineno, line in enumerate(data.split(b"\n"), start=1):
+        if search.fullmatch(line, engine=args.engine, num_chunks=args.chunks):
+            hit = True
+            text = line.decode("latin-1")
+            if args.line_numbers:
+                print(f"{lineno}:{text}")
+            else:
+                print(text)
+    return 0 if hit else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.automata.dot import dfa_to_dot, nfa_to_dot, sfa_to_dot
+
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    if args.stage == "nfa":
+        out = nfa_to_dot(m.nfa)
+    elif args.stage == "dfa":
+        out = dfa_to_dot(m.min_dfa, hide_traps=args.hide_traps)
+    else:
+        out = sfa_to_dot(
+            m.sfa, hide_traps=args.hide_traps, show_mappings=args.show_mappings
+        )
+    print(out)
+    return 0
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from repro.automata.serialize import save_dfa, save_sfa
+
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    if args.stage == "dfa":
+        save_dfa(m.min_dfa, args.output)
+    else:
+        save_sfa(m.sfa, args.output)
+    print(f"wrote {args.stage} of {args.pattern!r} to {args.output}")
+    return 0
+
+
+def _cmd_ruleset(args: argparse.Namespace) -> int:
+    from repro.workloads.snort import generate_ruleset
+
+    for pat in generate_ruleset(args.rules, seed=args.seed):
+        print(pat)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SFA-based data-parallel regular expression matching "
+        "(ICPP 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_input: bool = False) -> None:
+        p.add_argument("pattern", help="regular expression")
+        p.add_argument("-i", "--ignore-case", action="store_true")
+        if with_input:
+            p.add_argument("input", help="input file, or - for stdin")
+            p.add_argument(
+                "--engine",
+                choices=["dfa", "speculative", "sfa", "lockstep"],
+                default="lockstep",
+            )
+            p.add_argument("--chunks", type=int, default=8,
+                           help="parallel chunk count (the paper's p)")
+
+    p = sub.add_parser("sizes", help="print pipeline automaton sizes")
+    add_common(p)
+    p.set_defaults(func=_cmd_sizes)
+
+    p = sub.add_parser("match", help="whole-input membership test")
+    add_common(p, with_input=True)
+    p.add_argument("--contains", action="store_true",
+                   help="substring-search semantics instead of fullmatch")
+    p.set_defaults(func=_cmd_match)
+
+    p = sub.add_parser("grep", help="print lines containing a match")
+    add_common(p, with_input=True)
+    p.add_argument("-n", "--line-numbers", action="store_true")
+    p.set_defaults(func=_cmd_grep)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT for a pipeline stage")
+    add_common(p)
+    p.add_argument("--stage", choices=["nfa", "dfa", "sfa"], default="dfa")
+    p.add_argument("--hide-traps", action="store_true",
+                   help="draw the partial automaton (paper Fig. 4 style)")
+    p.add_argument("--show-mappings", action="store_true",
+                   help="annotate SFA nodes with their mappings (Table I)")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("save", help="serialize a compiled automaton to .npz")
+    add_common(p)
+    p.add_argument("--stage", choices=["dfa", "sfa"], default="sfa")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_save)
+
+    p = sub.add_parser("ruleset", help="emit a synthetic SNORT-like ruleset")
+    p.add_argument("--rules", type=int, default=20)
+    p.add_argument("--seed", type=int, default=2940)
+    p.set_defaults(func=_cmd_ruleset)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

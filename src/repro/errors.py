@@ -1,0 +1,65 @@
+"""Exception hierarchy for the SFA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular expression cannot be parsed.
+
+    Attributes
+    ----------
+    pattern:
+        The offending pattern (``str``).
+    position:
+        Byte offset into the pattern where the error was detected.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class UnsupportedFeatureError(RegexSyntaxError):
+    """Raised for regex features outside the regular-language fragment.
+
+    The paper's SNORT study explicitly excluded expressions using back
+    references and similar extensions; we raise instead of silently
+    mis-compiling them.
+    """
+
+
+class AutomatonError(ReproError):
+    """Raised for structurally invalid automata or invalid operations."""
+
+
+class StateExplosionError(AutomatonError):
+    """Raised when a construction exceeds a caller-supplied state budget.
+
+    Subset construction is worst-case ``2^n`` and correspondence construction
+    is worst-case ``n^n`` (Theorem 2); callers bound the blow-up with
+    ``max_states`` and receive this error instead of an OOM.
+    """
+
+    def __init__(self, message: str, limit: int, reached: int):
+        self.limit = limit
+        self.reached = reached
+        super().__init__(f"{message}: limit={limit}, reached>={reached}")
+
+
+class MatchEngineError(ReproError):
+    """Raised on invalid matcher configuration (e.g. zero chunks)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the parallel-machine / cache simulators on bad configs."""

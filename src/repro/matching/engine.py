@@ -1,0 +1,236 @@
+"""High-level public API: compile once, match many ways.
+
+:func:`compile_pattern` runs the paper's four-step pipeline (Sect. VI):
+
+1. regex → NFA (McNaughton–Yamada position construction),
+2. NFA → DFA (subset construction, then minimization),
+3. DFA → D-SFA (correspondence construction),
+4. matching via Algorithm 2 / 3 / 5 or the lockstep engine.
+
+Every stage is built lazily and cached, so callers pay only for what they
+use (e.g. a pure-DFA user never builds the SFA, and ``contains`` builds a
+separate search automaton on demand).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA, minimize, subset_construction
+from repro.automata.lazy import LazyDFA, LazySFA
+from repro.automata.nfa import NFA, glushkov_nfa
+from repro.automata.sfa import SFA, correspondence_construction
+from repro.errors import MatchEngineError
+from repro.matching.lockstep import lockstep_run
+from repro.matching.parallel_sfa import parallel_sfa_run
+from repro.matching.sequential import SequentialDFAMatcher
+from repro.matching.speculative import speculative_run
+from repro.regex.ast import Concat, Literal, Node, Star
+from repro.regex.charclass import ByteClassPartition, CharSet
+from repro.regex.parser import parse
+
+DEFAULT_MAX_DFA_STATES = 100_000
+DEFAULT_MAX_SFA_STATES = 2_000_000
+
+
+class CompiledPattern:
+    """A compiled regular expression with DFA / SFA matching back ends.
+
+    Construction is staged and cached: ``.nfa``, ``.dfa``, ``.min_dfa``,
+    ``.sfa`` properties each build (and memoize) one pipeline stage.
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        *,
+        ignore_case: bool = False,
+        dotall: bool = False,
+        max_dfa_states: int = DEFAULT_MAX_DFA_STATES,
+        max_sfa_states: int = DEFAULT_MAX_SFA_STATES,
+        minimize_dfa: bool = True,
+    ):
+        self.pattern = pattern
+        self.ignore_case = ignore_case
+        self.dotall = dotall
+        self.max_dfa_states = max_dfa_states
+        self.max_sfa_states = max_sfa_states
+        self.minimize_dfa = minimize_dfa
+        self.ast: Node = parse(pattern, ignore_case=ignore_case, dotall=dotall)
+        # Build the partition from the *search-augmented* charset list so the
+        # membership and containment automata share one alphabet.
+        charsets = list(self.ast.charsets()) + [CharSet.any_byte()]
+        self.partition = ByteClassPartition(charsets)
+        self._nfa: Optional[NFA] = None
+        self._dfa: Optional[DFA] = None
+        self._min_dfa: Optional[DFA] = None
+        self._sfa: Optional[SFA] = None
+        self._nsfa: Optional[SFA] = None
+        self._search: Optional["CompiledPattern"] = None
+
+    # -- pipeline stages -------------------------------------------------
+    @property
+    def nfa(self) -> NFA:
+        """McNaughton–Yamada position NFA of the pattern."""
+        if self._nfa is None:
+            self._nfa = glushkov_nfa(self.ast, self.partition)
+        return self._nfa
+
+    @property
+    def dfa(self) -> DFA:
+        """Subset-construction DFA (unminimized)."""
+        if self._dfa is None:
+            self._dfa = subset_construction(self.nfa, max_states=self.max_dfa_states)
+        return self._dfa
+
+    @property
+    def min_dfa(self) -> DFA:
+        """Minimal DFA (what the paper builds its D-SFA from)."""
+        if self._min_dfa is None:
+            self._min_dfa = minimize(self.dfa) if self.minimize_dfa else self.dfa
+        return self._min_dfa
+
+    @property
+    def sfa(self) -> SFA:
+        """D-SFA built from the minimal DFA by correspondence construction."""
+        if self._sfa is None:
+            self._sfa = correspondence_construction(
+                self.min_dfa, max_states=self.max_sfa_states
+            )
+        return self._sfa
+
+    @property
+    def nsfa(self) -> SFA:
+        """N-SFA built directly from the NFA (for size/ablation studies)."""
+        if self._nsfa is None:
+            self._nsfa = correspondence_construction(
+                self.nfa, max_states=self.max_sfa_states
+            )
+        return self._nsfa
+
+    def lazy_dfa(self) -> LazyDFA:
+        """A fresh on-the-fly DFA (Sect. V-A)."""
+        return LazyDFA(self.nfa)
+
+    def lazy_sfa(self) -> LazySFA:
+        """A fresh on-the-fly D-SFA over the minimal DFA."""
+        return LazySFA(self.min_dfa)
+
+    # -- matching -----------------------------------------------------------
+    def translate(self, data: Union[bytes, bytearray, memoryview]) -> np.ndarray:
+        """Byte→class translation of an input (vectorized)."""
+        return self.partition.translate(bytes(data))
+
+    def fullmatch(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        *,
+        engine: str = "dfa",
+        num_chunks: int = 1,
+        reduction: str = "sequential",
+    ) -> bool:
+        """Whole-input membership test ``data ∈ L(pattern)``.
+
+        ``engine`` ∈ {"dfa", "speculative", "sfa", "lockstep"}; ``dfa`` is
+        Algorithm 2, ``speculative`` Algorithm 3, ``sfa`` Algorithm 5 and
+        ``lockstep`` its vectorized form.  ``num_chunks`` is the paper's
+        thread count ``p``.
+        """
+        classes = self.translate(data)
+        if engine == "dfa":
+            return bool(
+                self.min_dfa.accept[
+                    SequentialDFAMatcher(self.min_dfa).run_classes(classes)
+                ]
+            )
+        if engine == "speculative":
+            return speculative_run(self.min_dfa, classes, num_chunks, reduction).accepted
+        if engine == "sfa":
+            return parallel_sfa_run(self.sfa, classes, num_chunks, reduction).accepted
+        if engine == "lockstep":
+            return lockstep_run(self.sfa, classes, num_chunks).accepted
+        raise MatchEngineError(f"unknown engine {engine!r}")
+
+    def contains(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        *,
+        engine: str = "lockstep",
+        num_chunks: int = 8,
+    ) -> bool:
+        """Substring-search semantics: does any substring match?
+
+        Implemented as membership in ``Σ* · L · Σ*`` (the IDS use case —
+        SNORT rules are matched against packet payloads this way).
+        """
+        return self.search_pattern().fullmatch(
+            data, engine=engine, num_chunks=num_chunks
+        )
+
+    def search_pattern(self) -> "CompiledPattern":
+        """The compiled ``Σ* · pattern · Σ*`` containment automaton."""
+        if self._search is None:
+            self._search = _SearchPattern(self)
+        return self._search
+
+    # -- reporting -------------------------------------------------------
+    def sizes(self) -> dict:
+        """State counts of every pipeline stage (builds them all)."""
+        return {
+            "nfa": self.nfa.size,
+            "dfa": self.dfa.size,
+            "min_dfa": self.min_dfa.size,
+            "d_sfa": self.sfa.size,
+        }
+
+    def __repr__(self) -> str:
+        return f"CompiledPattern({self.pattern!r})"
+
+
+class _SearchPattern(CompiledPattern):
+    """Internal: containment automaton sharing the parent's partition."""
+
+    def __init__(self, parent: CompiledPattern):
+        # Bypass CompiledPattern.__init__ parsing; wrap the parent's AST.
+        self.pattern = f"(?:.|\\n)*(?:{parent.pattern})(?:.|\\n)*"
+        self.ignore_case = parent.ignore_case
+        self.dotall = parent.dotall
+        self.max_dfa_states = parent.max_dfa_states
+        self.max_sfa_states = parent.max_sfa_states
+        self.minimize_dfa = parent.minimize_dfa
+        any_star = Star(Literal(CharSet.any_byte()))
+        self.ast = Concat([any_star, parent.ast, any_star])
+        self.partition = parent.partition
+        self._nfa = None
+        self._dfa = None
+        self._min_dfa = None
+        self._sfa = None
+        self._nsfa = None
+        self._search = self  # searching a search pattern is idempotent
+
+
+def compile_pattern(
+    pattern: str,
+    *,
+    ignore_case: bool = False,
+    dotall: bool = False,
+    max_dfa_states: int = DEFAULT_MAX_DFA_STATES,
+    max_sfa_states: int = DEFAULT_MAX_SFA_STATES,
+) -> CompiledPattern:
+    """Compile a regex into a :class:`CompiledPattern` (the main entry point).
+
+    >>> m = compile_pattern("(ab)*")
+    >>> m.fullmatch(b"abab")
+    True
+    >>> m.fullmatch(b"abab", engine="lockstep", num_chunks=4)
+    True
+    """
+    return CompiledPattern(
+        pattern,
+        ignore_case=ignore_case,
+        dotall=dotall,
+        max_dfa_states=max_dfa_states,
+        max_sfa_states=max_sfa_states,
+    )

@@ -1,0 +1,207 @@
+"""Multi-pattern matching: one automaton for a whole ruleset.
+
+The paper's motivating application (SNORT-style deep packet inspection)
+matches *thousands* of patterns against every payload.  Prior work
+parallelized across rules/packets; SFA parallelizes *within* one scan.
+This module combines both: all rules are compiled into a single union
+automaton whose DFA states carry the set of rules matched, so one
+(chunk-parallel) scan reports every matching rule.
+
+Construction: each rule's Glushkov NFA is wrapped into the containment
+form ``Σ*·L_i·Σ*`` and all NFAs are run as one product via subset
+construction over the shared byte-class partition.  DFA states remember
+which rules' final states they contain (``rule_sets``), so acceptance is a
+per-rule bitmask rather than a single bit.  The D-SFA over this DFA then
+gives the chunk-parallel scan: the final mapping applied to the start
+state yields the full matched-rule set, independent of the chunking
+(Theorem 3 applies verbatim — acceptance is any function of the final
+state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, glushkov_nfa
+from repro.automata.sfa import SFA, correspondence_construction
+from repro.errors import MatchEngineError, StateExplosionError
+from repro.matching.lockstep import lockstep_run
+from repro.parallel.chunking import split_classes
+from repro.regex.ast import Concat, Literal, Node, Star
+from repro.regex.charclass import ByteClassPartition, CharSet
+from repro.regex.parser import parse
+from repro.util.bitset import iter_bits
+
+
+class MultiPatternSet:
+    """A set of regexes compiled into one scan automaton.
+
+    Parameters
+    ----------
+    patterns:
+        rule regex sources.
+    mode:
+        ``"search"`` (default) — a rule matches if any substring matches
+        (IDS semantics, via ``Σ*·L·Σ*``); ``"fullmatch"`` — whole-input
+        membership per rule.
+    max_dfa_states:
+        budget for the union subset construction (the cross-product of
+        rule automata can blow up; callers see
+        :class:`~repro.errors.StateExplosionError`, not an OOM).
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[str],
+        mode: str = "search",
+        ignore_case: bool = False,
+        max_dfa_states: int = 200_000,
+        max_sfa_states: int = 2_000_000,
+    ):
+        if mode not in ("search", "fullmatch"):
+            raise MatchEngineError(f"unknown mode {mode!r}")
+        if not patterns:
+            raise MatchEngineError("need at least one pattern")
+        self.patterns = list(patterns)
+        self.mode = mode
+        self.max_sfa_states = max_sfa_states
+
+        asts = [parse(p, ignore_case=ignore_case) for p in self.patterns]
+        if mode == "search":
+            any_star = Star(Literal(CharSet.any_byte()))
+            asts = [Concat([any_star, a, any_star]) for a in asts]
+        charsets: List[CharSet] = [CharSet.any_byte()]
+        for a in asts:
+            charsets.extend(a.charsets())
+        self.partition = ByteClassPartition(charsets)
+        self._nfas = [glushkov_nfa(a, self.partition) for a in asts]
+        self._dfa, self.rule_sets = _union_subset_construction(
+            self._nfas, self.partition, max_dfa_states
+        )
+        self._sfa: Optional[SFA] = None
+
+    # -- properties --------------------------------------------------------
+    @property
+    def num_rules(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def dfa(self) -> DFA:
+        """The union DFA (accepting = at least one rule matches)."""
+        return self._dfa
+
+    @property
+    def sfa(self) -> SFA:
+        """The D-SFA over the union DFA (built lazily)."""
+        if self._sfa is None:
+            self._sfa = correspondence_construction(
+                self._dfa, max_states=self.max_sfa_states
+            )
+        return self._sfa
+
+    def sizes(self) -> Dict[str, int]:
+        return {
+            "rules": self.num_rules,
+            "union_dfa": self._dfa.num_states,
+            "union_d_sfa": self.sfa.num_states,
+        }
+
+    # -- matching ------------------------------------------------------------
+    def matches(self, data: bytes, num_chunks: int = 1) -> Set[int]:
+        """Indices of all rules matching ``data``.
+
+        ``num_chunks > 1`` uses the chunk-parallel lockstep SFA engine;
+        the result is chunking-invariant.
+        """
+        classes = self.partition.translate(data)
+        if num_chunks <= 1:
+            q = self._dfa.run_classes(classes)
+        else:
+            res = lockstep_run(self.sfa, classes, num_chunks)
+            q = res.final_states[0]
+        return set(self.rule_sets[q])
+
+    def matches_any(self, data: bytes, num_chunks: int = 1) -> bool:
+        """Does any rule match?  (cheapest verdict)"""
+        classes = self.partition.translate(data)
+        if num_chunks <= 1:
+            return bool(self._dfa.accept[self._dfa.run_classes(classes)])
+        return lockstep_run(self.sfa, classes, num_chunks).accepted
+
+    def scan_chunked(self, data: bytes, num_chunks: int) -> Set[int]:
+        """Algorithm 5 with explicit per-chunk scans (thread-shaped).
+
+        Exposed for tests and executors; equivalent to
+        ``matches(data, num_chunks)``.
+        """
+        classes = self.partition.translate(data)
+        chunks = split_classes(classes, num_chunks)
+        sfa = self.sfa
+        states = [sfa.run_classes(ch) for ch in chunks]
+        q = self._dfa.initial
+        for f in states:
+            q = int(sfa.maps[f, q])
+        return set(self.rule_sets[q])
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiPatternSet(rules={self.num_rules}, mode={self.mode!r}, "
+            f"union_dfa={self._dfa.num_states})"
+        )
+
+
+def _union_subset_construction(
+    nfas: List[NFA],
+    partition: ByteClassPartition,
+    max_states: Optional[int],
+) -> Tuple[DFA, List[Tuple[int, ...]]]:
+    """Subset construction over the disjoint union of rule NFAs.
+
+    State = tuple of per-rule bitmasks.  Returns the DFA plus, per DFA
+    state, the sorted tuple of rule indices whose final set is hit.
+    """
+    k = partition.num_classes
+    start = tuple(nfa.initial for nfa in nfas)
+    index: Dict[Tuple[int, ...], int] = {start: 0}
+    states: List[Tuple[int, ...]] = [start]
+    rows: List[List[int]] = []
+    i = 0
+    while i < len(states):
+        cur = states[i]
+        row = [0] * k
+        for c in range(k):
+            nxt = []
+            for nfa, mask in zip(nfas, cur):
+                out = 0
+                for q in iter_bits(mask):
+                    out |= nfa.trans[q][c]
+                nxt.append(out)
+            key = tuple(nxt)
+            idx = index.get(key)
+            if idx is None:
+                if max_states is not None and len(states) >= max_states:
+                    raise StateExplosionError(
+                        "union subset construction exceeded state budget",
+                        max_states,
+                        len(states) + 1,
+                    )
+                idx = len(states)
+                index[key] = idx
+                states.append(key)
+            row[c] = idx
+        rows.append(row)
+        i += 1
+
+    rule_sets: List[Tuple[int, ...]] = []
+    accept = np.zeros(len(states), dtype=bool)
+    for s, masks in enumerate(states):
+        hit = tuple(
+            r for r, (nfa, mask) in enumerate(zip(nfas, masks)) if mask & nfa.final
+        )
+        rule_sets.append(hit)
+        accept[s] = bool(hit)
+    dfa = DFA(np.array(rows, dtype=np.int32), 0, accept, partition)
+    return dfa, rule_sets

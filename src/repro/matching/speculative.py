@@ -1,0 +1,138 @@
+"""Speculative parallel DFA computation — paper Algorithm 3 (prior work).
+
+Each chunk is scanned *from every DFA state simultaneously*, producing a
+transformation ``T_i : Q → Q``; the chunk results compose associatively.
+The per-character work is ``O(|D|)`` — the overhead the SFA construction
+moves to compile time.  We vectorize the inner all-states step with one
+NumPy gather per character, which is exactly the algorithm's data layout
+(``T`` is a vector indexed by state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.mapping import Transformation
+from repro.errors import MatchEngineError
+from repro.parallel.chunking import split_classes
+
+
+def chunk_transformation(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Simulate transitions from all states over one chunk (lines 1–7).
+
+    Returns the transformation vector ``T`` with ``T[q]`` = state reached
+    from ``q`` after the chunk.  One vectorized gather per character; the
+    ``O(|D|)`` per-character cost is explicit in the gather width.
+    """
+    n, k = table.shape
+    flat = table.ravel()
+    t = np.arange(n, dtype=np.int32)
+    for c in classes.tolist():
+        # T[q] <- δ(T[q], c) for all q at once
+        t = flat[t * k + c]
+    return t
+
+
+def compose_transformations(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Associative reduction ``T_1 ⊙ T_2 ⊙ … ⊙ T_p`` (line 9, parallel)."""
+    if not parts:
+        raise MatchEngineError("nothing to reduce")
+    acc = parts[0]
+    for t in parts[1:]:
+        acc = t[acc]  # apply acc first, then t
+    return acc
+
+
+@dataclass
+class SpeculativeRunResult:
+    """Outcome + work accounting of an Algorithm 3 run."""
+
+    final_state: int
+    accepted: bool
+    num_chunks: int
+    lookups: int  # total table lookups performed (work, not span)
+
+    @property
+    def lookups_per_char(self) -> float:
+        return self.lookups / max(1, self._num_chars)
+
+    _num_chars: int = 0
+
+
+def speculative_run(
+    dfa: DFA,
+    classes: np.ndarray,
+    num_chunks: int,
+    reduction: str = "sequential",
+) -> SpeculativeRunResult:
+    """Full Algorithm 3: chunked speculative scan + reduction.
+
+    ``reduction`` ∈ {"sequential", "tree"}:
+
+    * ``sequential`` — walk ``q0`` through ``T_1, …, T_p`` (lines 10–11
+      right column): ``O(p)`` extra time, no composition needed.
+    * ``tree`` — compose transformations pairwise (line 9 left column):
+      each ``⊙`` costs ``O(|D|)`` work here (gather of width ``|D|``).
+    """
+    if num_chunks < 1:
+        raise MatchEngineError("num_chunks must be >= 1")
+    chunks = split_classes(classes, num_chunks)
+    parts: List[np.ndarray] = [chunk_transformation(dfa.table, ch) for ch in chunks]
+    n = dfa.num_states
+    lookups = sum(len(ch) for ch in chunks) * n
+    if reduction == "sequential":
+        q = dfa.initial
+        for t in parts:
+            q = int(t[q])
+    elif reduction == "tree":
+        t_all = compose_transformations(parts)
+        lookups += (len(parts) - 1) * n
+        q = int(t_all[dfa.initial])
+    else:
+        raise MatchEngineError(f"unknown reduction {reduction!r}")
+    res = SpeculativeRunResult(
+        final_state=q,
+        accepted=bool(dfa.accept[q]),
+        num_chunks=len(parts),
+        lookups=lookups,
+    )
+    res._num_chars = int(len(classes))
+    return res
+
+
+class SpeculativeDFAMatcher:
+    """Object wrapper around Algorithm 3 for a fixed DFA."""
+
+    name = "dfa-speculative"
+
+    def __init__(self, dfa: DFA, num_chunks: int = 2, reduction: str = "sequential"):
+        if num_chunks < 1:
+            raise MatchEngineError("num_chunks must be >= 1")
+        self.dfa = dfa
+        self.num_chunks = num_chunks
+        self.reduction = reduction
+
+    def run_classes(self, classes: np.ndarray) -> int:
+        return speculative_run(self.dfa, classes, self.num_chunks, self.reduction).final_state
+
+    def accepts_classes(self, classes: np.ndarray) -> bool:
+        return speculative_run(self.dfa, classes, self.num_chunks, self.reduction).accepted
+
+    def accepts(self, data: bytes) -> bool:
+        return self.accepts_classes(self.dfa.partition.translate(data))
+
+    def chunk_mapping(self, classes: np.ndarray) -> Transformation:
+        """The mapping computed for one chunk, as a mapping object.
+
+        Tests use this to check the key SFA property: the mapping equals
+        the one stored at the SFA state reached on the same chunk.
+        """
+        return Transformation(chunk_transformation(self.dfa.table, classes))
+
+    def lookups_per_char(self) -> float:
+        """Table lookups per char (Table II: ``|D|`` per char per chunk)."""
+        return float(self.dfa.num_states)

@@ -1,0 +1,37 @@
+"""Parallel substrate: chunking, executors, reductions, machine + cache sim.
+
+The paper's testbed (dual hexa-core Xeon, pthreads) is replaced by two
+substitutes documented in DESIGN.md §3:
+
+* real chunk-parallel execution inside one process (lockstep vectorization,
+  plus an optional thread-pool executor), and
+* a :class:`~repro.parallel.simulator.SimulatedMachine` whose per-access
+  costs come from a set-associative LRU cache model sized like the paper's
+  CPU — used to regenerate the thread-count axes of Figs. 6–10.
+"""
+
+from repro.parallel.chunking import split_balanced, split_classes
+from repro.parallel.executor import ChunkExecutor, SerialExecutor, ThreadExecutor
+from repro.parallel.reduction import (
+    sequential_reduction_dsfa,
+    sequential_reduction_nsfa,
+    tree_reduction_transformations,
+)
+from repro.parallel.cache import AnalyticCacheModel, CacheHierarchy, CacheLevel
+from repro.parallel.simulator import MachineConfig, SimulatedMachine
+
+__all__ = [
+    "AnalyticCacheModel",
+    "CacheHierarchy",
+    "CacheLevel",
+    "ChunkExecutor",
+    "MachineConfig",
+    "SerialExecutor",
+    "SimulatedMachine",
+    "ThreadExecutor",
+    "sequential_reduction_dsfa",
+    "sequential_reduction_nsfa",
+    "split_balanced",
+    "split_classes",
+    "tree_reduction_transformations",
+]

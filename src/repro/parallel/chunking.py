@@ -1,0 +1,55 @@
+"""Input chunking for data-parallel scans.
+
+Theorem 3 lets the input be divided at *any* points; these helpers produce
+balanced contiguous chunks.  Balance matters because parallel wall time is
+the max over chunks (plus reduction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import MatchEngineError
+
+
+def split_balanced(n: int, p: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``p`` contiguous spans differing by ≤ 1.
+
+    The first ``n % p`` spans get the extra element.  Always returns ``p``
+    spans (possibly empty when ``p > n``).
+    """
+    if p < 1:
+        raise MatchEngineError("need at least one chunk")
+    base, extra = divmod(n, p)
+    spans = []
+    start = 0
+    for i in range(p):
+        length = base + (1 if i < extra else 0)
+        spans.append((start, start + length))
+        start += length
+    return spans
+
+
+def split_classes(classes: np.ndarray, p: int) -> List[np.ndarray]:
+    """Split a class-index array into ``p`` balanced contiguous views."""
+    return [classes[a:b] for a, b in split_balanced(len(classes), p)]
+
+
+def lockstep_layout(classes: np.ndarray, p: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Reshape for lockstep scanning: equal-length chunk block + tail.
+
+    Returns ``(block, tail)`` where ``block`` has shape ``(m, p)`` —
+    ``block[j, i]`` is position ``j`` of chunk ``i`` (position-major so each
+    lockstep step reads one contiguous row) — and ``tail`` is the leftover
+    ``n % p`` symbols appended to the *last* chunk after the block.
+    """
+    if p < 1:
+        raise MatchEngineError("need at least one chunk")
+    n = len(classes)
+    m = n // p
+    body = classes[: m * p]
+    tail = classes[m * p :]
+    block = np.ascontiguousarray(body.reshape(p, m).T)
+    return block, tail

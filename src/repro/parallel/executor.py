@@ -1,0 +1,69 @@
+"""Chunk executors: run per-chunk scans serially or on a thread pool.
+
+On a multi-core interpreter-free runtime the thread pool is the paper's
+pthread setup; under CPython the GIL serializes the scalar loops, so the
+measured speedups in this repo come from the lockstep engine (see
+DESIGN.md §3) while :class:`ThreadExecutor` exists to exercise the same
+code path and for environments with free-threaded Python.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import MatchEngineError
+
+T = TypeVar("T")
+
+
+class ChunkExecutor:
+    """Interface: map a scan function over chunk arrays, preserving order."""
+
+    def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
+        raise NotImplementedError
+
+
+class SerialExecutor(ChunkExecutor):
+    """Run chunk scans one after another (reference executor)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
+        return [fn(ch) for ch in chunks]
+
+
+class ThreadExecutor(ChunkExecutor):
+    """Run chunk scans on a shared thread pool.
+
+    The pool is created once per executor and reused; creating threads per
+    call is exactly the overhead Fig. 10 measures, so a ``fresh_threads``
+    mode is provided for the overhead study.
+    """
+
+    name = "threads"
+
+    def __init__(self, num_threads: int, fresh_threads: bool = False):
+        if num_threads < 1:
+            raise MatchEngineError("need at least one thread")
+        self.num_threads = num_threads
+        self.fresh_threads = fresh_threads
+        self._pool = None if fresh_threads else ThreadPoolExecutor(max_workers=num_threads)
+
+    def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
+        if self.fresh_threads:
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                return list(pool.map(fn, chunks))
+        return list(self._pool.map(fn, chunks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "ThreadExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,88 @@
+"""Reductions of per-chunk results (paper Algorithm 5 lines 6–9).
+
+Two strategies, matching the paper's two columns:
+
+* **sequential reduction** — start from the original automaton's initial
+  state and *apply* each chunk mapping in order.  ``O(p)`` for a D-SFA
+  (one array pick per chunk) and ``O(|N|·p)`` for an N-SFA (one boolean
+  vector-matrix product per chunk).  This never composes mappings.
+* **tree (parallel) reduction** — compose the mappings pairwise with the
+  associative ``⊙``; each composition costs ``O(|D|)`` (transformation
+  gather) or ``O(|N|³)`` (boolean matrix product).  The tree shape is what
+  a ``log p``-depth parallel machine would execute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import MatchEngineError
+
+
+def sequential_reduction_dsfa(
+    maps: np.ndarray, chunk_states: Sequence[int], initial: int
+) -> int:
+    """Walk ``initial`` through the chunk transformations; return the state.
+
+    ``maps`` is the D-SFA payload ``(num_sfa_states, n)``; ``chunk_states``
+    are SFA state indices reached per chunk, in input order.
+    """
+    q = initial
+    for f in chunk_states:
+        q = int(maps[f, q])
+    return q
+
+
+def sequential_reduction_nsfa(
+    maps: np.ndarray, chunk_states: Sequence[int], initial_states: Sequence[int]
+) -> np.ndarray:
+    """N-SFA sequential reduction; returns the final boolean state-set row."""
+    n = maps.shape[1]
+    row = np.zeros(n, dtype=bool)
+    for q in initial_states:
+        row[q] = True
+    for f in chunk_states:
+        row = (row.astype(np.uint8) @ maps[f].astype(np.uint8)) > 0
+    return row
+
+
+def tree_reduction_transformations(parts: List[np.ndarray]) -> np.ndarray:
+    """Balanced-tree ``⊙``-reduction of transformation vectors.
+
+    Associativity (function composition) makes any tree shape equivalent;
+    we reduce pairwise level by level, the shape a parallel reduction would
+    take.  Work ``O(|D|·(p-1))``, span ``O(|D|·log p)``.
+    """
+    if not parts:
+        raise MatchEngineError("nothing to reduce")
+    level = list(parts)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            left, right = level[i], level[i + 1]
+            nxt.append(right[left])  # apply left first, then right
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def tree_reduction_boolean(parts: List[np.ndarray]) -> np.ndarray:
+    """Balanced-tree reduction of boolean correspondence matrices.
+
+    Each node is a boolean matrix product — the ``O(|N|³)`` ``⊙`` of
+    Table II's N-SFA parallel-reduction row.
+    """
+    if not parts:
+        raise MatchEngineError("nothing to reduce")
+    level = [p.astype(np.uint8) for p in parts]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(((level[i] @ level[i + 1]) > 0).astype(np.uint8))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0] > 0

@@ -1,0 +1,197 @@
+"""Simulated parallel machine (the paper-testbed substitute, DESIGN.md §3).
+
+Models the wall-clock time of each matching algorithm on a ``p``-thread
+machine with the paper's clock and cache hierarchy:
+
+* per-thread scan cost = chars × (loop cycles + expected table-load latency
+  from the cache model, divided by a memory-level-parallelism factor — the
+  out-of-order core overlaps consecutive loads);
+* L1/L2 are private per core; the 12 MB L3 is shared among active threads;
+* thread management cost per run (the overhead Fig. 10 measures);
+* reduction cost: sequential ``O(p)`` or tree ``O(c·log₂ p)``.
+
+The model intentionally contains nothing engine-specific beyond Table II's
+per-character access counts, so the *shape* of Figs. 6–10 follows from the
+same two inputs the paper identifies: table working set vs cache capacity,
+and lookups per character (1 for DFA/SFA, ``|D|`` for speculative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.parallel.cache import AnalyticCacheModel
+
+
+@dataclass
+class MachineConfig:
+    """Machine parameters; defaults model the paper's 2×Xeon E5645 box."""
+
+    clock_ghz: float = 2.4
+    num_cores: int = 12
+    #: non-memory cycles per scanned character (loop + classmap + branch)
+    scan_overhead_cycles: float = 1.0
+    #: loads overlapped by the out-of-order core + adjacent-line prefetch
+    #: (memory-level parallelism of a table-scan loop)
+    latency_overlap: float = 4.0
+    #: one-off cycles to create, schedule and join one worker thread
+    #: (Fig. 10's overhead; ~125 µs at 2.4 GHz — pthread_create/join plus
+    #: the scheduling interference the paper observes on small inputs)
+    thread_spawn_cycles: float = 300_000.0
+    #: cycles per sequential-reduction step (one mapping application)
+    seq_reduce_cycles: float = 300.0
+    cache: AnalyticCacheModel = field(default_factory=AnalyticCacheModel)
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+    def per_char_cycles(
+        self, working_set_bytes: float, sharers: int = 1, pages: float | None = None
+    ) -> float:
+        """Effective cycles for one scan step with one table load.
+
+        Cache latency is divided by the MLP overlap factor; page-walk
+        latency is not (walks are dependent loads and serialize).
+        """
+        if pages is None:
+            pages = working_set_bytes / self.cache.page_bytes
+        lat = self.cache.expected_cycles(working_set_bytes, sharers, pages=0)
+        walk = self.cache.tlb_cycles(pages)
+        return self.scan_overhead_cycles + lat / self.latency_overlap + walk
+
+
+@dataclass
+class SimResult:
+    """Simulated timing of one run."""
+
+    seconds: float
+    cycles: float
+    throughput_gbps: float
+    breakdown: Dict[str, float]
+
+
+class SimulatedMachine:
+    """Evaluates the Table II cost formulas on a concrete machine model."""
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+
+    # -- engines -----------------------------------------------------------
+    def dfa_sequential(
+        self, n_chars: int, working_set_bytes: float, pages: float | None = None
+    ) -> SimResult:
+        """Algorithm 2: ``O(n)``, one load per char, single thread."""
+        c = self.config
+        cycles = n_chars * c.per_char_cycles(working_set_bytes, sharers=1, pages=pages)
+        return self._result(n_chars, cycles, {"scan": cycles})
+
+    def sfa_parallel(
+        self,
+        n_chars: int,
+        p: int,
+        working_set_bytes_per_thread: float,
+        reduction: str = "sequential",
+        sfa_compose_cycles: float = 0.0,
+        pages_per_thread: float | None = None,
+    ) -> SimResult:
+        """Algorithm 5: ``O(n/p + p)`` / ``O(n/p + c·log p)``.
+
+        ``working_set_bytes_per_thread`` is what *one* chunk scan touches;
+        active threads contend for the shared L3 only.  When ``p`` exceeds
+        the core count, chunk scans are serialized in waves.
+        ``pages_per_thread`` is the scattered-page count for the TLB term
+        (≈ distinct SFA rows visited, under the paper's 1 KB-row layout).
+        """
+        c = self.config
+        if p < 1:
+            raise SimulationError("p must be >= 1")
+        active = min(p, c.num_cores)
+        per_char = c.per_char_cycles(
+            working_set_bytes_per_thread, sharers=active, pages=pages_per_thread
+        )
+        scan = ceil(n_chars / p) * per_char * ceil(p / active)
+        spawn = p * c.thread_spawn_cycles
+        if reduction == "sequential":
+            reduce_cycles = p * c.seq_reduce_cycles
+        elif reduction == "tree":
+            if sfa_compose_cycles <= 0:
+                raise SimulationError("tree reduction needs sfa_compose_cycles")
+            reduce_cycles = sfa_compose_cycles * max(1.0, log2(max(2, p)))
+        else:
+            raise SimulationError(f"unknown reduction {reduction!r}")
+        cycles = scan + spawn + reduce_cycles
+        return self._result(
+            n_chars,
+            cycles,
+            {"scan": scan, "spawn": spawn, "reduce": reduce_cycles},
+        )
+
+    def speculative_parallel(
+        self,
+        n_chars: int,
+        p: int,
+        dfa_size: int,
+        working_set_bytes: float,
+        reduction: str = "sequential",
+    ) -> SimResult:
+        """Algorithm 3: ``O(|D|·n/p + …)`` — |D| loads per char per thread.
+
+        The all-states vector update is a tight gather, so per-state loop
+        overhead is lower than the scalar scan's; latency still applies per
+        load.
+        """
+        c = self.config
+        if p < 1:
+            raise SimulationError("p must be >= 1")
+        active = min(p, c.num_cores)
+        lat = c.cache.expected_cycles(working_set_bytes, sharers=active)
+        per_char = dfa_size * (0.25 * c.scan_overhead_cycles + lat / c.latency_overlap)
+        scan = ceil(n_chars / p) * per_char * ceil(p / active)
+        spawn = p * c.thread_spawn_cycles
+        if reduction == "sequential":
+            reduce_cycles = p * c.seq_reduce_cycles
+        else:
+            reduce_cycles = dfa_size * c.seq_reduce_cycles * max(1.0, log2(max(2, p)))
+        cycles = scan + spawn + reduce_cycles
+        return self._result(
+            n_chars, cycles, {"scan": scan, "spawn": spawn, "reduce": reduce_cycles}
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _result(self, n_chars: int, cycles: float, breakdown: Dict[str, float]) -> SimResult:
+        secs = self.config.seconds(cycles)
+        gbps = (n_chars / 1e9) / secs if secs > 0 else float("inf")
+        return SimResult(
+            seconds=secs, cycles=cycles, throughput_gbps=gbps, breakdown=breakdown
+        )
+
+    def speedup_curve(
+        self,
+        n_chars: int,
+        working_set_bytes_per_thread: float,
+        dfa_working_set_bytes: float,
+        max_threads: int = 12,
+        reduction: str = "sequential",
+        sfa_pages_per_thread: float | None = None,
+        dfa_pages: float | None = None,
+    ) -> Dict[int, float]:
+        """Fig. 6–8 series: throughput (GB/s) for p = 1..max_threads.
+
+        By the paper's convention the 1-thread point is the *sequential DFA*
+        (not a 1-chunk SFA run).
+        """
+        base = self.dfa_sequential(n_chars, dfa_working_set_bytes, pages=dfa_pages)
+        out = {1: base.throughput_gbps}
+        for p in range(2, max_threads + 1):
+            r = self.sfa_parallel(
+                n_chars,
+                p,
+                working_set_bytes_per_thread,
+                reduction=reduction,
+                pages_per_thread=sfa_pages_per_thread,
+            )
+            out[p] = r.throughput_gbps
+        return out

@@ -1,0 +1,36 @@
+"""Regular-expression front end.
+
+Parses a POSIX-ish regex dialect into an AST of :mod:`repro.regex.ast`
+nodes over the 256-symbol byte alphabet, and computes byte-class
+partitions (:mod:`repro.regex.charclass`) so downstream automata use
+compressed alphabets.
+"""
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import ByteClassPartition, CharSet
+from repro.regex.parser import parse
+from repro.regex.printer import to_pattern
+
+__all__ = [
+    "Alternation",
+    "ByteClassPartition",
+    "CharSet",
+    "Concat",
+    "Empty",
+    "Literal",
+    "Never",
+    "Node",
+    "Repeat",
+    "Star",
+    "parse",
+    "to_pattern",
+]

@@ -1,0 +1,255 @@
+"""Regex abstract syntax tree.
+
+Nodes are immutable and hashable.  The tree is already normalized lightly at
+construction time (flattened concat/alternation, collapsed trivial cases),
+which keeps the Glushkov construction and the printers simple.
+
+Every node answers:
+
+``nullable``
+    does the node match the empty word?
+``charsets()``
+    all :class:`CharSet` leaves, for byte-class partitioning.
+``literals()``
+    the :class:`Literal` leaves in left-to-right order (Glushkov positions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.regex.charclass import CharSet
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    __slots__ = ()
+
+    nullable: bool = False
+
+    def charsets(self) -> Iterator[CharSet]:
+        return iter(())
+
+    def literals(self) -> Iterator["Literal"]:
+        return iter(())
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+
+class Empty(Node):
+    """Matches exactly the empty word (epsilon)."""
+
+    __slots__ = ()
+    nullable = True
+
+    def __repr__(self) -> str:
+        return "Empty()"
+
+
+class Never(Node):
+    """Matches nothing (the empty language)."""
+
+    __slots__ = ()
+    nullable = False
+
+    def __repr__(self) -> str:
+        return "Never()"
+
+
+class Literal(Node):
+    """Matches one byte drawn from a :class:`CharSet`."""
+
+    __slots__ = ("charset",)
+    nullable = False
+
+    def __init__(self, charset: CharSet):
+        if not charset:
+            raise ValueError("Literal over empty CharSet; use Never()")
+        self.charset = charset
+
+    def charsets(self) -> Iterator[CharSet]:
+        yield self.charset
+
+    def literals(self) -> Iterator["Literal"]:
+        yield self
+
+    def _key(self):
+        return (self.charset,)
+
+    def __repr__(self) -> str:
+        return f"Literal({self.charset!r})"
+
+
+class Concat(Node):
+    """Concatenation of two or more factors."""
+
+    __slots__ = ("children", "nullable")
+
+    def __init__(self, children: Sequence[Node]):
+        flat: list[Node] = []
+        for c in children:
+            if isinstance(c, Concat):
+                flat.extend(c.children)
+            elif isinstance(c, Empty):
+                continue
+            else:
+                flat.append(c)
+        if any(isinstance(c, Never) for c in flat):
+            flat = [Never()]
+        self.children: Tuple[Node, ...] = tuple(flat)
+        self.nullable = all(c.nullable for c in self.children)
+
+    def charsets(self) -> Iterator[CharSet]:
+        for c in self.children:
+            yield from c.charsets()
+
+    def literals(self) -> Iterator[Literal]:
+        for c in self.children:
+            yield from c.literals()
+
+    def _key(self):
+        return self.children
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.children)!r})"
+
+
+class Alternation(Node):
+    """Union of two or more alternatives."""
+
+    __slots__ = ("children", "nullable")
+
+    def __init__(self, children: Sequence[Node]):
+        flat: list[Node] = []
+        for c in children:
+            if isinstance(c, Alternation):
+                flat.extend(c.children)
+            elif isinstance(c, Never):
+                continue
+            else:
+                flat.append(c)
+        self.children: Tuple[Node, ...] = tuple(flat)
+        self.nullable = any(c.nullable for c in self.children)
+
+    def charsets(self) -> Iterator[CharSet]:
+        for c in self.children:
+            yield from c.charsets()
+
+    def literals(self) -> Iterator[Literal]:
+        for c in self.children:
+            yield from c.literals()
+
+    def _key(self):
+        return self.children
+
+    def __repr__(self) -> str:
+        return f"Alternation({list(self.children)!r})"
+
+
+class Star(Node):
+    """Kleene closure ``e*`` (zero or more repetitions)."""
+
+    __slots__ = ("child",)
+    nullable = True
+
+    def __init__(self, child: Node):
+        # (e*)* == e*, (e?)* == e*, Never* == Empty handled by smart ctor.
+        self.child = child
+
+    def charsets(self) -> Iterator[CharSet]:
+        yield from self.child.charsets()
+
+    def literals(self) -> Iterator[Literal]:
+        yield from self.child.literals()
+
+    def _key(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Star({self.child!r})"
+
+
+class Repeat(Node):
+    """Bounded repetition ``e{lo,hi}``; ``hi=None`` means unbounded.
+
+    Kept as an explicit node so printers can round-trip ``{m,n}`` syntax;
+    the NFA builder expands it structurally.
+    """
+
+    __slots__ = ("child", "lo", "hi", "nullable")
+
+    def __init__(self, child: Node, lo: int, hi: int | None):
+        if lo < 0 or (hi is not None and hi < lo):
+            raise ValueError(f"bad repetition bounds {{{lo},{hi}}}")
+        self.child = child
+        self.lo = lo
+        self.hi = hi
+        self.nullable = lo == 0 or child.nullable
+
+    def charsets(self) -> Iterator[CharSet]:
+        yield from self.child.charsets()
+
+    def literals(self) -> Iterator[Literal]:
+        # Positions of the *expansion*; callers expanding Repeat get
+        # literals from the expansion instead.
+        yield from self.expand().literals()
+
+    def expand(self) -> Node:
+        """Rewrite into Concat/Alternation/Star primitives.
+
+        ``e{2,4}`` becomes ``e e (e (e)?)?`` (nested optionals rather than a
+        flat alternation, which keeps Glushkov position counts linear).
+        """
+        required = [self.child] * self.lo
+        if self.hi is None:
+            return Concat(required + [Star(self.child)])
+        tail: Node = Empty()
+        for _ in range(self.hi - self.lo):
+            tail = Alternation([Empty(), Concat([self.child, tail])])
+        return Concat(required + [tail])
+
+    def _key(self):
+        return (self.child, self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return f"Repeat({self.child!r}, {self.lo}, {self.hi})"
+
+
+def optional(child: Node) -> Node:
+    """Build ``e?`` as an alternation with epsilon."""
+    return Alternation([Empty(), child])
+
+
+def plus(child: Node) -> Node:
+    """Build ``e+`` as ``e e*``."""
+    return Concat([child, Star(child)])
+
+
+def expand_repeats(node: Node) -> Node:
+    """Recursively rewrite all :class:`Repeat` nodes into primitives."""
+    if isinstance(node, Repeat):
+        return expand_repeats(node.expand())
+    if isinstance(node, Concat):
+        return Concat([expand_repeats(c) for c in node.children])
+    if isinstance(node, Alternation):
+        return Alternation([expand_repeats(c) for c in node.children])
+    if isinstance(node, Star):
+        return Star(expand_repeats(node.child))
+    return node
+
+
+def literal_string(text: str | bytes) -> Node:
+    """AST matching exactly the given string."""
+    if isinstance(text, str):
+        text = text.encode("latin-1")
+    if not text:
+        return Empty()
+    return Concat([Literal(CharSet.single(b)) for b in text])

@@ -1,0 +1,359 @@
+"""Recursive-descent regex parser.
+
+Supported dialect (the regular-language fragment, matching the paper's SNORT
+study which excluded back references and other non-regular extensions):
+
+* alternation ``a|b``, concatenation, grouping ``( )`` / ``(?: )``
+* postfix ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``
+* character classes ``[a-z0-9]``, negated ``[^...]``, escapes inside classes
+* ``.`` (any byte except newline), escapes ``\\d \\D \\w \\W \\s \\S``,
+  control escapes ``\\n \\r \\t \\f \\v \\0 \\a``, hex ``\\xHH``
+* ``^`` as the first character and ``$`` as the last are ignored (the
+  library implements whole-input membership and ``contains`` semantics, so
+  edge anchors are redundant); anchors elsewhere raise
+  :class:`~repro.errors.UnsupportedFeatureError`.
+
+Unsupported (raises :class:`~repro.errors.UnsupportedFeatureError`): back
+references ``\\1``, lookaround ``(?= (?! (?<``, named groups, inline flags
+other than ``(?i)``/``(?s)`` at the start, word boundaries ``\\b``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexSyntaxError, UnsupportedFeatureError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+    optional,
+    plus,
+)
+from repro.regex.charclass import DIGIT, SPACE, WORD, CharSet
+
+_SPECIAL = set("()[]{}|*+?.\\^$")
+
+_CONTROL_ESCAPES = {
+    "n": 0x0A,
+    "r": 0x0D,
+    "t": 0x09,
+    "f": 0x0C,
+    "v": 0x0B,
+    "a": 0x07,
+    "0": 0x00,
+    "e": 0x1B,
+}
+
+_CLASS_ESCAPES = {
+    "d": DIGIT,
+    "D": DIGIT.negate(),
+    "w": WORD,
+    "W": WORD.negate(),
+    "s": SPACE,
+    "S": SPACE.negate(),
+}
+
+_MAX_REPEAT = 10_000
+
+
+class _Parser:
+    def __init__(self, pattern: str, ignore_case: bool, dotall: bool):
+        self.pattern = pattern
+        self.pos = 0
+        self.ignore_case = ignore_case
+        self.dotall = dotall
+
+    # -- cursor helpers ------------------------------------------------
+    def _peek(self) -> str:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        if not ch:
+            self._error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def _eat(self, ch: str) -> bool:
+        if self._peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect(self, ch: str) -> None:
+        if not self._eat(ch):
+            self._error(f"expected {ch!r}")
+
+    def _error(self, msg: str) -> None:
+        raise RegexSyntaxError(msg, self.pattern, self.pos)
+
+    def _unsupported(self, msg: str) -> None:
+        raise UnsupportedFeatureError(msg, self.pattern, self.pos)
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Node:
+        # Leading flags group (?i) / (?s) / (?is)
+        while self.pattern.startswith("(?", self.pos):
+            end = self.pattern.find(")", self.pos)
+            body = self.pattern[self.pos + 2 : end] if end > 0 else ""
+            if end > 0 and body and all(c in "is" for c in body):
+                if "i" in body:
+                    self.ignore_case = True
+                if "s" in body:
+                    self.dotall = True
+                self.pos = end + 1
+            else:
+                break
+        # Leading ^ is redundant under membership semantics.
+        if self._peek() == "^":
+            self.pos += 1
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            self._error("unbalanced ')'" if self._peek() == ")" else "trailing input")
+        return node
+
+    def _alternation(self) -> Node:
+        branches = [self._concat()]
+        while self._eat("|"):
+            branches.append(self._concat())
+        if len(branches) == 1:
+            return branches[0]
+        return Alternation(branches)
+
+    def _concat(self) -> Node:
+        factors = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "|" or ch == ")":
+                break
+            if ch == "$" and self.pos == len(self.pattern) - 1:
+                # Trailing $ — redundant under membership semantics.
+                self.pos += 1
+                break
+            factors.append(self._repeatable())
+        if not factors:
+            return Empty()
+        if len(factors) == 1:
+            return factors[0]
+        return Concat(factors)
+
+    def _repeatable(self) -> Node:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                atom = Star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = plus(atom)
+            elif ch == "?":
+                self.pos += 1
+                atom = optional(atom)
+            elif ch == "{":
+                rep = self._maybe_bounds()
+                if rep is None:
+                    break
+                lo, hi = rep
+                atom = Repeat(atom, lo, hi)
+            else:
+                break
+            # Lazy / possessive modifiers don't change the language.
+            if self._peek() == "?" and self.pattern[self.pos - 1] in "*+}?":
+                self.pos += 1
+        return atom
+
+    def _maybe_bounds(self) -> tuple[int, int | None] | None:
+        """Parse ``{m}``/``{m,}``/``{m,n}``; None if '{' is a literal."""
+        start = self.pos
+        assert self._peek() == "{"
+        self.pos += 1
+        lo_digits = self._digits()
+        if lo_digits is None:
+            self.pos = start
+            return None
+        if self._eat("}"):
+            return self._check_bounds(lo_digits, lo_digits)
+        if not self._eat(","):
+            self.pos = start
+            return None
+        hi_digits = self._digits()
+        if not self._eat("}"):
+            self.pos = start
+            return None
+        return self._check_bounds(lo_digits, hi_digits)
+
+    def _check_bounds(self, lo: int, hi: int | None) -> tuple[int, int | None]:
+        if hi is not None and hi < lo:
+            self._error(f"bad repetition bounds {{{lo},{hi}}}")
+        if lo > _MAX_REPEAT or (hi or 0) > _MAX_REPEAT:
+            self._error(f"repetition bound exceeds {_MAX_REPEAT}")
+        return lo, hi
+
+    def _digits(self) -> int | None:
+        s = ""
+        while self._peek().isdigit():
+            s += self._next()
+        return int(s) if s else None
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch == "(":
+            return self._group()
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self.pos += 1
+            cs = CharSet.any_byte() if self.dotall else CharSet.dot()
+            return Literal(cs)
+        if ch == "\\":
+            return self._escape_atom()
+        if ch in "*+?":
+            self._error(f"nothing to repeat before {ch!r}")
+        if ch in "^$":
+            self._unsupported(f"anchor {ch!r} mid-pattern (membership semantics)")
+        if ch in ")":
+            self._error("unbalanced ')'")
+        self.pos += 1
+        return self._literal(ord(ch))
+
+    def _literal(self, byte: int) -> Node:
+        if byte > 255:
+            self._unsupported("non-latin-1 character; byte alphabet only")
+        cs = CharSet.single(byte)
+        if self.ignore_case:
+            cs = cs.case_fold()
+        return Literal(cs)
+
+    def _group(self) -> Node:
+        self._expect("(")
+        if self._eat("?"):
+            ch = self._peek()
+            if ch == ":":
+                self.pos += 1
+            elif ch in "=!<":
+                self._unsupported("lookaround is not a regular-language feature")
+            elif ch == "P" or ch == "'":
+                self._unsupported("named groups")
+            elif ch in "is":
+                # scoped flags (?i:...) — apply within the group
+                saved_i, saved_s = self.ignore_case, self.dotall
+                while self._peek() in "is":
+                    flag = self._next()
+                    if flag == "i":
+                        self.ignore_case = True
+                    else:
+                        self.dotall = True
+                if self._eat(")"):
+                    return Empty()  # (?i) applied globally from here on; approximation
+                self._expect(":")
+                node = self._alternation()
+                self._expect(")")
+                self.ignore_case, self.dotall = saved_i, saved_s
+                return node
+            else:
+                self._unsupported(f"group extension (?{ch}")
+        node = self._alternation()
+        self._expect(")")
+        return node
+
+    def _escape_atom(self) -> Node:
+        cs = self._escape_charset(in_class=False)
+        if not cs:
+            return Never()
+        if self.ignore_case:
+            cs = cs.case_fold()
+        return Literal(cs)
+
+    def _escape_charset(self, in_class: bool) -> CharSet:
+        self._expect("\\")
+        ch = self._next()
+        if ch in _CLASS_ESCAPES:
+            return _CLASS_ESCAPES[ch]
+        if ch in _CONTROL_ESCAPES:
+            return CharSet.single(_CONTROL_ESCAPES[ch])
+        if ch == "x":
+            hexs = self.pattern[self.pos : self.pos + 2]
+            if len(hexs) < 2 or any(c not in "0123456789abcdefABCDEF" for c in hexs):
+                self._error("\\x needs two hex digits")
+            self.pos += 2
+            return CharSet.single(int(hexs, 16))
+        if ch == "b":
+            if in_class:
+                return CharSet.single(0x08)
+            self._unsupported("word boundary \\b")
+        if ch.isdigit():
+            self._unsupported(f"back reference \\{ch}")
+        if ch == "u" or ch == "U" or ch == "p" or ch == "P":
+            self._unsupported(f"unicode escape \\{ch}")
+        if ord(ch) > 255:
+            self._unsupported("non-latin-1 escape")
+        return CharSet.single(ord(ch))
+
+    def _char_class(self) -> Node:
+        self._expect("[")
+        negate = self._eat("^")
+        cs = CharSet.empty()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch == "":
+                self._error("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            if ch == "\\":
+                item = self._escape_charset(in_class=True)
+                if len(item) != 1:
+                    cs = cs | item  # class escape like \d — no ranges from it
+                    continue
+                lo = next(iter(item))
+            else:
+                self.pos += 1
+                if ord(ch) > 255:
+                    self._unsupported("non-latin-1 character in class")
+                lo = ord(ch)
+            # Range?
+            if self._peek() == "-" and self.pattern[self.pos + 1 : self.pos + 2] not in ("]", ""):
+                self.pos += 1
+                nxt = self._peek()
+                if nxt == "\\":
+                    item = self._escape_charset(in_class=True)
+                    if len(item) != 1:
+                        self._error("bad range endpoint (class escape)")
+                    hi = next(iter(item))
+                else:
+                    self.pos += 1
+                    hi = ord(nxt)
+                if hi < lo:
+                    self._error(f"reversed range {chr(lo)}-{chr(hi)}")
+                cs = cs | CharSet.from_ranges((lo, hi))
+            else:
+                cs = cs | CharSet.single(lo)
+        if negate:
+            cs = cs.negate()
+        if self.ignore_case:
+            cs = cs.case_fold()
+        if not cs:
+            return Never()
+        return Literal(cs)
+
+
+def parse(pattern: str, *, ignore_case: bool = False, dotall: bool = False) -> Node:
+    """Parse ``pattern`` into an AST.
+
+    Parameters
+    ----------
+    pattern:
+        Regex source (latin-1 interpretable; the alphabet is bytes 0..255).
+    ignore_case:
+        Apply ASCII case folding to every literal (like ``(?i)``).
+    dotall:
+        Make ``.`` match newline too (like ``(?s)``).
+    """
+    return _Parser(pattern, ignore_case, dotall).parse()

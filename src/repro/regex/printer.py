@@ -1,0 +1,115 @@
+"""AST → pattern-string round-tripping.
+
+``to_pattern(parse(p))`` always parses back to an AST with the same
+language; this is used by the workload generators (which build ASTs
+programmatically and hand patterns to the public API) and in tests.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharSet
+
+_PRINTABLE_SAFE = set(
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    b"!\"#%&',/:;<=>@_` ~"
+)
+
+_ESCAPE_NAMES = {0x0A: "\\n", 0x0D: "\\r", 0x09: "\\t", 0x0C: "\\f", 0x0B: "\\v", 0x07: "\\a"}
+
+
+def _byte_repr(b: int, in_class: bool = False) -> str:
+    if b in _ESCAPE_NAMES:
+        return _ESCAPE_NAMES[b]
+    if b in _PRINTABLE_SAFE:
+        return chr(b)
+    if 0x20 <= b < 0x7F:
+        ch = chr(b)
+        if in_class and ch in "]^-\\":
+            return "\\" + ch
+        if not in_class and ch in "()[]{}|*+?.\\^$-":
+            return "\\" + ch
+        return ch
+    return f"\\x{b:02x}"
+
+
+def charset_to_pattern(cs: CharSet) -> str:
+    """Render a CharSet as a literal, an escape, or a bracket class."""
+    if len(cs) == 256:
+        return "(?s:.)" if 0x0A in cs else "."
+    if len(cs) == 255 and 0x0A not in cs:
+        return "."
+    if len(cs) == 1:
+        return _byte_repr(next(iter(cs)))
+    ranges = cs.ranges()
+    neg = cs.negate()
+    if len(neg.ranges()) < len(ranges) and len(neg) > 0:
+        inner = "".join(_range_repr(lo, hi) for lo, hi in neg.ranges())
+        return f"[^{inner}]"
+    inner = "".join(_range_repr(lo, hi) for lo, hi in ranges)
+    return f"[{inner}]"
+
+
+def _range_repr(lo: int, hi: int) -> str:
+    if lo == hi:
+        return _byte_repr(lo, in_class=True)
+    if hi == lo + 1:
+        return _byte_repr(lo, in_class=True) + _byte_repr(hi, in_class=True)
+    return f"{_byte_repr(lo, in_class=True)}-{_byte_repr(hi, in_class=True)}"
+
+
+def _prec(node: Node) -> int:
+    """Printing precedence: alternation < concat < repeat < atom."""
+    if isinstance(node, Alternation):
+        return 0
+    if isinstance(node, Concat):
+        return 1
+    if isinstance(node, (Star, Repeat)):
+        return 2
+    return 3
+
+
+def _wrap(node: Node, parent_prec: int) -> str:
+    s = to_pattern(node)
+    if _prec(node) < parent_prec:
+        return f"(?:{s})"
+    return s
+
+
+def to_pattern(node: Node) -> str:
+    """Render an AST back into pattern syntax."""
+    if isinstance(node, Empty):
+        return ""
+    if isinstance(node, Never):
+        return "[^\\x00-\\xff]"  # unmatchable class
+    if isinstance(node, Literal):
+        return charset_to_pattern(node.charset)
+    if isinstance(node, Concat):
+        if not node.children:
+            return ""
+        return "".join(_wrap(c, 2) for c in node.children)
+    if isinstance(node, Alternation):
+        if not node.children:
+            return to_pattern(Never())
+        # e? prints nicer than (?:|e)
+        non_empty = [c for c in node.children if not isinstance(c, Empty)]
+        if len(non_empty) == 1 and len(node.children) == 2:
+            return _wrap(non_empty[0], 3) + "?"
+        return "|".join(_wrap(c, 1) for c in node.children)
+    if isinstance(node, Star):
+        return _wrap(node.child, 3) + "*"
+    if isinstance(node, Repeat):
+        bounds = f"{{{node.lo}}}" if node.hi == node.lo else (
+            f"{{{node.lo},}}" if node.hi is None else f"{{{node.lo},{node.hi}}}"
+        )
+        return _wrap(node.child, 3) + bounds
+    raise TypeError(f"unknown node {node!r}")

@@ -1,0 +1,50 @@
+"""Algebraic side of the paper (Sect. VII).
+
+* :mod:`repro.theory.monoid` — transition monoids and syntactic monoids;
+  SFA states are exactly the transition-monoid elements (plus identity),
+  so ``|minimal D-SFA| = syntactic complexity``.
+* :mod:`repro.theory.boolmat` — the semigroup of boolean matrices and
+  generator-set computations behind Devadze's theorem (Fact 3).
+* :mod:`repro.theory.witness` — the worst-case families of Examples 3–4
+  (Fact 1: ``|D| = 2^{|N|}``; Fact 2: ``|S_d| = |D|^{|D|}``).
+* :mod:`repro.theory.complexity` — Table II's symbolic cost formulas and
+  per-pattern complexity reports.
+"""
+
+from repro.theory.boolmat import (
+    boolean_matrix_semigroup,
+    full_boolean_semigroup_size,
+    minimal_generating_set_size,
+)
+from repro.theory.complexity import (
+    ComplexityReport,
+    complexity_report,
+    table2_rows,
+)
+from repro.theory.monoid import (
+    syntactic_complexity,
+    syntactic_monoid_size,
+    transition_monoid,
+)
+from repro.theory.witness import (
+    devadze_witness_matrices,
+    ex3_nfa,
+    ex4_dfa,
+    full_transformation_monoid_size,
+)
+
+__all__ = [
+    "ComplexityReport",
+    "boolean_matrix_semigroup",
+    "complexity_report",
+    "devadze_witness_matrices",
+    "ex3_nfa",
+    "ex4_dfa",
+    "full_boolean_semigroup_size",
+    "full_transformation_monoid_size",
+    "minimal_generating_set_size",
+    "syntactic_complexity",
+    "syntactic_monoid_size",
+    "table2_rows",
+    "transition_monoid",
+]

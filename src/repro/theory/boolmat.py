@@ -1,0 +1,131 @@
+"""Boolean matrix semigroups (Sect. VII-B, Devadze / Konieczny).
+
+N-SFA states are correspondences = ``n×n`` boolean matrices, so N-SFA size
+is bounded by ``|B_n| = 2^{n²}``.  Fact 3 (Devadze 1968, proved by
+Konieczny 2011): the minimal generating set of ``B_n`` grows exponentially
+with ``n`` — hence no constant-alphabet regular expression can drive an
+N-SFA to its theoretical bound (Corollary 3.1).  This module computes
+generated semigroups and (for tiny ``n``) minimal generating sets, so the
+corollary's mechanism can be demonstrated rather than just cited.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def _key(m: np.ndarray) -> bytes:
+    return np.packbits(m).tobytes()
+
+
+def boolean_matrix_semigroup(
+    generators: Sequence[np.ndarray], max_size: int | None = None
+) -> List[np.ndarray]:
+    """Closure of ``generators`` under boolean matrix multiplication.
+
+    Returns the generated *semigroup* (no identity adjoined unless it is
+    generated).  ``max_size`` aborts early for exploratory sweeps.
+    """
+    gens = [np.asarray(g, dtype=bool) for g in generators]
+    if not gens:
+        return []
+    seen = {}
+    queue: List[np.ndarray] = []
+    for g in gens:
+        k = _key(g)
+        if k not in seen:
+            seen[k] = len(queue)
+            queue.append(g)
+    i = 0
+    while i < len(queue):
+        a = queue[i]
+        au = a.astype(np.uint8)
+        for g in gens:
+            prod_m = (au @ g.astype(np.uint8)) > 0
+            k = _key(prod_m)
+            if k not in seen:
+                if max_size is not None and len(queue) >= max_size:
+                    return queue
+                seen[k] = len(queue)
+                queue.append(prod_m)
+        i += 1
+    return queue
+
+
+def full_boolean_semigroup_size(n: int) -> int:
+    """``|B_n| = 2^{n²}`` — the N-SFA state bound of Theorem 2."""
+    return 2 ** (n * n)
+
+
+def all_boolean_matrices(n: int) -> List[np.ndarray]:
+    """Every ``n×n`` boolean matrix (use only for n ≤ 3)."""
+    out = []
+    for bits in product((False, True), repeat=n * n):
+        out.append(np.array(bits, dtype=bool).reshape(n, n))
+    return out
+
+
+def generates_full_semigroup(generators: Sequence[np.ndarray], n: int) -> bool:
+    """Does the set generate all of ``B_n``?"""
+    target = full_boolean_semigroup_size(n)
+    return len(boolean_matrix_semigroup(generators, max_size=target + 1)) == target
+
+
+def minimal_generating_set_size(n: int) -> int:
+    """Exhaustive minimal-generating-set size for ``B_n`` (n ≤ 2).
+
+    ``B_1`` = {0, 1} needs both elements (they are idempotent and distinct).
+    ``B_2`` (16 matrices) is searched exhaustively.  For n ≥ 3 the search
+    space is astronomically large — which is exactly Devadze's point; we
+    raise ``ValueError`` instead of pretending.
+    """
+    if n == 1:
+        return 2
+    if n == 2:
+        mats = all_boolean_matrices(2)
+        target = full_boolean_semigroup_size(2)
+        for size in range(1, target + 1):
+            for gens in combinations(range(target), size):
+                sel = [mats[i] for i in gens]
+                if len(boolean_matrix_semigroup(sel, max_size=target + 1)) == target:
+                    return size
+        raise AssertionError("B_2 must generate itself")
+    raise ValueError(
+        "minimal generating sets of B_n for n >= 3 are exponentially large "
+        "(Devadze's theorem); exhaustive search is infeasible by design"
+    )
+
+
+def indecomposable_matrices(n: int) -> List[np.ndarray]:
+    """Matrices not expressible as a product of two non-identity factors.
+
+    Every generating set of ``B_n`` must contain all of them (up to the
+    factors being permutations); counting them gives the exponential lower
+    bound flavor of Fact 3 for small ``n``.
+    """
+    mats = all_boolean_matrices(n)
+    keys = {_key(m): i for i, m in enumerate(mats)}
+    decomposable = set()
+    ident = np.eye(n, dtype=bool)
+    for a in mats:
+        if np.array_equal(a, ident):
+            continue
+        au = a.astype(np.uint8)
+        for b in mats:
+            if np.array_equal(b, ident):
+                continue
+            prod_m = (au @ b.astype(np.uint8)) > 0
+            decomposable.add(keys[_key(prod_m)])
+    out = []
+    for i, m in enumerate(mats):
+        if i not in decomposable and not np.array_equal(m, ident):
+            out.append(m)
+    return out
+
+
+def matrices_of_nfa_letters(letters: Iterable[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    """Normalize per-letter boolean matrices (helper for N-SFA analyses)."""
+    return tuple(np.asarray(m, dtype=bool) for m in letters)

@@ -1,0 +1,160 @@
+"""Symbolic cost formulas (paper Table II) and per-pattern reports.
+
+Table II compares five models on state complexity and computation time.
+:func:`table2_rows` returns the formulas with concrete numbers substituted
+for a given pattern, and :func:`complexity_report` measures the actual
+quantities (states, lookups per character) from this library's engines so
+benches can print *formula vs measured* side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ComplexityReport:
+    """Concrete complexity numbers for one compiled pattern."""
+
+    pattern: str
+    regex_length: int
+    nfa_states: int
+    dfa_states: int
+    min_dfa_states: int
+    dsfa_states: int
+    nsfa_states: Optional[int] = None
+
+    def bounds_check(self) -> Dict[str, bool]:
+        """Are the Theorem 1/2 bounds respected?"""
+        out = {
+            "dfa_le_2^nfa": self.dfa_states <= 2 ** self.nfa_states,
+            "dsfa_le_dfa^dfa": (
+                self.dsfa_states <= self.min_dfa_states ** max(1, self.min_dfa_states)
+            ),
+        }
+        if self.nsfa_states is not None:
+            out["nsfa_le_2^nfa2"] = self.nsfa_states <= 2 ** (self.nfa_states**2)
+        return out
+
+    def dsfa_growth_exponent(self) -> float:
+        """``log |S_d| / log |D|`` — the Fig. 3 scatter's y-vs-x exponent."""
+        if self.min_dfa_states <= 1:
+            return float("inf") if self.dsfa_states > 1 else 1.0
+        return log2(max(2, self.dsfa_states)) / log2(self.min_dfa_states)
+
+
+def complexity_report(compiled) -> ComplexityReport:
+    """Measure a :class:`~repro.matching.engine.CompiledPattern`.
+
+    N-SFA construction is skipped when it would exceed the pattern's SFA
+    state budget (it is exponential for some patterns by design).
+    """
+    nsfa_states: Optional[int] = None
+    try:
+        nsfa_states = compiled.nsfa.size
+    except Exception:
+        nsfa_states = None
+    return ComplexityReport(
+        pattern=compiled.pattern,
+        regex_length=len(compiled.pattern),
+        nfa_states=compiled.nfa.size,
+        dfa_states=compiled.dfa.size,
+        min_dfa_states=compiled.min_dfa.size,
+        dsfa_states=compiled.sfa.size,
+        nsfa_states=nsfa_states,
+    )
+
+
+def table2_rows(
+    m: Optional[int] = None,
+    nfa: Optional[int] = None,
+    dfa: Optional[int] = None,
+    nsfa: Optional[int] = None,
+    dsfa: Optional[int] = None,
+    n: Optional[int] = None,
+    p: Optional[int] = None,
+) -> List[Dict[str, str]]:
+    """Table II with optional concrete substitutions.
+
+    Every row carries the paper's symbolic formula and, when enough
+    parameters are supplied, the substituted numeric value.
+    """
+
+    def maybe(expr, value) -> str:
+        return expr if value is None else f"{expr} = {value:,.0f}"
+
+    rows: List[Dict[str, str]] = []
+    rows.append(
+        {
+            "model": "NFA N",
+            "state_complexity": maybe("O(m)", nfa),
+            "time": maybe("O(|N|·n)", None if None in (nfa, n) else nfa * n),
+        }
+    )
+    rows.append(
+        {
+            "model": "DFA D (Alg. 2)",
+            "state_complexity": maybe("O(2^|N|)", dfa),
+            "time": maybe("O(n)", n),
+        }
+    )
+    if None not in (dfa, n, p):
+        alg3 = dfa * n / p + dfa * log2(max(2, p))
+        alg3_seq = dfa * n / p + p
+    else:
+        alg3 = alg3_seq = None
+    rows.append(
+        {
+            "model": "DFA D (Alg. 3, par. red.)",
+            "state_complexity": maybe("O(2^|N|)", dfa),
+            "time": maybe("O(|D|·n/p + |D|·log p)", alg3),
+        }
+    )
+    rows.append(
+        {
+            "model": "DFA D (Alg. 3, seq. red.)",
+            "state_complexity": maybe("O(2^|N|)", dfa),
+            "time": maybe("O(|D|·n/p + p)", alg3_seq),
+        }
+    )
+    if None not in (nfa, n, p):
+        nsfa_par = n / p + nfa**3 * log2(max(2, p))
+        nsfa_seq = n / p + nfa * p
+    else:
+        nsfa_par = nsfa_seq = None
+    rows.append(
+        {
+            "model": "N-SFA Sn (par. red.)",
+            "state_complexity": maybe("O(2^|N|²)", nsfa),
+            "time": maybe("O(n/p + |N|³·log p)", nsfa_par),
+        }
+    )
+    rows.append(
+        {
+            "model": "N-SFA Sn (seq. red.)",
+            "state_complexity": maybe("O(2^|N|²)", nsfa),
+            "time": maybe("O(n/p + |N|·p)", nsfa_seq),
+        }
+    )
+    if None not in (dfa, n, p):
+        dsfa_par = n / p + dfa * log2(max(2, p))
+        dsfa_seq = n / p + p
+    else:
+        dsfa_par = dsfa_seq = None
+    rows.append(
+        {
+            "model": "D-SFA Sd (par. red.)",
+            "state_complexity": maybe("O(|D|^|D|)", dsfa),
+            "time": maybe("O(n/p + |D|·log p)", dsfa_par),
+        }
+    )
+    rows.append(
+        {
+            "model": "D-SFA Sd (seq. red.)",
+            "state_complexity": maybe("O(|D|^|D|)", dsfa),
+            "time": maybe("O(n/p + p)", dsfa_seq),
+        }
+    )
+    return rows

@@ -1,0 +1,149 @@
+"""Transition monoids and syntactic complexity.
+
+The transition monoid of a DFA is the set of state transformations induced
+by all words, under composition.  Sect. VII's observation: the D-SFA state
+set *is* this monoid (with the identity adjoined as the initial state), so
+the size of the minimal SFA equals the *syntactic complexity* of the
+language — which is why SFA size, not DFA size, is the parallel complexity
+of a regular expression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import DFA, minimize
+from repro.automata.mapping import Transformation
+
+
+def transition_monoid(dfa: DFA, include_identity: bool = True) -> List[Transformation]:
+    """All word-induced transformations of ``dfa``'s state set.
+
+    BFS closure of the letter transformations under composition — the same
+    exploration as correspondence construction, expressed on mapping
+    objects.  ``include_identity`` adjoins the empty word's transformation
+    (making it a monoid even when no nonempty word induces the identity).
+    """
+    n = dfa.num_states
+    letters = [Transformation(dfa.table[:, c]) for c in range(dfa.num_classes)]
+    identity = Transformation.identity(n)
+    seen: Dict[Transformation, int] = {}
+    queue: List[Transformation] = []
+    if include_identity:
+        seen[identity] = 0
+        queue.append(identity)
+    else:
+        for letter in letters:
+            if letter not in seen:
+                seen[letter] = len(seen)
+                queue.append(letter)
+    i = 0
+    while i < len(queue):
+        f = queue[i]
+        for letter in letters:
+            g = f.then(letter)
+            if g not in seen:
+                seen[g] = len(seen)
+                queue.append(g)
+        i += 1
+    return queue
+
+
+def syntactic_monoid_size(dfa: DFA) -> int:
+    """Size of the syntactic monoid = transition monoid of the minimal DFA."""
+    return len(transition_monoid(minimize(dfa), include_identity=True))
+
+
+def syntactic_complexity(dfa: DFA) -> int:
+    """The paper's 'parallel complexity': size of the minimal language SFA.
+
+    Equals :func:`syntactic_monoid_size`; exposed under the Sect. VII name.
+    """
+    return syntactic_monoid_size(dfa)
+
+
+def monoid_multiplication_table(elements: List[Transformation]) -> np.ndarray:
+    """Cayley table: ``out[i, j]`` = index of ``e_i ⊙ e_j``.
+
+    Only valid when ``elements`` is closed under ``⊙`` (as returned by
+    :func:`transition_monoid`).
+    """
+    index = {e: i for i, e in enumerate(elements)}
+    m = len(elements)
+    table = np.empty((m, m), dtype=np.int64)
+    for i, a in enumerate(elements):
+        for j, b in enumerate(elements):
+            table[i, j] = index[a.then(b)]
+    return table
+
+
+def idempotents(elements: List[Transformation]) -> List[Transformation]:
+    """Elements with ``e ⊙ e = e`` (the skeleton of Green's relations)."""
+    return [e for e in elements if e.then(e) == e]
+
+
+def is_group(elements: List[Transformation]) -> bool:
+    """True iff the closed set forms a group (unique idempotent = identity).
+
+    A finite monoid is a group iff its only idempotent is the identity.
+    """
+    ids = idempotents(elements)
+    return len(ids) == 1 and ids[0].is_identity()
+
+
+def is_aperiodic(elements: List[Transformation], bound: int | None = None) -> bool:
+    """Schützenberger test: ``∀x. x^{k} = x^{k+1}`` for some ``k``.
+
+    Aperiodic syntactic monoid ⇔ star-free language.  ``bound`` defaults to
+    the monoid size (always sufficient).
+    """
+    k = bound if bound is not None else len(elements)
+    for e in elements:
+        power = e
+        for _ in range(k):
+            nxt = power.then(e)
+            if nxt == power:
+                break
+            power = nxt
+        else:
+            # never stabilized within k steps ⇒ x^k != x^{k+1}
+            if power.then(e) != power:
+                return False
+    return True
+
+
+def green_r_classes(elements: List[Transformation]) -> List[Set[int]]:
+    """Partition indices by Green's R-relation (same right ideal).
+
+    ``a R b`` iff ``aM¹ = bM¹``.  Computed from right-multiplication
+    reachability; small monoids only (used in exploratory tests).
+    """
+    index = {e: i for i, e in enumerate(elements)}
+    m = len(elements)
+
+    def right_ideal(i: int) -> frozenset:
+        seen = {i}
+        stack = [i]
+        while stack:
+            j = stack.pop()
+            for e in elements:
+                nxt = index[elements[j].then(e)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    ideals: Dict[frozenset, Set[int]] = {}
+    for i in range(m):
+        ideals.setdefault(right_ideal(i), set()).add(i)
+    return list(ideals.values())
+
+
+def rank_distribution(elements: List[Transformation]) -> Dict[int, int]:
+    """Histogram of transformation ranks — a compact monoid fingerprint."""
+    out: Dict[int, int] = {}
+    for e in elements:
+        out[e.rank()] = out.get(e.rank(), 0) + 1
+    return out

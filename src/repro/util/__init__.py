@@ -1,0 +1,25 @@
+"""Small shared utilities: bitsets, stable hashing, timers, chunk math."""
+
+from repro.util.bitset import (
+    bit,
+    bits_of,
+    from_iterable,
+    intersects,
+    iter_bits,
+    popcount,
+    union_all,
+)
+from repro.util.timing import Timer, format_bytes, format_seconds
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "from_iterable",
+    "intersects",
+    "iter_bits",
+    "popcount",
+    "union_all",
+    "Timer",
+    "format_bytes",
+    "format_seconds",
+]

@@ -1,0 +1,54 @@
+"""Integer bitset helpers.
+
+Subset construction manipulates sets of NFA states heavily; representing a
+set of states as a Python ``int`` bitmask makes union an ``|``, membership a
+shift+mask, and hashing free.  These helpers keep that code readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+def bit(i: int) -> int:
+    """Return the bitset containing only element ``i``."""
+    return 1 << i
+
+
+def from_iterable(items: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative ints."""
+    mask = 0
+    for i in items:
+        mask |= 1 << i
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set elements of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_of(mask: int) -> List[int]:
+    """Return the set elements of ``mask`` as a sorted list."""
+    return list(iter_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Number of elements in the bitset."""
+    return mask.bit_count()
+
+
+def intersects(a: int, b: int) -> bool:
+    """True iff the two bitsets share an element."""
+    return (a & b) != 0
+
+
+def union_all(masks: Iterable[int]) -> int:
+    """Union of an iterable of bitsets."""
+    out = 0
+    for m in masks:
+        out |= m
+    return out

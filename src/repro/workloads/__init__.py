@@ -1,0 +1,34 @@
+"""Workloads: the paper's pattern families, synthetic rulesets, text gens."""
+
+from repro.workloads.patterns import (
+    AB_STAR,
+    fig9_expected_sizes,
+    fig9_pattern,
+    fig10_pattern,
+    rn_expected_sizes,
+    rn_pattern,
+)
+from repro.workloads.snort import SyntheticRuleset, generate_ruleset
+from repro.workloads.textgen import (
+    accepted_text,
+    classes_to_bytes,
+    fig9_text,
+    random_text,
+    rn_accepted_text,
+)
+
+__all__ = [
+    "AB_STAR",
+    "SyntheticRuleset",
+    "accepted_text",
+    "classes_to_bytes",
+    "fig9_expected_sizes",
+    "fig9_pattern",
+    "fig9_text",
+    "fig10_pattern",
+    "generate_ruleset",
+    "random_text",
+    "rn_accepted_text",
+    "rn_expected_sizes",
+    "rn_pattern",
+]

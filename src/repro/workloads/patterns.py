@@ -1,0 +1,64 @@
+"""The paper's concrete regular expressions (Sect. VI).
+
+* ``(ab)*`` — the worked example of Figs. 1–2 / Table I.
+* ``r_n = ([0-4]{n}[5-9]{n})*`` — the scalability family of Figs. 4–8 and
+  Table III.  Its minimal DFA is one loop of ``2n`` states; its D-SFA has
+  ``4n² + 2n − 1`` states (the paper reports 109 / 10 099 / 1 000 999 for
+  n = 5 / 50 / 500, exactly this formula).
+* ``([0-4]{n}[5-9]{n})*|a*`` — the Fig. 9 locality pattern.
+* ``(([02468][13579]){5})*`` — the Fig. 10 overhead pattern
+  (|D| = 10, |S_d| = 21).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+AB_STAR = "(ab)*"
+
+FIG10_PATTERN = "(([02468][13579]){5})*"
+FIG10_EXPECTED = (10, 21)  # (|D|, |S_d|) per the paper's Sect. VI-C
+
+
+def rn_pattern(n: int) -> str:
+    """``r_n = ([0-4]{n}[5-9]{n})*``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return f"([0-4]{{{n}}}[5-9]{{{n}}})*"
+
+
+def rn_expected_sizes(n: int, complete: bool = False) -> Tuple[int, int]:
+    """Paper-reported sizes for ``r_n``: ``|D| = 2n``, ``|S_d| = 4n²+2n−1``.
+
+    Checks out against every value in the paper: n=5 → (10, 109),
+    n=50 → (100, 10 099), n=500 → (1000, 1 000 999).  These are
+    *partial-automaton* counts (the paper's tool keeps the fail sink and
+    the all-dead mapping implicit — see ``DFA.partial_size``); pass
+    ``complete=True`` for this library's complete-automaton counts, which
+    are exactly one larger on both axes.
+    """
+    if complete:
+        return 2 * n + 1, 4 * n * n + 2 * n
+    return 2 * n, 4 * n * n + 2 * n - 1
+
+
+def fig9_pattern(n: int = 500) -> str:
+    """``([0-4]{n}[5-9]{n})*|a*`` — huge SFA, single-state hot path on 'a's.
+
+    Paper sizes at n=500: |D| = 1002, |S_d| = 1 001 000.
+    """
+    return f"([0-4]{{{n}}}[5-9]{{{n}}})*|a*"
+
+
+def fig9_expected_sizes(n: int) -> Tuple[int, int]:
+    """Partial-convention sizes for the Fig. 9 pattern.
+
+    ``|D| = 2n+2``, ``|S_d| = 4n²+2n`` — at n=500 exactly the paper's
+    (1002, 1 001 000).
+    """
+    return 2 * n + 2, 4 * n * n + 2 * n
+
+
+def fig10_pattern() -> str:
+    """The small-input overhead pattern of Fig. 10."""
+    return FIG10_PATTERN

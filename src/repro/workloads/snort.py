@@ -1,0 +1,160 @@
+"""Synthetic SNORT-like ruleset generator (the Fig. 3 workload substitute).
+
+The paper measured DFA / D-SFA sizes over 20 312 PCRE patterns extracted
+from the SNORT IDS ruleset (snapshot 2940), after dropping expressions
+whose DFA exceeds 1000 states and ones using non-regular extensions.  That
+corpus is not redistributable (and unavailable offline), so this module
+generates a corpus with the same *mechanisms* that shape the paper's
+scatter:
+
+* the bulk of IDS rules are literal payloads / service strings, possibly
+  case-insensitive, whose DFA is a chain — the D-SFA stays near-linear;
+* bounded-repeat field checks and small alternations push D-SFA toward
+  ``|D|²`` (the scatter's main cloud);
+* a small tail of ``.*``-chain rules (e.g. ``T.*Y.*P.*E``-style content
+  chains) drives over-square and the rare over-cube sizes — exactly the
+  6-in-20 312 pathology the paper singles out;
+* no rule uses backreferences or lookaround (they were filtered out).
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+_SERVICE_WORDS = [
+    "admin", "login", "exec", "cmd", "shell", "root", "passwd", "index",
+    "config", "setup", "upload", "download", "search", "query", "debug",
+    "cgi-bin", "scripts", "include", "php", "asp", "jsp", "html", "SELECT",
+    "UNION", "INSERT", "DROP", "xp_cmdshell", "wget", "curl", "bash",
+    "powershell", "eval", "base64", "decode", "overflow", "format",
+]
+
+_METHODS = ["GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "TRACE"]
+
+_EXTENSIONS = ["cgi", "php", "asp", "jsp", "exe", "dll", "ini", "dat", "bin"]
+
+_DOTSTAR_LETTERS = "TYPEPROMPT"
+
+
+@dataclass
+class SyntheticRuleset:
+    """A generated corpus of patterns plus its generation parameters."""
+
+    patterns: List[str]
+    seed: int
+    weights: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+def _rand_token(rng: np.random.Generator, lo: int = 3, hi: int = 10) -> str:
+    length = int(rng.integers(lo, hi + 1))
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789_"
+    return "".join(alphabet[int(i)] for i in rng.integers(0, len(alphabet), length))
+
+
+def _pick(rng: np.random.Generator, items: List[str]) -> str:
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _literal_rule(rng: np.random.Generator) -> str:
+    parts = [_pick(rng, _SERVICE_WORDS)]
+    for _ in range(int(rng.integers(0, 3))):
+        sep = _pick(rng, ["/", "\\.", "=", "_", "%20", "\\x00", ":", "-"])
+        parts.append(sep + (_pick(rng, _SERVICE_WORDS) if rng.random() < 0.6 else _rand_token(rng)))
+    pat = "".join(parts)
+    if rng.random() < 0.3:
+        pat = "(?i)" + pat
+    return pat
+
+
+def _header_rule(rng: np.random.Generator) -> str:
+    k = int(rng.integers(2, 5))
+    methods = list(rng.permutation(_METHODS)[:k])
+    path_cls = _pick(rng, ["[a-z0-9_]", "[a-zA-Z0-9_.-]", "[^\\r\\n]"])
+    lo = int(rng.integers(1, 4))
+    hi = lo + int(rng.integers(1, 16))
+    return f"({'|'.join(methods)}) /{path_cls}{{{lo},{hi}}}"
+
+
+def _repeat_rule(rng: np.random.Generator) -> str:
+    pieces = []
+    for _ in range(int(rng.integers(1, 4))):
+        cls = _pick(rng, ["[0-9]", "[a-f0-9]", "[A-Za-z]", "[\\x00-\\x1f]", "[0-4]", "[5-9]"])
+        lo = int(rng.integers(1, 6))
+        hi = lo + int(rng.integers(0, 8))
+        bounds = f"{{{lo}}}" if hi == lo else f"{{{lo},{hi}}}"
+        pieces.append(cls + bounds)
+        if rng.random() < 0.5:
+            pieces.append(_pick(rng, ["\\.", ":", "-", "/", ""]))
+    return "".join(pieces)
+
+
+def _alternation_rule(rng: np.random.Generator) -> str:
+    k = int(rng.integers(2, 5))
+    words = [_pick(rng, _SERVICE_WORDS) for _ in range(k)]
+    tail = _pick(rng, ["", f"\\.({'|'.join(rng.permutation(_EXTENSIONS)[:2])})", "=[a-z0-9]{1,8}"])
+    return f"({'|'.join(dict.fromkeys(words))}){tail}"
+
+
+def _optional_rule(rng: np.random.Generator) -> str:
+    stem = _pick(rng, _SERVICE_WORDS)
+    opt = _pick(rng, _SERVICE_WORDS)
+    star_cls = _pick(rng, ["[a-z]", "[0-9]", "[a-z0-9]"])
+    return f"{stem}(/{opt})?{star_cls}*"
+
+
+def _dotstar_rule(rng: np.random.Generator) -> str:
+    """The over-square tail: several ``.*`` in sequence (paper Sect. VI-A)."""
+    k = int(rng.integers(2, 6))
+    start = int(rng.integers(0, max(1, len(_DOTSTAR_LETTERS) - k)))
+    letters = _DOTSTAR_LETTERS[start : start + k]
+    body = ".*".join(letters)
+    return f".*{body}" if rng.random() < 0.5 else body
+
+
+_CATEGORIES = [
+    ("literal", _literal_rule, 0.40),
+    ("header", _header_rule, 0.12),
+    ("repeat", _repeat_rule, 0.18),
+    ("alternation", _alternation_rule, 0.15),
+    ("optional", _optional_rule, 0.13),
+    ("dotstar", _dotstar_rule, 0.02),
+]
+
+
+def generate_ruleset(
+    num_rules: int, seed: int = 2940, weights: Optional[dict] = None
+) -> SyntheticRuleset:
+    """Generate ``num_rules`` synthetic IDS patterns.
+
+    ``weights`` overrides the per-category probabilities (keys: literal,
+    header, repeat, alternation, optional, dotstar).  The default mix is
+    tuned so the D-SFA/DFA size study reproduces the Fig. 3 regions (see
+    ``benchmarks/bench_fig3_sfa_size.py``).
+    """
+    if num_rules < 0:
+        raise ValueError("num_rules must be >= 0")
+    rng = np.random.default_rng(seed)
+    names = [name for name, _, _ in _CATEGORIES]
+    makers = {name: fn for name, fn, _ in _CATEGORIES}
+    probs = np.array(
+        [(weights or {}).get(name, w) for name, _, w in _CATEGORIES], dtype=float
+    )
+    probs = probs / probs.sum()
+    picks = rng.choice(len(names), size=num_rules, p=probs)
+    patterns = [makers[names[int(i)]](rng) for i in picks]
+    return SyntheticRuleset(
+        patterns=patterns,
+        seed=seed,
+        weights={name: float(p) for name, p in zip(names, probs)},
+    )

@@ -1,0 +1,189 @@
+"""Input-text generators for benchmarks and tests.
+
+The paper streams 1 GB texts *accepted by the automaton* so that "every
+character was read exactly once" and no early-exit path distorts
+throughput.  These helpers synthesize accepted texts of any size for the
+paper's pattern families and, generically, for arbitrary DFAs via
+shortest-word + cycle pumping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.ops import shortest_accepted
+from repro.errors import AutomatonError
+
+
+def rn_accepted_text(n: int, target_bytes: int, seed: Optional[int] = 0) -> bytes:
+    """Accepted text for ``r_n``: blocks of ``n`` low digits + ``n`` high.
+
+    With a seed, digits vary uniformly inside their classes ([0-4] / [5-9])
+    so the byte stream is not a two-symbol pattern; ``seed=None`` produces
+    the deterministic ``"0"*n + "5"*n`` block.  Output length is the
+    largest multiple of ``2n`` not exceeding ``target_bytes`` (the word
+    must end on a block boundary to stay in the language).
+    """
+    if n < 1 or target_bytes < 2 * n:
+        raise ValueError("target must fit at least one (2n)-byte block")
+    blocks = target_bytes // (2 * n)
+    total = blocks * 2 * n
+    if seed is None:
+        block = b"0" * n + b"5" * n
+        return block * blocks
+    rng = np.random.default_rng(seed)
+    low = rng.integers(0x30, 0x35, size=total // 2, dtype=np.uint8)
+    high = rng.integers(0x35, 0x3A, size=total // 2, dtype=np.uint8)
+    out = np.empty(total, dtype=np.uint8)
+    view = out.reshape(blocks, 2 * n)
+    view[:, :n] = low.reshape(blocks, n)
+    view[:, n:] = high.reshape(blocks, n)
+    return out.tobytes()
+
+
+def fig9_text(target_bytes: int) -> bytes:
+    """The Fig. 9 input: a repetition of ``"a"``."""
+    return b"a" * target_bytes
+
+
+def random_text(target_bytes: int, seed: int = 0, alphabet: bytes = b"") -> bytes:
+    """Uniform random bytes (optionally restricted to ``alphabet``)."""
+    rng = np.random.default_rng(seed)
+    if alphabet:
+        pal = np.frombuffer(alphabet, dtype=np.uint8)
+        return pal[rng.integers(0, len(pal), size=target_bytes)].tobytes()
+    return rng.integers(0, 256, size=target_bytes, dtype=np.uint8).tobytes()
+
+
+def classes_to_bytes(partition, classes: np.ndarray, seed: Optional[int] = None) -> bytes:
+    """Map a class-index sequence back to concrete bytes.
+
+    With no seed each class is rendered by its first representative byte;
+    with a seed, a uniformly random member of the class is chosen per
+    position.
+    """
+    classes = np.asarray(classes)
+    if seed is None:
+        return partition.representatives[classes].tobytes()
+    rng = np.random.default_rng(seed)
+    members = [np.nonzero(partition.classmap == i)[0] for i in range(partition.num_classes)]
+    out = np.empty(len(classes), dtype=np.uint8)
+    for i, m in enumerate(members):
+        sel = classes == i
+        cnt = int(sel.sum())
+        if cnt:
+            out[sel] = m[rng.integers(0, len(m), size=cnt)]
+    return out.tobytes()
+
+
+def _cycle_at(dfa: DFA, state: int) -> Optional[list]:
+    """Shortest nonempty class word returning ``state`` to itself (BFS)."""
+    from collections import deque
+
+    prev: dict = {}
+    queue = deque()
+    for c in range(dfa.num_classes):
+        r = int(dfa.table[state, c])
+        if r == state:
+            return [c]
+        if r not in prev:
+            prev[r] = (None, c)
+            queue.append(r)
+    while queue:
+        q = queue.popleft()
+        for c in range(dfa.num_classes):
+            r = int(dfa.table[q, c])
+            if r == state:
+                # reconstruct
+                path = [c]
+                cur = q
+                while cur is not None:
+                    back, cc = prev[cur]
+                    path.append(cc)
+                    cur = back
+                path.reverse()
+                return path
+            if r not in prev:
+                prev[r] = (q, c)
+                queue.append(r)
+    return None
+
+
+def _bfs_paths_from(dfa: DFA, start: int):
+    """Shortest class word from ``start`` to every state (forward BFS)."""
+    from collections import deque
+
+    prev: dict = {start: None}
+    queue = deque([start])
+    while queue:
+        q = queue.popleft()
+        for c in range(dfa.num_classes):
+            r = int(dfa.table[q, c])
+            if r not in prev:
+                prev[r] = (q, c)
+                queue.append(r)
+
+    def path_to(t: int) -> Optional[list]:
+        if t not in prev:
+            return None
+        out = []
+        cur = t
+        while prev[cur] is not None:
+            q, c = prev[cur]
+            out.append(c)
+            cur = q
+        out.reverse()
+        return out
+
+    return prev, path_to
+
+
+def accepted_text(
+    dfa: DFA, target_bytes: int, seed: Optional[int] = None
+) -> bytes:
+    """Accepted text of ≈ ``target_bytes`` for an arbitrary DFA.
+
+    Builds ``u₁ · vᵏ · u₂`` where ``u₁`` reaches a pumpable state ``q``
+    (one lying on a cycle), ``v`` is a shortest cycle at ``q``, and ``u₂``
+    completes to an accepting state.  Falls back to the shortest accepted
+    word for finite languages when it already meets the target.  Raises
+    :class:`~repro.errors.AutomatonError` when the language is empty, or
+    finite and shorter than the target.
+    """
+    if dfa.partition is None:
+        raise AutomatonError("byte output needs a ByteClassPartition")
+    u = shortest_accepted(dfa)
+    if u is None:
+        raise AutomatonError("language is empty; no accepted text exists")
+    if len(u) >= target_bytes:
+        return classes_to_bytes(dfa.partition, np.asarray(u, dtype=np.int64), seed=seed)
+
+    _, path_from_init = _bfs_paths_from(dfa, dfa.initial)
+    best = None  # (overhead, u1, v, u2)
+    for q in range(dfa.num_states):
+        u1 = path_from_init(q)
+        if u1 is None:
+            continue
+        v = _cycle_at(dfa, q)
+        if v is None:
+            continue
+        _, path_from_q = _bfs_paths_from(dfa, q)
+        u2 = None
+        for t in np.nonzero(dfa.accept)[0]:
+            cand = path_from_q(int(t))
+            if cand is not None and (u2 is None or len(cand) < len(u2)):
+                u2 = cand
+        if u2 is None:
+            continue
+        overhead = len(u1) + len(u2)
+        if best is None or overhead < best[0]:
+            best = (overhead, u1, v, u2)
+    if best is None:
+        raise AutomatonError("language has no pump cycle; cannot reach target size")
+    _, u1, v, u2 = best
+    k = max(0, (target_bytes - len(u1) - len(u2)) // len(v))
+    word = u1 + v * k + u2
+    return classes_to_bytes(dfa.partition, np.asarray(word, dtype=np.int64), seed=seed)

@@ -1,0 +1,129 @@
+"""Unit tests for AST nodes and normalization."""
+
+import pytest
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Repeat,
+    Star,
+    expand_repeats,
+    literal_string,
+    optional,
+    plus,
+)
+from repro.regex.charclass import CharSet
+
+
+def lit(ch: str) -> Literal:
+    return Literal(CharSet.single(ord(ch)))
+
+
+class TestNormalization:
+    def test_concat_flattens(self):
+        node = Concat([Concat([lit("a"), lit("b")]), lit("c")])
+        assert len(node.children) == 3
+
+    def test_concat_drops_empty(self):
+        node = Concat([Empty(), lit("a"), Empty()])
+        assert len(node.children) == 1
+
+    def test_concat_with_never_collapses(self):
+        node = Concat([lit("a"), Never()])
+        assert node.children == (Never(),)
+        assert not node.nullable
+
+    def test_alternation_flattens(self):
+        node = Alternation([Alternation([lit("a"), lit("b")]), lit("c")])
+        assert len(node.children) == 3
+
+    def test_alternation_drops_never(self):
+        node = Alternation([Never(), lit("a")])
+        assert len(node.children) == 1
+
+    def test_literal_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            Literal(CharSet.empty())
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert Concat([lit("a"), lit("b")]) == Concat([lit("a"), lit("b")])
+        assert Star(lit("a")) == Star(lit("a"))
+        assert Star(lit("a")) != Star(lit("b"))
+
+    def test_hash_consistency(self):
+        assert hash(Star(lit("a"))) == hash(Star(lit("a")))
+
+    def test_different_types_unequal(self):
+        assert Empty() != Never()
+        assert lit("a") != Star(lit("a"))
+
+
+class TestRepeatExpansion:
+    def test_exact(self):
+        node = Repeat(lit("a"), 3, 3).expand()
+        lits = list(node.literals())
+        assert len(lits) == 3
+
+    def test_range_positions_linear(self):
+        # a{2,5} must expand to 5 positions, not 2+3+4+5
+        node = Repeat(lit("a"), 2, 5).expand()
+        assert len(list(node.literals())) == 5
+
+    def test_unbounded(self):
+        node = Repeat(lit("a"), 2, None).expand()
+        # two required + star
+        assert any(isinstance(c, Star) for c in node.children)
+
+    def test_zero_min_nullable(self):
+        assert Repeat(lit("a"), 0, 2).nullable
+        assert not Repeat(lit("a"), 1, 2).nullable
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(lit("a"), 3, 2)
+        with pytest.raises(ValueError):
+            Repeat(lit("a"), -1, 2)
+
+    def test_expand_repeats_recursive(self):
+        node = expand_repeats(Star(Repeat(lit("a"), 1, 2)))
+        assert isinstance(node, Star)
+        assert not _contains_repeat(node)
+
+
+def _contains_repeat(node) -> bool:
+    if isinstance(node, Repeat):
+        return True
+    children = getattr(node, "children", None)
+    if children:
+        return any(_contains_repeat(c) for c in children)
+    child = getattr(node, "child", None)
+    return _contains_repeat(child) if child is not None else False
+
+
+class TestHelpers:
+    def test_optional(self):
+        node = optional(lit("a"))
+        assert node.nullable
+
+    def test_plus(self):
+        node = plus(lit("a"))
+        assert not node.nullable
+        assert len(list(node.literals())) == 2
+
+    def test_literal_string(self):
+        node = literal_string("abc")
+        assert len(list(node.literals())) == 3
+
+    def test_literal_string_empty(self):
+        assert isinstance(literal_string(""), Empty)
+
+    def test_literal_string_bytes(self):
+        node = literal_string(b"\x00\xff")
+        lits = list(node.literals())
+        assert set(lits[0].charset) == {0}
+        assert set(lits[1].charset) == {255}

@@ -1,0 +1,158 @@
+"""Cache hierarchy simulator and analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.cache import (
+    MEMORY_CYCLES,
+    AnalyticCacheModel,
+    CacheHierarchy,
+    CacheLevel,
+    table_working_set_bytes,
+    xeon_e5645_levels,
+)
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheLevel(1024, 2, 64, hit_cycles=4.0, name="L1"),
+            CacheLevel(8192, 4, 64, hit_cycles=10.0, name="L2"),
+        ],
+        memory_cycles=100.0,
+    )
+
+
+class TestCacheLevel:
+    def test_hit_after_insert(self):
+        lv = CacheLevel(1024, 2, 64, 4.0, "L1")
+        assert not lv.lookup(0)
+        assert lv.lookup(0)
+
+    def test_lru_eviction(self):
+        lv = CacheLevel(128, 1, 64, 4.0, "L1")  # 2 sets, direct-mapped
+        assert not lv.lookup(0)
+        assert not lv.lookup(2)  # same set (line 2 % 2 == 0), evicts line 0
+        assert not lv.lookup(0)  # miss again
+
+    def test_associativity_retains(self):
+        lv = CacheLevel(256, 2, 64, 4.0, "L1")  # 2 sets, 2-way
+        lv.lookup(0)
+        lv.lookup(2)  # same set, second way
+        assert lv.lookup(0)
+        assert lv.lookup(2)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SimulationError):
+            CacheLevel(32, 2, 64, 4.0, "bad")
+
+    def test_reset(self):
+        lv = CacheLevel(1024, 2, 64, 4.0, "L1")
+        lv.lookup(5)
+        lv.reset()
+        assert not lv.lookup(5)
+
+
+class TestCacheHierarchy:
+    def test_first_access_misses_to_memory(self):
+        h = small_hierarchy()
+        assert h.access(0) == 100.0
+        assert h.access(0) == 4.0  # now L1-resident
+
+    def test_stats_accounting(self):
+        h = small_hierarchy()
+        h.access(0)
+        h.access(0)
+        h.access(64)
+        s = h.stats()
+        assert s["memory"] == 2
+        assert s["L1"] == 1
+
+    def test_l2_catch(self):
+        h = small_hierarchy()
+        # touch 32 lines: more than L1 (16 lines) but within L2 (128 lines)
+        for i in range(32):
+            h.access(i * 64)
+        total = sum(h.access(i * 64) for i in range(32))
+        # second sweep: L1 holds the tail, L2 the rest — no memory access
+        assert h.misses == 32
+        assert total < 32 * 100.0
+
+    def test_access_stream(self):
+        h = small_hierarchy()
+        addrs = np.zeros(10, dtype=np.int64)
+        total = h.access_stream(addrs)
+        assert total == 100.0 + 9 * 4.0
+
+    def test_default_geometry_is_paper_machine(self):
+        levels = xeon_e5645_levels()
+        assert [lv.size_bytes for lv in levels] == [32 * 1024, 256 * 1024, 12 * 1024 * 1024]
+        assert levels[2].shared
+
+    def test_needs_levels(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy([])
+
+
+class TestAnalyticModel:
+    def test_resident_hits_l1(self):
+        m = AnalyticCacheModel()
+        assert m.expected_cycles(8 * 1024) == pytest.approx(4.0)
+
+    def test_huge_working_set_near_memory(self):
+        m = AnalyticCacheModel()
+        assert m.expected_cycles(4 * 1024**3) > 0.9 * MEMORY_CYCLES
+
+    def test_monotone_in_working_set(self):
+        m = AnalyticCacheModel()
+        sizes = [2**k for k in range(10, 31)]
+        costs = [m.expected_cycles(s) for s in sizes]
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_sharers_degrade_only_shared_level(self):
+        m = AnalyticCacheModel()
+        # 8 KB fits private L1 regardless of sharers
+        assert m.expected_cycles(8 * 1024, sharers=12) == pytest.approx(4.0)
+        # 8 MB fits L3 alone but not a twelfth of it
+        alone = m.expected_cycles(8 * 1024**2, sharers=1)
+        crowded = m.expected_cycles(8 * 1024**2, sharers=12)
+        assert crowded > alone
+
+    def test_agrees_with_lru_in_both_regimes(self):
+        """Analytic ≈ LRU simulator for resident and thrashing cyclic scans."""
+        levels = [CacheLevel(4096, 4, 64, 4.0, "L1")]
+        lru = CacheHierarchy(levels, memory_cycles=100.0)
+        analytic = AnalyticCacheModel(
+            levels=[CacheLevel(4096, 4, 64, 4.0, "L1")], memory_cycles=100.0
+        )
+        # resident: 32 lines in a 64-line cache, cyclic sweep
+        sweep = np.arange(32) * 64
+        lru.reset()
+        lru.access_stream(sweep)  # warm-up: cold misses excluded
+        addrs = np.tile(sweep, 50)
+        measured = lru.access_stream(addrs) / len(addrs)
+        predicted = analytic.expected_cycles(32 * 64)
+        assert measured == pytest.approx(predicted, rel=0.1)
+        # thrashing: 256 lines cyclic in a 64-line LRU cache — all misses
+        addrs = np.tile(np.arange(256) * 64, 10)
+        lru.reset()
+        measured = lru.access_stream(addrs) / len(addrs)
+        predicted = analytic.expected_cycles(256 * 64)
+        assert measured == pytest.approx(100.0, rel=0.05)
+        assert predicted >= 0.70 * measured  # analytic is the smooth version
+
+    def test_throughput_helper(self):
+        m = AnalyticCacheModel()
+        assert m.throughput_gbps(8 * 1024) == pytest.approx(2.4 / 4.0)
+
+
+class TestWorkingSetHelper:
+    def test_one_class_one_line_per_row(self):
+        assert table_working_set_bytes(10, 1) == 10 * 64
+
+    def test_many_classes_capped_by_row(self):
+        assert table_working_set_bytes(10, 300, row_bytes=1024) == 10 * 16 * 64
+
+    def test_zero_classes_floor(self):
+        assert table_working_set_bytes(5, 0) == 5 * 64

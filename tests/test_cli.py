@@ -1,0 +1,131 @@
+"""Command-line interface (invoked in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSizes:
+    def test_sizes_output(self, capsys):
+        code, out, _ = run(capsys, "sizes", "(ab)*")
+        assert code == 0
+        assert "d_sfa" in out
+        assert "6" in out
+
+    def test_compile_error_exit_code(self, capsys):
+        code, _, err = run(capsys, "sizes", "(ab")
+        assert code == 2
+        assert "error" in err
+
+
+class TestMatch:
+    def test_fullmatch_stdin_like(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"abab")
+        code, out, _ = run(capsys, "match", "(ab)*", str(f))
+        assert code == 0
+        assert "match" in out
+
+    def test_no_match_exit_one(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"aba")
+        code, out, _ = run(capsys, "match", "(ab)*", str(f))
+        assert code == 1
+        assert "no match" in out
+
+    def test_contains_flag(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx abab xx")
+        code, out, _ = run(capsys, "match", "abab", str(f), "--contains")
+        assert code == 0
+
+    def test_engine_selection(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"ab" * 100)
+        for engine in ("dfa", "speculative", "sfa", "lockstep"):
+            code, _, _ = run(capsys, "match", "(ab)*", str(f),
+                             "--engine", engine, "--chunks", "4")
+            assert code == 0, engine
+
+    def test_missing_file(self, capsys):
+        code, _, err = run(capsys, "match", "a", "/nonexistent/file")
+        assert code == 2
+
+
+class TestGrep:
+    def test_matching_lines(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ok\nERROR 42 boom\nfine\nERROR 7\n")
+        code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(f), "-n")
+        assert code == 0
+        assert "2:ERROR 42 boom" in out
+        assert "4:ERROR 7" in out
+        assert "fine" not in out
+
+    def test_no_lines_exit_one(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"nothing\nhere\n")
+        code, out, _ = run(capsys, "grep", "ERROR", str(f))
+        assert code == 1
+        assert out == ""
+
+    def test_ignore_case(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"Error: x\n")
+        code, out, _ = run(capsys, "grep", "error", str(f), "-i")
+        assert code == 0
+
+
+class TestDot:
+    def test_dfa_dot(self, capsys):
+        code, out, _ = run(capsys, "dot", "(ab)*", "--stage", "dfa")
+        assert code == 0
+        assert out.startswith("digraph DFA")
+
+    def test_sfa_dot_with_mappings(self, capsys):
+        code, out, _ = run(capsys, "dot", "(ab)*", "--stage", "sfa",
+                           "--show-mappings", "--hide-traps")
+        assert code == 0
+        assert "digraph SFA" in out
+
+    def test_nfa_dot(self, capsys):
+        code, out, _ = run(capsys, "dot", "ab", "--stage", "nfa")
+        assert code == 0
+        assert "digraph NFA" in out
+
+
+class TestSave:
+    def test_save_and_reload_sfa(self, capsys, tmp_path):
+        out_path = str(tmp_path / "m.npz")
+        code, out, _ = run(capsys, "save", "(ab)*", "--stage", "sfa", "-o", out_path)
+        assert code == 0
+        from repro.automata.serialize import load_sfa
+
+        sfa = load_sfa(out_path)
+        assert sfa.accepts(b"abab")
+
+    def test_save_dfa(self, capsys, tmp_path):
+        out_path = str(tmp_path / "d.npz")
+        code, _, _ = run(capsys, "save", "ab", "--stage", "dfa", "-o", out_path)
+        assert code == 0
+        from repro.automata.serialize import load_dfa
+
+        assert load_dfa(out_path).accepts(b"ab")
+
+
+class TestRuleset:
+    def test_emits_rules(self, capsys):
+        code, out, _ = run(capsys, "ruleset", "--rules", "5", "--seed", "1")
+        assert code == 0
+        assert len(out.strip().splitlines()) == 5
+
+    def test_deterministic(self, capsys):
+        _, out1, _ = run(capsys, "ruleset", "--rules", "4", "--seed", "9")
+        _, out2, _ = run(capsys, "ruleset", "--rules", "4", "--seed", "9")
+        assert out1 == out2

@@ -1,0 +1,107 @@
+"""Graphviz DOT export."""
+
+import re
+
+import pytest
+
+from repro.automata.dot import dfa_to_dot, nfa_to_dot, sfa_to_dot, to_dot
+
+from .conftest import compiled
+
+
+def edges_of(dot: str):
+    return re.findall(r"(\w+) -> (\w+) \[label=\"([^\"]*)\"\]", dot)
+
+
+class TestDFADot:
+    def test_fig1_structure(self):
+        """Fig. 1: D1 of (ab)* — 3 nodes, sink self-looping on a,b."""
+        m = compiled("(ab)*")
+        dot = dfa_to_dot(m.min_dfa)
+        assert dot.startswith("digraph DFA {")
+        assert dot.count("doublecircle") == 1
+        # 3 states x 3 classes collapse to per-(src,dst) edges
+        es = edges_of(dot)
+        self_loops = [e for e in es if e[0] == e[1]]
+        assert len(self_loops) >= 1  # the sink
+
+    def test_fig4_partial_convention(self):
+        """Fig. 4: the r_2 DFA drawn without the sink is a pure 4-cycle."""
+        m = compiled("([0-4]{2}[5-9]{2})*")
+        dot = dfa_to_dot(m.min_dfa, hide_traps=True)
+        es = edges_of(dot)
+        assert len(es) == 4  # exactly the cycle edges
+        assert all(a != b for a, b, _ in es)  # no self loops
+
+    def test_labels_are_readable(self):
+        m = compiled("[0-4]")
+        dot = dfa_to_dot(m.min_dfa, hide_traps=True)
+        assert "[0-4]" in dot
+
+    def test_start_arrow(self):
+        m = compiled("ab")
+        dot = dfa_to_dot(m.min_dfa)
+        assert "__start ->" in dot
+
+
+class TestSFADot:
+    def test_fig2_structure(self):
+        """Fig. 2: S1 of (ab)* — 6 nodes, 2 accepting."""
+        m = compiled("(ab)*")
+        dot = sfa_to_dot(m.sfa)
+        assert dot.count("doublecircle") == 2
+        assert len({a for a, _, _ in edges_of(dot)} | {b for _, b, _ in edges_of(dot)}) >= 6
+
+    def test_fig5_partial_loops(self):
+        """Fig. 5: r_2 D-SFA without the dead mapping has 2n=4 loops."""
+        import networkx as nx
+
+        m = compiled("([0-4]{2}[5-9]{2})*")
+        dot = sfa_to_dot(m.sfa, hide_traps=True)
+        g = nx.DiGraph()
+        for a, b, _ in edges_of(dot):
+            if a != "__start":
+                g.add_edge(a, b)
+        cycles = list(nx.simple_cycles(g))
+        assert len(cycles) == 4
+        assert all(len(c) == 4 for c in cycles)
+
+    def test_show_mappings_annotations(self):
+        m = compiled("(ab)*")
+        dot = sfa_to_dot(m.sfa, show_mappings=True)
+        assert "\\n[" in dot  # mapping bodies in labels
+
+
+class TestNFADot:
+    def test_basic(self):
+        m = compiled("a|b")
+        dot = nfa_to_dot(m.nfa)
+        assert dot.count("__start -> ") == 1
+        assert "doublecircle" in dot
+
+    def test_multi_initial(self):
+        from repro.theory.witness import ex3_nfa
+
+        dot = nfa_to_dot(ex3_nfa(3))
+        assert "c0" in dot or "c1" in dot  # symbolic class labels
+
+
+class TestDispatch:
+    def test_to_dot_dispatch(self):
+        m = compiled("ab")
+        assert to_dot(m.nfa).startswith("digraph NFA")
+        assert to_dot(m.min_dfa).startswith("digraph DFA")
+        assert to_dot(m.sfa).startswith("digraph SFA")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            to_dot("not an automaton")
+
+    def test_output_parses_as_dot_roughly(self):
+        # balanced braces, every edge line well-formed
+        m = compiled("(a|b)c")
+        for dot in (to_dot(m.nfa), to_dot(m.min_dfa), to_dot(m.sfa)):
+            assert dot.count("{") == dot.count("}")
+            for line in dot.splitlines():
+                if "->" in line:
+                    assert line.rstrip().endswith(";")

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail CI, not a user.  Heavy examples run with reduced parameters.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        timeout=timeout,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "pipeline sizes" in out
+    assert "'d_sfa': 6" in out
+
+
+def test_ids_scan_small():
+    out = run_example("ids_scan.py", "6", "10")
+    assert "compiled" in out
+    assert "scanned" in out
+
+
+def test_log_search_small():
+    out = run_example("log_search.py", "0.3")
+    assert "log contains an ERROR match: True" in out
+    assert "sfa lockstep" in out
+
+
+def test_stream_monitor():
+    out = run_example("stream_monitor.py")
+    assert "rules fired over the whole stream: [0, 1, 2]" in out
+    assert "Lemma 1 holds" in out
+
+
+def test_render_figures(tmp_path):
+    out = run_example("render_figures.py")
+    assert "fig2_s1.dot" in out
+    assert "(paper: 3)" in out
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_HEAVY", "0") != "1",
+    reason="several minutes of measurement; enable with REPRO_HEAVY=1",
+)
+def test_scaling_study():
+    out = run_example("scaling_study.py", timeout=500)
+    assert "simulated (paper machine" in out

@@ -1,0 +1,143 @@
+"""Utility-layer tests: bitsets, timing, bench harness helpers."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.harness import (
+    BenchRecord,
+    crossover_point,
+    format_table,
+    geometric_sizes,
+    measure_locality,
+    measure_throughput,
+    throughput_series_to_speedups,
+    time_callable,
+)
+from repro.util.bitset import (
+    bit,
+    bits_of,
+    from_iterable,
+    intersects,
+    iter_bits,
+    popcount,
+    union_all,
+)
+from repro.util.timing import Timer, format_bytes, format_seconds
+
+from .conftest import compiled
+
+
+class TestBitset:
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_from_iterable_roundtrip(self):
+        mask = from_iterable([0, 3, 7])
+        assert bits_of(mask) == [0, 3, 7]
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_intersects(self):
+        assert intersects(0b110, 0b010)
+        assert not intersects(0b100, 0b011)
+
+    def test_union_all(self):
+        assert union_all([0b001, 0b010, 0b100]) == 0b111
+        assert union_all([]) == 0
+
+    @given(st.sets(st.integers(0, 200), max_size=40))
+    def test_iter_bits_sorted_and_complete(self, values):
+        mask = from_iterable(values)
+        assert list(iter_bits(mask)) == sorted(values)
+        assert popcount(mask) == len(values)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_format_seconds_units(self):
+        assert format_seconds(2e-9).endswith("ns")
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(2e-3).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert "GB" in format_bytes(3 * 1024**3)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        records = [
+            BenchRecord("row1", {"a": 1, "b": 2.5}),
+            BenchRecord("row2", {"a": None, "b": 123456.0}),
+        ]
+        out = format_table("Title", ["a", "b"], records, note="a note")
+        assert "Title" in out
+        assert "row1" in out and "row2" in out
+        assert "—" in out  # None renders as em dash
+        assert "123,456" in out
+        assert "a note" in out
+
+    def test_empty_records(self):
+        out = format_table("T", ["x"], [])
+        assert "T" in out
+
+    def test_bool_and_str_cells(self):
+        out = format_table("T", ["ok"], [BenchRecord("r", {"ok": True})])
+        assert "True" in out
+
+
+class TestHarnessHelpers:
+    def test_crossover_point(self):
+        xs = [1, 2, 3, 4]
+        a = [1, 2, 5, 9]  # overtakes b between x=2 and x=3
+        b = [2, 3, 4, 5]
+        assert crossover_point(xs, a, b) == 3
+
+    def test_crossover_none(self):
+        assert crossover_point([1, 2], [1, 1], [5, 5]) is None
+
+    def test_geometric_sizes(self):
+        sizes = geometric_sizes(10, 1000, 3)
+        assert sizes[0] == 10 and sizes[-1] == 1000
+        assert sizes == sorted(sizes)
+
+    def test_speedup_normalization(self):
+        out = throughput_series_to_speedups({1: 2.0, 2: 4.0, 4: 8.0})
+        assert out == {1: 1.0, 2: 2.0, 4: 4.0}
+
+    def test_speedup_missing_base(self):
+        out = throughput_series_to_speedups({2: 4.0})
+        assert all(v != v for v in out.values())  # NaN
+
+    def test_time_callable_positive(self):
+        assert time_callable(lambda: sum(range(100)), repeat=2) > 0
+
+    def test_measure_throughput(self):
+        mbps = measure_throughput(lambda: None, n_bytes=1_000_000, repeat=1, warmup=0)
+        assert mbps > 0
+
+    def test_measure_locality_counts_states(self):
+        m = compiled("(ab)*")
+        classes = m.translate(b"ab" * 20)
+        loc = measure_locality(m.sfa, classes, 4)
+        # the (ab)* SFA run from identity visits 3 states per chunk at most
+        assert 1 <= loc["max_states"] <= 4
+        assert loc["mean_states"] <= loc["max_states"]
+
+    def test_measure_locality_empty(self):
+        m = compiled("(ab)*")
+        loc = measure_locality(m.sfa, m.translate(b""), 2)
+        assert loc["max_states"] == 1.0  # just the identity

@@ -1,0 +1,114 @@
+"""On-the-fly DFA / SFA construction (paper Sect. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.automata import (
+    LazyDFA,
+    LazySFA,
+    correspondence_construction,
+    glushkov_nfa,
+    minimize,
+    subset_construction,
+)
+from repro.regex.parser import parse
+from repro.theory.witness import ex3_nfa, ex4_dfa
+
+
+def build(pattern: str):
+    nfa = glushkov_nfa(parse(pattern))
+    dfa = minimize(subset_construction(nfa))
+    return nfa, dfa
+
+
+WORDS = [b"", b"ab", b"abab", b"aab", b"abb", b"ba", b"aaaa", b"abababab"]
+
+
+class TestLazyDFA:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "(a|b)*abb", "a{2,4}"])
+    def test_agrees_with_full(self, pattern):
+        nfa, _ = build(pattern)
+        full = subset_construction(nfa)
+        lazy = LazyDFA(nfa)
+        for w in WORDS:
+            assert lazy.accepts(w) == full.accepts(w), (pattern, w)
+
+    def test_materializes_at_most_text_plus_one(self):
+        nfa, _ = build("(a|b)*abb")
+        lazy = LazyDFA(nfa)
+        text = b"ababab"
+        lazy.accepts(text)
+        assert lazy.num_materialized <= len(text) + 1
+
+    def test_lazy_beats_blowup(self):
+        # full subset construction would build 2^12 = 4096 states;
+        # a short query touches only a handful
+        nfa = ex3_nfa(12)
+        lazy = LazyDFA(nfa)
+        seq = np.array([0, 1, 2, 0, 1] * 3, dtype=np.int64)
+        lazy.run_classes(seq)
+        assert lazy.num_materialized <= len(seq) + 1
+
+    def test_states_are_cached_across_runs(self):
+        nfa, _ = build("(ab)*")
+        lazy = LazyDFA(nfa)
+        lazy.accepts(b"abab")
+        n1 = lazy.num_materialized
+        lazy.accepts(b"abababab")  # same cycle; no new states
+        assert lazy.num_materialized == n1
+
+    def test_table_growth(self):
+        nfa = ex3_nfa(8)
+        lazy = LazyDFA(nfa)
+        rng = np.random.default_rng(7)
+        # visit many distinct subsets so the lazy table must grow past its
+        # initial 16-row allocation; restart the scan from several offsets
+        for start in range(6):
+            seq = rng.integers(0, 3, size=120)
+            lazy.run_classes(seq)
+        assert lazy.num_materialized > 16
+
+
+class TestLazySFA:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "(a|b)*abb", "a{2,4}"])
+    def test_agrees_with_full_sfa(self, pattern):
+        _, dfa = build(pattern)
+        full = correspondence_construction(dfa)
+        lazy = LazySFA(dfa)
+        for w in WORDS:
+            assert lazy.accepts(w) == full.accepts(w), (pattern, w)
+
+    def test_materializes_at_most_text_plus_one(self):
+        _, dfa = build("(a|b)*abb")
+        lazy = LazySFA(dfa)
+        text = b"abbabb"
+        lazy.accepts(text)
+        assert lazy.num_materialized <= len(text) + 1
+
+    def test_lazy_beats_nn_blowup(self):
+        # D-SFA of ex4_dfa(8) would have 8^8 = 16.7M states
+        dfa = ex4_dfa(8)
+        lazy = LazySFA(dfa)
+        seq = np.array([0, 1, 2, 1, 0, 2] * 10, dtype=np.int64)
+        lazy.run_classes(seq)
+        assert lazy.num_materialized <= 61
+
+    def test_run_chunks_algorithm5(self):
+        _, dfa = build("(ab)*")
+        lazy = LazySFA(dfa)
+        text = b"ab" * 20
+        classes = dfa.partition.translate(text)
+        chunks = [classes[i : i + 7] for i in range(0, len(classes), 7)]
+        assert lazy.run_chunks(chunks) is True
+        bad = dfa.partition.translate(b"ab" * 20 + b"a")
+        chunks = [bad[:13], bad[13:]]
+        assert lazy.run_chunks(chunks) is False
+
+    def test_mapping_rows_consistent_with_dfa(self):
+        _, dfa = build("(ab)*")
+        lazy = LazySFA(dfa)
+        classes = dfa.partition.translate(b"abab")
+        f = lazy.run_classes(classes)
+        row = lazy.mapping_row(f)
+        for q in range(dfa.num_states):
+            assert row[q] == dfa.run_classes(classes, start=q)

@@ -1,0 +1,155 @@
+"""Unit + property tests for state mappings (Transformation/Correspondence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.mapping import (
+    Correspondence,
+    Transformation,
+    compose_chain_correspondences,
+    compose_chain_transformations,
+)
+from repro.errors import AutomatonError
+
+
+def transformations(n: int):
+    return st.lists(st.integers(0, n - 1), min_size=n, max_size=n).map(Transformation)
+
+
+def correspondences(n: int):
+    return st.lists(
+        st.lists(st.booleans(), min_size=n, max_size=n), min_size=n, max_size=n
+    ).map(lambda rows: Correspondence(np.array(rows, dtype=bool)))
+
+
+class TestTransformation:
+    def test_identity(self):
+        t = Transformation.identity(4)
+        assert t.is_identity()
+        assert all(t(q) == q for q in range(4))
+
+    def test_then_applies_left_first(self):
+        f = Transformation([1, 0])  # swap
+        g = Transformation([0, 0])  # collapse to 0
+        # (f ⊙ g)(q) = g(f(q))
+        fg = f.then(g)
+        assert fg(0) == 0 and fg(1) == 0
+        gf = g.then(f)
+        assert gf(0) == 1 and gf(1) == 1
+
+    def test_compose_is_reverse_of_then(self):
+        f = Transformation([1, 0])
+        g = Transformation([0, 0])
+        assert f.compose(g) == g.then(f)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AutomatonError):
+            Transformation([0, 5])
+
+    def test_rank_and_constant(self):
+        assert Transformation([2, 2, 2]).is_constant()
+        assert Transformation([2, 2, 2]).rank() == 1
+        assert Transformation([0, 1, 1]).rank() == 2
+        assert not Transformation([0, 1, 1]).is_constant()
+
+    def test_image(self):
+        assert Transformation([0, 0, 2]).image().tolist() == [0, 2]
+
+    def test_immutability(self):
+        t = Transformation([0, 1])
+        with pytest.raises(ValueError):
+            t.arr[0] = 1
+
+    def test_hash_eq(self):
+        assert Transformation([0, 1]) == Transformation(np.array([0, 1]))
+        assert hash(Transformation([0, 1])) == hash(Transformation([0, 1]))
+
+    @given(transformations(5), transformations(5), transformations(5))
+    @settings(max_examples=80)
+    def test_then_associative(self, f, g, h):
+        assert f.then(g).then(h) == f.then(g.then(h))
+
+    @given(transformations(6))
+    def test_identity_is_unit(self, f):
+        e = Transformation.identity(6)
+        assert e.then(f) == f
+        assert f.then(e) == f
+
+    @given(transformations(4))
+    def test_rank_monotone_under_composition(self, f):
+        # composing can never increase rank
+        g = Transformation([0, 0, 1, 2])
+        assert f.then(g).rank() <= min(f.rank() + 1, 4)
+        assert f.then(g).rank() <= f.rank() or f.then(g).rank() <= g.rank()
+
+
+class TestCorrespondence:
+    def test_identity(self):
+        c = Correspondence.identity(3)
+        assert c.is_identity()
+        assert c(1) == [1]
+
+    def test_then_union_semantics(self):
+        # f(0) = {0,1}; g(0) = {2}, g(1) = {0}; (f⊙g)(0) = g(0) ∪ g(1)
+        f = Correspondence(np.array([[1, 1, 0], [0, 0, 0], [0, 0, 0]], dtype=bool))
+        g = Correspondence(np.array([[0, 0, 1], [1, 0, 0], [0, 0, 0]], dtype=bool))
+        fg = f.then(g)
+        assert fg(0) == [0, 2]
+
+    def test_from_transformation(self):
+        t = Transformation([1, 0])
+        c = Correspondence.from_transformation(t)
+        assert c.is_functional()
+        assert c.to_transformation() == t
+
+    def test_to_transformation_requires_functional(self):
+        c = Correspondence(np.array([[1, 1], [0, 1]], dtype=bool))
+        with pytest.raises(AutomatonError):
+            c.to_transformation()
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(AutomatonError):
+            Correspondence(np.zeros((2, 3), dtype=bool))
+
+    def test_apply_set(self):
+        f = Correspondence(np.array([[0, 1], [1, 0]], dtype=bool))
+        row = np.array([True, False])
+        out = f.apply_set(row)
+        assert out.tolist() == [False, True]
+
+    @given(correspondences(4), correspondences(4), correspondences(4))
+    @settings(max_examples=60)
+    def test_then_associative(self, f, g, h):
+        assert f.then(g).then(h) == f.then(g.then(h))
+
+    @given(correspondences(4))
+    def test_identity_is_unit(self, f):
+        e = Correspondence.identity(4)
+        assert e.then(f) == f
+        assert f.then(e) == f
+
+    @given(transformations(5), transformations(5))
+    @settings(max_examples=40)
+    def test_embedding_homomorphism(self, f, g):
+        # Correspondence embedding respects composition
+        cf = Correspondence.from_transformation(f)
+        cg = Correspondence.from_transformation(g)
+        assert cf.then(cg) == Correspondence.from_transformation(f.then(g))
+
+
+class TestChains:
+    def test_chain_transformations(self):
+        f = Transformation([1, 0])
+        assert compose_chain_transformations([f, f]).is_identity()
+
+    def test_chain_correspondences(self):
+        c = Correspondence.identity(3)
+        assert compose_chain_correspondences([c, c, c]).is_identity()
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            compose_chain_transformations([])
+        with pytest.raises(ValueError):
+            compose_chain_correspondences([])

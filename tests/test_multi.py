@@ -1,0 +1,127 @@
+"""Multi-pattern (ruleset) matching."""
+
+import re
+
+import pytest
+
+from repro.errors import MatchEngineError, StateExplosionError
+from repro.matching.multi import MultiPatternSet
+
+
+RULES = ["abc", "a[0-9]+b", "(GET|POST) /x", "zz*top"]
+
+
+@pytest.fixture(scope="module")
+def mps():
+    return MultiPatternSet(RULES)
+
+
+class TestConstruction:
+    def test_needs_patterns(self):
+        with pytest.raises(MatchEngineError):
+            MultiPatternSet([])
+
+    def test_bad_mode(self):
+        with pytest.raises(MatchEngineError):
+            MultiPatternSet(["a"], mode="prefix")
+
+    def test_sizes(self, mps):
+        s = mps.sizes()
+        assert s["rules"] == 4
+        assert s["union_dfa"] > 1
+        assert s["union_d_sfa"] >= s["union_dfa"] // 2
+
+    def test_state_budget(self):
+        with pytest.raises(StateExplosionError):
+            MultiPatternSet(["(a|b)*a(a|b){12}"], max_dfa_states=50)
+
+    def test_repr(self, mps):
+        assert "rules=4" in repr(mps)
+
+
+class TestSearchSemantics:
+    def test_single_rule_hit(self, mps):
+        assert mps.matches(b"xx abc yy") == {0}
+
+    def test_multiple_rules_hit(self, mps):
+        data = b"abc and a42b and zztop"
+        assert mps.matches(data) == {0, 1, 3}
+
+    def test_no_hit(self, mps):
+        assert mps.matches(b"nothing here") == set()
+        assert not mps.matches_any(b"nothing here")
+
+    def test_matches_any(self, mps):
+        assert mps.matches_any(b"GET /x HTTP/1.1")
+
+    def test_agrees_with_re_search(self, mps):
+        payloads = [
+            b"", b"abc", b"xabcx", b"a1b a22b", b"POST /x", b"GET /y",
+            b"ztop", b"zztop", b"zzztop", b"abca0bzztopGET /x",
+        ]
+        for data in payloads:
+            expected = {
+                i for i, r in enumerate(RULES) if re.search(r.encode(), data)
+            }
+            assert mps.matches(data) == expected, data
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("p", [2, 3, 5, 9])
+    def test_parallel_matches_serial(self, mps, p):
+        data = b"junk abc junk a987b junk zztop END" * 3
+        assert mps.matches(data, num_chunks=p) == mps.matches(data)
+        assert mps.scan_chunked(data, p) == mps.matches(data)
+
+    def test_matches_any_parallel(self, mps):
+        data = b"x" * 100 + b"abc" + b"y" * 100
+        assert mps.matches_any(data, num_chunks=7)
+
+
+class TestFullmatchMode:
+    def test_fullmatch_rules(self):
+        mps = MultiPatternSet(["(ab)*", "a+"], mode="fullmatch")
+        assert mps.matches(b"abab") == {0}
+        assert mps.matches(b"aaa") == {1}
+        assert mps.matches(b"") == {0}
+        assert mps.matches(b"abz") == set()
+
+    def test_overlapping_rules(self):
+        mps = MultiPatternSet(["a*", "a{2}"], mode="fullmatch")
+        assert mps.matches(b"aa") == {0, 1}
+        assert mps.matches(b"a") == {0}
+
+
+class TestIgnoreCase:
+    def test_case_insensitive_rules(self):
+        mps = MultiPatternSet(["attack"], ignore_case=True)
+        assert mps.matches(b"an ATTACK detected") == {0}
+
+
+class TestWithSyntheticRuleset:
+    def test_compile_and_scan_ruleset(self):
+        from repro.workloads.snort import generate_ruleset
+
+        # the union DFA is a cross product of the Σ*-wrapped rules, so the
+        # rule count per group stays small (SNORT groups rules the same way)
+        rules = [p for p in generate_ruleset(12, seed=5)][:5]
+        mps = MultiPatternSet(rules, max_dfa_states=300_000)
+        # every rule must be locatable via its own matched text
+        from repro.workloads.textgen import accepted_text
+        from repro import compile_pattern
+
+        found_self = 0
+        from repro.errors import AutomatonError
+
+        for i, r in enumerate(rules):
+            dfa = compile_pattern(r).min_dfa
+            try:
+                needle = accepted_text(dfa, 30, seed=i)
+            except AutomatonError:
+                needle = accepted_text(dfa, 1, seed=i)  # finite language
+            if not needle:
+                continue
+            hits = mps.matches(b"-- " + needle + b" --", num_chunks=3)
+            if i in hits:
+                found_self += 1
+        assert found_self >= 4  # most rules find their own witness

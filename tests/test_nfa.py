@@ -1,0 +1,140 @@
+"""Unit tests for NFA constructions (Glushkov and Thompson)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import (
+    NFA,
+    glushkov_nfa,
+    nfa_from_transitions,
+    remove_epsilon,
+    thompson_epsilon_nfa,
+    thompson_nfa,
+    trim_nfa,
+)
+from repro.errors import AutomatonError
+from repro.regex.parser import parse
+
+
+def accepts(nfa: NFA, text: bytes) -> bool:
+    return nfa.accepts(text)
+
+
+class TestGlushkov:
+    def test_position_count(self):
+        # Glushkov automaton has (number of literal positions) + 1 states
+        nfa = glushkov_nfa(parse("(ab)*"))
+        assert nfa.size == 3
+
+    def test_repeat_positions(self):
+        nfa = glushkov_nfa(parse("a{3}"))
+        assert nfa.size == 4
+
+    def test_no_epsilon_by_construction(self):
+        # Glushkov NFAs have no epsilon; acceptance of "" is via start state
+        nfa = glushkov_nfa(parse("a*"))
+        assert accepts(nfa, b"")
+        assert accepts(nfa, b"aaa")
+        assert not accepts(nfa, b"b")
+
+    @pytest.mark.parametrize(
+        "pattern,yes,no",
+        [
+            ("(ab)*", [b"", b"ab", b"abab"], [b"a", b"ba", b"aba"]),
+            ("a|bc", [b"a", b"bc"], [b"", b"b", b"abc"]),
+            ("a+b?", [b"a", b"ab", b"aab"], [b"", b"b", b"ba"]),
+            ("[0-9]{2}", [b"42", b"00"], [b"4", b"421", b"ab"]),
+            ("x(y|z)*x", [b"xx", b"xyzx", b"xzzzx"], [b"x", b"xy", b"xyx_"]),
+        ],
+    )
+    def test_membership(self, pattern, yes, no):
+        nfa = glushkov_nfa(parse(pattern))
+        for w in yes:
+            assert accepts(nfa, w), (pattern, w)
+        for w in no:
+            assert not accepts(nfa, w), (pattern, w)
+
+    def test_never(self):
+        nfa = glushkov_nfa(parse("[^\\x00-\\xff]" if False else "a"))
+        assert accepts(nfa, b"a")
+
+    def test_initial_is_single_start(self):
+        nfa = glushkov_nfa(parse("ab"))
+        assert nfa.initial == 1  # bitmask of state 0
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "pattern", ["(ab)*", "a|bc", "a+b?", "[0-9]{2}", "x(y|z)*x", "", "a{2,4}"]
+    )
+    def test_agrees_with_glushkov(self, pattern):
+        g = glushkov_nfa(parse(pattern))
+        t = thompson_nfa(parse(pattern))
+        for w in [b"", b"a", b"ab", b"abab", b"bc", b"aab", b"42", b"xyzx", b"aaa", b"aaaa"]:
+            assert g.accepts(w) == t.accepts(w), (pattern, w)
+
+    def test_epsilon_closure(self):
+        enfa = thompson_epsilon_nfa(parse("a*"))
+        closure = enfa.epsilon_closure(enfa.initial)
+        # the closure of a star's entry includes its exit
+        assert closure & enfa.final
+
+    def test_remove_epsilon_preserves(self):
+        enfa = thompson_epsilon_nfa(parse("(a|b)*c"))
+        nfa = remove_epsilon(enfa)
+        assert nfa.accepts(b"abc")
+        assert nfa.accepts(b"c")
+        assert not nfa.accepts(b"ab")
+
+
+class TestNFAStructure:
+    def test_reverse_language(self):
+        nfa = glushkov_nfa(parse("abc"))
+        rev = nfa.reverse()
+        assert rev.accepts_classes(
+            nfa.partition.translate(b"cba")
+        )
+        assert not rev.accepts_classes(nfa.partition.translate(b"abc"))
+
+    def test_class_matrices_shape(self):
+        nfa = glushkov_nfa(parse("(ab)*"))
+        mats = nfa.class_matrices()
+        assert mats.shape == (nfa.num_classes, nfa.size, nfa.size)
+        assert mats.sum() == nfa.num_transitions()
+
+    def test_trim_drops_unreachable(self):
+        # build an NFA with an unreachable state by hand
+        nfa = nfa_from_transitions(
+            3, 1, [(0, 0, 1), (2, 0, 2)], initial=[0], final=[1]
+        )
+        trimmed = trim_nfa(nfa)
+        assert trimmed.size == 2
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(2, 1, [[0]], 1, 1)  # wrong trans length
+
+    def test_byte_input_without_partition_rejected(self):
+        nfa = nfa_from_transitions(1, 1, [], initial=[0], final=[0])
+        with pytest.raises(AutomatonError):
+            nfa.accepts(b"x")
+
+    def test_num_transitions(self):
+        nfa = nfa_from_transitions(
+            2, 2, [(0, 0, 1), (0, 1, 1), (1, 0, 0)], initial=[0], final=[1]
+        )
+        assert nfa.num_transitions() == 3
+
+
+@given(st.text(alphabet="ab", max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_glushkov_thompson_agree_on_random_words(word):
+    pattern = "(a|b)*abb"  # the classic
+    g = glushkov_nfa(parse(pattern))
+    t = thompson_nfa(parse(pattern))
+    w = word.encode()
+    expected = word.endswith("abb")
+    assert g.accepts(w) == expected
+    assert t.accepts(w) == expected

@@ -1,0 +1,109 @@
+"""Language-level DFA operations."""
+
+import pytest
+
+from repro.automata import glushkov_nfa, minimize, subset_construction
+from repro.automata.ops import (
+    complement,
+    count_words_of_length,
+    difference,
+    equivalent,
+    intersect,
+    is_empty,
+    language_fingerprint,
+    shortest_accepted,
+    union,
+)
+from repro.regex.parser import parse
+
+
+def dfa_of(pattern: str):
+    return minimize(subset_construction(glushkov_nfa(parse(pattern))))
+
+
+class TestProducts:
+    def test_intersection(self):
+        d = intersect(dfa_of("a*b*"), dfa_of("(ab)*"))
+        # a*b* ∩ (ab)* = {ε, ab}
+        assert d.accepts(b"")
+        assert d.accepts(b"ab")
+        assert not d.accepts(b"abab")
+        assert not d.accepts(b"aabb")
+
+    def test_union(self):
+        d = union(dfa_of("a+"), dfa_of("b+"))
+        assert d.accepts(b"aa") and d.accepts(b"b")
+        assert not d.accepts(b"ab") and not d.accepts(b"")
+
+    def test_difference(self):
+        d = difference(dfa_of("a*"), dfa_of("aa*"))
+        assert d.accepts(b"")
+        assert not d.accepts(b"a")
+
+    def test_complement(self):
+        d = complement(dfa_of("(ab)*"))
+        assert d.accepts(b"a")
+        assert not d.accepts(b"abab")
+        assert not d.accepts(b"")
+
+
+class TestEquivalence:
+    def test_same_language_different_patterns(self):
+        assert equivalent(dfa_of("(a|b)*"), dfa_of("(b|a)*"))
+        assert equivalent(dfa_of("aa*"), dfa_of("a+"))
+        assert equivalent(dfa_of("a{2,4}"), dfa_of("aa(a(a)?)?"))
+
+    def test_different_languages(self):
+        assert not equivalent(dfa_of("a*"), dfa_of("a+"))
+        assert not equivalent(dfa_of("(ab)*"), dfa_of("(ba)*"))
+
+    def test_demorgan(self):
+        a, b = dfa_of("(ab)*"), dfa_of("a*b*")
+        lhs = complement(union(a, b))
+        rhs = intersect(complement(a), complement(b))
+        assert equivalent(lhs, rhs)
+
+    def test_intersection_via_difference(self):
+        a, b = dfa_of("(a|b){2,6}"), dfa_of("a*b*")
+        assert equivalent(intersect(a, b), difference(a, complement(b)))
+
+
+class TestEmptinessAndWitness:
+    def test_is_empty(self):
+        assert is_empty(intersect(dfa_of("a+"), dfa_of("b+")))
+        assert not is_empty(dfa_of("a?"))
+
+    def test_shortest_accepted(self):
+        d = dfa_of("aab|b")
+        w = shortest_accepted(d)
+        assert w is not None and len(w) == 1  # "b"
+
+    def test_shortest_accepted_epsilon(self):
+        assert shortest_accepted(dfa_of("a*")) == []
+
+    def test_shortest_accepted_empty_language(self):
+        d = intersect(dfa_of("a+"), dfa_of("b+"))
+        assert shortest_accepted(d) is None
+
+
+class TestCounting:
+    def test_count_words(self):
+        d = dfa_of("(a|b){3}")
+        assert count_words_of_length(d, 3) == 8
+        assert count_words_of_length(d, 2) == 0
+
+    def test_count_star(self):
+        d = dfa_of("(ab)*")
+        assert [count_words_of_length(d, i) for i in range(5)] == [1, 0, 1, 0, 1]
+
+    def test_fingerprint_distinguishes(self):
+        assert language_fingerprint(dfa_of("a*")) != language_fingerprint(dfa_of("a+"))
+
+    def test_count_full_alphabet(self):
+        d = dfa_of("..")  # two any-bytes (minus newline)
+        assert count_words_of_length(d, 2) == 1  # one class sequence
+        assert count_words_of_length(d, 2, by_bytes=True) == 255 * 255
+
+    def test_count_by_bytes_classes(self):
+        d = dfa_of("[ab][0-9]")
+        assert count_words_of_length(d, 2, by_bytes=True) == 2 * 10

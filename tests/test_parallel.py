@@ -1,0 +1,157 @@
+"""Chunking, reductions and executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatchEngineError
+from repro.parallel.chunking import lockstep_layout, split_balanced, split_classes
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.parallel.reduction import (
+    sequential_reduction_dsfa,
+    sequential_reduction_nsfa,
+    tree_reduction_boolean,
+    tree_reduction_transformations,
+)
+
+
+class TestSplitBalanced:
+    def test_even_split(self):
+        assert split_balanced(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_goes_first(self):
+        spans = split_balanced(10, 3)
+        lengths = [b - a for a, b in spans]
+        assert lengths == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        spans = split_balanced(2, 5)
+        assert len(spans) == 5
+        assert sum(b - a for a, b in spans) == 2
+
+    def test_zero_items(self):
+        spans = split_balanced(0, 3)
+        assert all(a == b for a, b in spans)
+
+    def test_invalid_p(self):
+        with pytest.raises(MatchEngineError):
+            split_balanced(5, 0)
+
+    @given(st.integers(0, 1000), st.integers(1, 32))
+    def test_partition_properties(self, n, p):
+        spans = split_balanced(n, p)
+        assert len(spans) == p
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+            assert b1 == a2  # contiguous
+        lengths = [b - a for a, b in spans]
+        assert max(lengths) - min(lengths) <= 1  # balanced
+
+
+class TestSplitClasses:
+    def test_views_cover_input(self):
+        arr = np.arange(17)
+        chunks = split_classes(arr, 4)
+        assert np.concatenate(chunks).tolist() == arr.tolist()
+
+    def test_views_not_copies(self):
+        arr = np.arange(8)
+        chunks = split_classes(arr, 2)
+        assert chunks[0].base is arr
+
+
+class TestLockstepLayout:
+    def test_block_shape_and_tail(self):
+        arr = np.arange(11)
+        block, tail = lockstep_layout(arr, 4)
+        assert block.shape == (2, 4)  # m = 11 // 4 = 2
+        assert tail.tolist() == [8, 9, 10]
+
+    def test_position_major_layout(self):
+        arr = np.arange(8)
+        block, tail = lockstep_layout(arr, 2)
+        # chunk 0 = [0..3], chunk 1 = [4..7]; row j = position j of chunks
+        assert block[:, 0].tolist() == [0, 1, 2, 3]
+        assert block[:, 1].tolist() == [4, 5, 6, 7]
+        assert len(tail) == 0
+
+    def test_rows_contiguous(self):
+        arr = np.arange(12)
+        block, _ = lockstep_layout(arr, 3)
+        assert block.flags["C_CONTIGUOUS"]
+
+
+class TestReductions:
+    def test_sequential_dsfa(self):
+        maps = np.array([[0, 1, 2], [1, 2, 0], [2, 2, 2]], dtype=np.int32)
+        assert sequential_reduction_dsfa(maps, [1, 1], initial=0) == 2
+        assert sequential_reduction_dsfa(maps, [], initial=1) == 1
+
+    def test_sequential_nsfa(self):
+        maps = np.zeros((2, 2, 2), dtype=bool)
+        maps[0] = np.eye(2, dtype=bool)
+        maps[1] = [[0, 1], [1, 0]]
+        row = sequential_reduction_nsfa(maps, [1], initial_states=[0])
+        assert row.tolist() == [False, True]
+
+    def test_tree_transformations_equals_fold(self):
+        rng = np.random.default_rng(3)
+        parts = [rng.integers(0, 6, size=6).astype(np.int32) for _ in range(9)]
+        tree = tree_reduction_transformations(parts)
+        acc = parts[0]
+        for t in parts[1:]:
+            acc = t[acc]
+        assert (tree == acc).all()
+
+    def test_tree_boolean_equals_fold(self):
+        rng = np.random.default_rng(4)
+        parts = [(rng.random((4, 4)) < 0.4) for _ in range(7)]
+        tree = tree_reduction_boolean(parts)
+        acc = parts[0].astype(np.uint8)
+        for m in parts[1:]:
+            acc = ((acc @ m.astype(np.uint8)) > 0).astype(np.uint8)
+        assert (tree == (acc > 0)).all()
+
+    def test_empty_reduction_rejected(self):
+        with pytest.raises(MatchEngineError):
+            tree_reduction_transformations([])
+        with pytest.raises(MatchEngineError):
+            tree_reduction_boolean([])
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_any_width(self, width):
+        parts = [np.arange(4, dtype=np.int32) for _ in range(width)]
+        assert (tree_reduction_transformations(parts) == np.arange(4)).all()
+
+
+class TestExecutors:
+    def test_serial_order_preserved(self):
+        ex = SerialExecutor()
+        out = ex.map(lambda a: int(a.sum()), [np.array([1]), np.array([2, 3])])
+        assert out == [1, 5]
+
+    def test_thread_pool_matches_serial(self):
+        chunks = [np.arange(i + 1) for i in range(8)]
+        fn = lambda a: int(a.sum())
+        with ThreadExecutor(4) as ex:
+            assert ex.map(fn, chunks) == SerialExecutor().map(fn, chunks)
+
+    def test_fresh_threads_mode(self):
+        ex = ThreadExecutor(2, fresh_threads=True)
+        assert ex.map(lambda a: len(a), [np.arange(3)]) == [3]
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(MatchEngineError):
+            ThreadExecutor(0)
+
+    def test_thread_executor_with_sfa_run(self):
+        from repro.matching.parallel_sfa import parallel_sfa_run
+        from .conftest import compiled
+
+        m = compiled("(ab)*")
+        classes = m.translate(b"ab" * 40)
+        with ThreadExecutor(4) as ex:
+            res = parallel_sfa_run(m.sfa, classes, 4, executor=ex)
+        assert res.accepted

@@ -1,0 +1,250 @@
+"""Unit tests for the regex parser."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError, UnsupportedFeatureError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import CharSet
+from repro.regex.parser import parse
+
+
+class TestBasicAtoms:
+    def test_single_char(self):
+        node = parse("a")
+        assert isinstance(node, Literal)
+        assert set(node.charset) == {ord("a")}
+
+    def test_concat(self):
+        node = parse("ab")
+        assert isinstance(node, Concat)
+        assert len(node.children) == 2
+
+    def test_empty_pattern(self):
+        assert isinstance(parse(""), Empty)
+
+    def test_dot_excludes_newline(self):
+        node = parse(".")
+        assert 0x0A not in node.charset
+        assert len(node.charset) == 255
+
+    def test_dotall(self):
+        node = parse(".", dotall=True)
+        assert len(node.charset) == 256
+
+    def test_inline_dotall_flag(self):
+        node = parse("(?s).")
+        assert len(node.charset) == 256
+
+    def test_escaped_metachar(self):
+        node = parse(r"\.")
+        assert set(node.charset) == {ord(".")}
+
+    def test_hex_escape(self):
+        node = parse(r"\x41")
+        assert set(node.charset) == {0x41}
+
+    def test_hex_escape_bad(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(r"\xZZ")
+
+    def test_control_escapes(self):
+        for pat, byte in [(r"\n", 0x0A), (r"\t", 0x09), (r"\r", 0x0D), (r"\0", 0x00)]:
+            assert set(parse(pat).charset) == {byte}
+
+    def test_class_escapes(self):
+        assert len(parse(r"\d").charset) == 10
+        assert len(parse(r"\D").charset) == 246
+        assert len(parse(r"\w").charset) == 63
+        assert len(parse(r"\s").charset) == 6
+
+
+class TestQuantifiers:
+    def test_star(self):
+        assert isinstance(parse("a*"), Star)
+
+    def test_plus_is_concat_star(self):
+        node = parse("a+")
+        assert isinstance(node, Concat)
+        assert isinstance(node.children[1], Star)
+
+    def test_optional_is_alternation_with_empty(self):
+        node = parse("a?")
+        assert isinstance(node, Alternation)
+        assert any(isinstance(c, Empty) for c in node.children)
+
+    def test_bounded_repeat(self):
+        node = parse("a{2,4}")
+        assert isinstance(node, Repeat)
+        assert (node.lo, node.hi) == (2, 4)
+
+    def test_exact_repeat(self):
+        node = parse("a{3}")
+        assert (node.lo, node.hi) == (3, 3)
+
+    def test_open_repeat(self):
+        node = parse("a{2,}")
+        assert (node.lo, node.hi) == (2, None)
+
+    def test_literal_brace_not_bounds(self):
+        node = parse("a{b}")
+        assert isinstance(node, Concat)  # '{', 'b', '}' are literals
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{4,2}")
+
+    def test_nothing_to_repeat(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+
+    def test_lazy_quantifier_same_language(self):
+        # '*?' parses; laziness doesn't change the language
+        assert isinstance(parse("a*?"), Star)
+
+    def test_huge_bound_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{100000}")
+
+
+class TestGroupsAndAlternation:
+    def test_group(self):
+        node = parse("(ab)*")
+        assert isinstance(node, Star)
+
+    def test_noncapturing_group(self):
+        assert isinstance(parse("(?:ab)*"), Star)
+
+    def test_alternation(self):
+        node = parse("a|b|c")
+        assert isinstance(node, Alternation)
+        assert len(node.children) == 3
+
+    def test_empty_branch(self):
+        node = parse("a|")
+        assert isinstance(node, Alternation)
+        assert node.nullable
+
+    def test_unbalanced_open(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_nested_groups(self):
+        node = parse("((a|b)c)*")
+        assert isinstance(node, Star)
+
+
+class TestCharClasses:
+    def test_simple_class(self):
+        node = parse("[abc]")
+        assert set(node.charset) == {ord(c) for c in "abc"}
+
+    def test_range(self):
+        node = parse("[a-d]")
+        assert len(node.charset) == 4
+
+    def test_negated(self):
+        node = parse("[^a]")
+        assert ord("a") not in node.charset
+        assert len(node.charset) == 255
+
+    def test_class_with_escape(self):
+        node = parse(r"[\n\t]")
+        assert set(node.charset) == {0x0A, 0x09}
+
+    def test_class_with_class_escape(self):
+        node = parse(r"[\d_]")
+        assert len(node.charset) == 11
+
+    def test_literal_dash_at_end(self):
+        node = parse("[a-]")
+        assert set(node.charset) == {ord("a"), ord("-")}
+
+    def test_leading_close_bracket(self):
+        node = parse("[]a]")
+        assert set(node.charset) == {ord("]"), ord("a")}
+
+    def test_unterminated(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+    def test_reversed_range(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+    def test_backspace_escape_inside_class(self):
+        node = parse(r"[\b]")
+        assert set(node.charset) == {0x08}
+
+
+class TestAnchorsAndFlags:
+    def test_leading_caret_ignored(self):
+        assert parse("^abc") == parse("abc")
+
+    def test_trailing_dollar_ignored(self):
+        assert parse("abc$") == parse("abc")
+
+    def test_mid_pattern_anchor_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("a^b")
+        with pytest.raises(UnsupportedFeatureError):
+            parse("a$b")
+
+    def test_ignore_case_flag(self):
+        node = parse("a", ignore_case=True)
+        assert set(node.charset) == {ord("a"), ord("A")}
+
+    def test_inline_i_flag(self):
+        node = parse("(?i)a")
+        assert set(node.charset) == {ord("a"), ord("A")}
+
+    def test_case_insensitive_class(self):
+        node = parse("[a-c]", ignore_case=True)
+        assert len(node.charset) == 6
+
+
+class TestUnsupportedFeatures:
+    @pytest.mark.parametrize(
+        "pattern",
+        [r"(a)\1", r"(?=a)", r"(?!a)", r"(?<=a)b", r"(?P<name>a)", r"a\b", r"\p{L}"],
+    )
+    def test_nonregular_features_raise(self, pattern):
+        with pytest.raises(UnsupportedFeatureError):
+            parse(pattern)
+
+
+class TestNullability:
+    @pytest.mark.parametrize(
+        "pattern,nullable",
+        [
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("(ab)*", True),
+            ("a|b*", True),
+            ("a{0,3}", True),
+            ("a{1,3}", False),
+            ("", True),
+            ("()", True),
+        ],
+    )
+    def test_nullable(self, pattern, nullable):
+        assert parse(pattern).nullable == nullable
+
+
+class TestCharsets:
+    def test_charsets_collected(self):
+        node = parse("[ab]c*")
+        sets = list(node.charsets())
+        assert CharSet.from_str("ab") in sets
+        assert CharSet.single(ord("c")) in sets

@@ -1,0 +1,111 @@
+"""Round-trip tests: to_pattern(parse(p)) preserves the language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import glushkov_nfa, minimize, subset_construction
+from repro.automata.ops import equivalent
+from repro.regex.parser import parse
+from repro.regex.printer import charset_to_pattern, to_pattern
+from repro.regex.charclass import CharSet
+
+
+def _language_equal(p1: str, p2: str) -> bool:
+    d1 = minimize(subset_construction(glushkov_nfa(parse(p1))))
+    d2 = minimize(subset_construction(glushkov_nfa(parse(p2))))
+    return equivalent(d1, d2)
+
+
+SAMPLE_PATTERNS = [
+    "a",
+    "abc",
+    "(ab)*",
+    "a|b",
+    "a|b|cd",
+    "[a-z]+",
+    "[^a-z]",
+    "a{2,4}",
+    "a{3}",
+    "a{2,}",
+    "(a|b)*c?",
+    r"\d+\.\d+",
+    r"\n\t",
+    ".",
+    "a?b*c+",
+    "([0-4]{2}[5-9]{2})*",
+    "(GET|POST) /[a-z]{1,4}",
+    r"[\x00-\x1f]{2}",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("pattern", SAMPLE_PATTERNS)
+    def test_language_preserved(self, pattern):
+        printed = to_pattern(parse(pattern))
+        assert _language_equal(pattern, printed), (pattern, printed)
+
+    @pytest.mark.parametrize("pattern", SAMPLE_PATTERNS)
+    def test_printed_reparses(self, pattern):
+        printed = to_pattern(parse(pattern))
+        reparsed = to_pattern(parse(printed))
+        # printing is idempotent once normalized
+        assert to_pattern(parse(reparsed)) == reparsed
+
+
+class TestCharsetPrinting:
+    def test_single_printable(self):
+        assert charset_to_pattern(CharSet.single(ord("a"))) == "a"
+
+    def test_metachar_escaped(self):
+        assert charset_to_pattern(CharSet.single(ord("."))) == r"\."
+
+    def test_nonprintable_hex(self):
+        assert charset_to_pattern(CharSet.single(0x00)) == r"\x00"
+
+    def test_range_class(self):
+        assert charset_to_pattern(CharSet.from_ranges((ord("a"), ord("d")))) == "[a-d]"
+
+    def test_negated_shorter(self):
+        cs = CharSet.single(ord("a")).negate()
+        assert charset_to_pattern(cs) == "[^a]"
+
+    def test_dot(self):
+        assert charset_to_pattern(CharSet.dot()) == "."
+
+    def test_any_byte(self):
+        out = charset_to_pattern(CharSet.any_byte())
+        # printed form must reparse to the full byte set
+        node = parse(out)
+        assert node.charset == CharSet.any_byte()
+
+
+# A small recursive strategy over the safe regex fragment.
+_atoms = st.sampled_from(list("abc01") + ["[ab]", "[a-c]", "."])
+
+
+def _compose(children):
+    joiner = st.sampled_from(["concat", "alt", "star", "opt"])
+
+    def build(j, parts):
+        if j == "concat":
+            return "".join(parts)
+        if j == "alt":
+            return "|".join(parts)
+        if j == "star":
+            return f"(?:{parts[0]})*"
+        return f"(?:{parts[0]})?"
+
+    return st.tuples(joiner, st.lists(children, min_size=1, max_size=3)).map(
+        lambda t: build(t[0], t[1])
+    )
+
+
+regex_strategy = st.recursive(_atoms, _compose, max_leaves=6)
+
+
+@given(regex_strategy)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(pattern):
+    printed = to_pattern(parse(pattern))
+    assert _language_equal(pattern, printed), (pattern, printed)

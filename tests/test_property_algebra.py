@@ -1,0 +1,114 @@
+"""Property tests: language algebra laws over randomized patterns.
+
+Random patterns from the shared safe dialect are combined with product
+constructions and checked against CPython's ``re`` acting as the oracle
+for the combined language — exercising the byte-level alphabet alignment
+path of :mod:`repro.automata.ops` as well.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.ops import (
+    complement,
+    count_words_of_length,
+    difference,
+    equivalent,
+    intersect,
+    is_empty,
+    union,
+)
+
+from .conftest import compiled
+
+_atoms = st.sampled_from(["a", "b", "c", "[ab]", "[bc]"])
+
+
+def _compose(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda t: t[0] + t[1]),
+        st.tuples(children, children).map(lambda t: f"(?:{t[0]}|{t[1]})"),
+        children.map(lambda p: f"(?:{p})*"),
+        children.map(lambda p: f"(?:{p})?"),
+    )
+
+
+patterns = st.recursive(_atoms, _compose, max_leaves=5)
+words = st.text(alphabet="abc", max_size=8).map(lambda s: s.encode())
+
+
+@given(patterns, patterns, words)
+@settings(max_examples=120, deadline=None)
+def test_union_matches_re_alternation(p1, p2, w):
+    d = union(compiled(p1).min_dfa, compiled(p2).min_dfa)
+    expected = re.fullmatch(f"(?:{p1})|(?:{p2})".encode(), w) is not None
+    assert d.accepts(w) == expected
+
+
+@given(patterns, patterns, words)
+@settings(max_examples=120, deadline=None)
+def test_intersection_is_conjunction(p1, p2, w):
+    d = intersect(compiled(p1).min_dfa, compiled(p2).min_dfa)
+    e1 = re.fullmatch(p1.encode(), w) is not None
+    e2 = re.fullmatch(p2.encode(), w) is not None
+    assert d.accepts(w) == (e1 and e2)
+
+
+@given(patterns, words)
+@settings(max_examples=120, deadline=None)
+def test_complement_is_negation(p, w):
+    d = complement(compiled(p).min_dfa)
+    expected = re.fullmatch(p.encode(), w) is None
+    assert d.accepts(w) == expected
+
+
+@given(patterns, patterns)
+@settings(max_examples=60, deadline=None)
+def test_difference_disjoint_from_subtrahend(p1, p2):
+    a, b = compiled(p1).min_dfa, compiled(p2).min_dfa
+    assert is_empty(intersect(difference(a, b), b))
+
+
+@given(patterns)
+@settings(max_examples=60, deadline=None)
+def test_double_complement_identity(p):
+    d = compiled(p).min_dfa
+    assert equivalent(d, complement(complement(d)))
+
+
+@given(patterns, patterns)
+@settings(max_examples=40, deadline=None)
+def test_union_commutes(p1, p2):
+    a, b = compiled(p1).min_dfa, compiled(p2).min_dfa
+    assert equivalent(union(a, b), union(b, a))
+
+
+@given(patterns, st.integers(0, 5))
+@settings(max_examples=60, deadline=None)
+def test_counting_consistent_with_union(p, length):
+    """|L1 ∪ L2| = |L1| + |L2| - |L1 ∩ L2| at every word length."""
+    a = compiled(p).min_dfa
+    b = compiled("(?:ab)*").min_dfa
+    u = union(a, b)
+    i = intersect(a, b)
+    ca = count_words_of_length(a, length, by_bytes=True)
+    cb = count_words_of_length(b, length, by_bytes=True)
+    cu = count_words_of_length(u, length, by_bytes=True)
+    ci = count_words_of_length(i, length, by_bytes=True)
+    assert cu == ca + cb - ci
+
+
+@given(patterns, words, st.integers(2, 6))
+@settings(max_examples=80, deadline=None)
+def test_sfa_respects_boolean_ops(p, w, chunks):
+    """Parallel SFA verdicts agree with DFA verdicts after any op."""
+    from repro.automata.sfa import correspondence_construction
+    from repro.matching.parallel_sfa import parallel_sfa_run
+
+    base = compiled(p).min_dfa
+    comp = complement(base)
+    sfa = correspondence_construction(comp, max_states=200_000)
+    classes = comp.partition.translate(w)
+    assert parallel_sfa_run(sfa, classes, chunks).accepted == comp.accepts(w)

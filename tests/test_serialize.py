@@ -1,0 +1,131 @@
+"""Automaton persistence round-trips and validation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.automata.serialize import load_dfa, load_sfa, save_dfa, save_sfa
+from repro.errors import AutomatonError
+
+from .conftest import compiled
+
+
+def roundtrip_dfa(dfa):
+    buf = io.BytesIO()
+    save_dfa(dfa, buf)
+    buf.seek(0)
+    return load_dfa(buf)
+
+
+def roundtrip_sfa(sfa):
+    buf = io.BytesIO()
+    save_sfa(sfa, buf)
+    buf.seek(0)
+    return load_sfa(buf)
+
+
+class TestDFARoundTrip:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "(a|b)*abb", "[0-9]{2,4}"])
+    def test_language_preserved(self, pattern):
+        m = compiled(pattern)
+        loaded = roundtrip_dfa(m.min_dfa)
+        for w in [b"", b"ab", b"abb", b"42", b"1234", b"x", b"abab"]:
+            assert loaded.accepts(w) == m.min_dfa.accepts(w), (pattern, w)
+
+    def test_exact_tables(self):
+        m = compiled("(ab)*")
+        loaded = roundtrip_dfa(m.min_dfa)
+        assert (loaded.table == m.min_dfa.table).all()
+        assert (loaded.accept == m.min_dfa.accept).all()
+        assert loaded.initial == m.min_dfa.initial
+        assert (loaded.partition.classmap == m.min_dfa.partition.classmap).all()
+
+    def test_to_file(self, tmp_path):
+        m = compiled("(ab)*")
+        path = str(tmp_path / "abstar_dfa.npz")
+        save_dfa(m.min_dfa, path)
+        loaded = load_dfa(path)
+        assert loaded.accepts(b"abab")
+
+    def test_symbolic_dfa_without_partition(self):
+        from repro.theory.witness import ex4_dfa
+
+        loaded = roundtrip_dfa(ex4_dfa(3))
+        assert loaded.partition is None
+        assert loaded.num_states == 3
+
+
+class TestSFARoundTrip:
+    @pytest.mark.parametrize("pattern", ["(ab)*", "(a|b)*abb"])
+    def test_dsfa_language_preserved(self, pattern):
+        m = compiled(pattern)
+        loaded = roundtrip_sfa(m.sfa)
+        for w in [b"", b"ab", b"abb", b"abab", b"ba"]:
+            assert loaded.accepts(w) == m.sfa.accepts(w)
+
+    def test_nsfa_roundtrip(self):
+        m = compiled("(ab)*")
+        loaded = roundtrip_sfa(m.nsfa)
+        assert loaded.kind == "N-SFA"
+        assert loaded.accepts(b"abab")
+        assert not loaded.accepts(b"aba")
+
+    def test_parallel_run_on_loaded(self):
+        from repro.matching.lockstep import lockstep_run
+
+        m = compiled("(ab)*")
+        loaded = roundtrip_sfa(m.sfa)
+        classes = loaded.partition.translate(b"ab" * 50)
+        assert lockstep_run(loaded, classes, 8).accepted
+
+    def test_mapping_payload_preserved(self):
+        m = compiled("(a|b)*abb")
+        loaded = roundtrip_sfa(m.sfa)
+        assert (loaded.maps == m.sfa.maps).all()
+        assert (loaded.origin_final == m.sfa.origin_final).all()
+
+
+class TestValidation:
+    def test_wrong_kind_rejected(self):
+        m = compiled("(ab)*")
+        buf = io.BytesIO()
+        save_dfa(m.min_dfa, buf)
+        buf.seek(0)
+        with pytest.raises(AutomatonError):
+            load_sfa(buf)
+
+    def test_sfa_as_dfa_rejected(self):
+        m = compiled("(ab)*")
+        buf = io.BytesIO()
+        save_sfa(m.sfa, buf)
+        buf.seek(0)
+        with pytest.raises(AutomatonError):
+            load_dfa(buf)
+
+    def test_corrupted_identity_rejected(self):
+        m = compiled("(ab)*")
+        buf = io.BytesIO()
+        save_sfa(m.sfa, buf)
+        buf.seek(0)
+        # tamper: swap the identity payload
+        data = dict(np.load(buf))
+        data["maps"] = data["maps"][::-1].copy()
+        buf2 = io.BytesIO()
+        np.savez_compressed(buf2, **data)
+        buf2.seek(0)
+        with pytest.raises(AutomatonError):
+            load_sfa(buf2)
+
+    def test_corrupted_table_rejected(self):
+        m = compiled("(ab)*")
+        buf = io.BytesIO()
+        save_sfa(m.sfa, buf)
+        buf.seek(0)
+        data = dict(np.load(buf))
+        data["table"] = data["table"] + 1000
+        buf2 = io.BytesIO()
+        np.savez_compressed(buf2, **data)
+        buf2.seek(0)
+        with pytest.raises(AutomatonError):
+            load_sfa(buf2)

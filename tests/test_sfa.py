@@ -1,0 +1,163 @@
+"""Unit tests for the correspondence construction and SFA semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    correspondence_construction,
+    glushkov_nfa,
+    minimize,
+    subset_construction,
+)
+from repro.automata.sfa import SFA
+from repro.errors import StateExplosionError
+from repro.regex.parser import parse
+
+
+def pipeline(pattern: str):
+    nfa = glushkov_nfa(parse(pattern))
+    dfa = minimize(subset_construction(nfa))
+    return nfa, dfa
+
+
+PATTERNS = ["(ab)*", "(a|b)*abb", "a{2,4}", "[0-9]+", "(ab|cd)*e?", "x(y|z)*x"]
+
+WORDS = [b"", b"a", b"ab", b"abab", b"abb", b"aabb", b"42", b"999", b"cdab",
+         b"xyzx", b"xx", b"aaaa", b"abba", b"e", b"abcde"]
+
+
+class TestDSFAConstruction:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_equivalent_to_dfa(self, pattern):
+        _, dfa = pipeline(pattern)
+        sfa = correspondence_construction(dfa)
+        for w in WORDS:
+            assert sfa.accepts(w) == dfa.accepts(w), (pattern, w)
+
+    def test_initial_is_identity(self):
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        assert sfa.initial == 0
+        assert (sfa.maps[0] == np.arange(dfa.num_states)).all()
+
+    def test_deterministic_table(self):
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        assert sfa.table.shape == (sfa.num_states, dfa.num_classes)
+        assert sfa.table.min() >= 0 and sfa.table.max() < sfa.num_states
+
+    def test_accept_matches_definition(self):
+        # f ∈ F_s  ⟺  f(q0) ∈ F
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        for i in range(sfa.num_states):
+            assert sfa.accept[i] == dfa.accept[sfa.maps[i, dfa.initial]]
+
+    def test_transition_is_composition(self):
+        # δ_s(f, c) maps q to δ(f(q), c) for every state and class
+        _, dfa = pipeline("(a|b)*abb")
+        sfa = correspondence_construction(dfa)
+        for i in range(sfa.num_states):
+            for c in range(sfa.num_classes):
+                j = int(sfa.table[i, c])
+                expected = dfa.table[sfa.maps[i], c]
+                assert (sfa.maps[j] == expected).all()
+
+    def test_state_budget(self):
+        from repro.theory.witness import ex4_dfa
+
+        with pytest.raises(StateExplosionError):
+            correspondence_construction(ex4_dfa(6), max_states=100)
+
+    def test_worst_case_n_to_n(self):
+        from repro.theory.witness import ex4_dfa
+
+        for n in (2, 3, 4):
+            sfa = correspondence_construction(ex4_dfa(n))
+            assert sfa.num_states == n**n
+
+    def test_bad_input_type(self):
+        with pytest.raises(TypeError):
+            correspondence_construction("not an automaton")
+
+
+class TestNSFAConstruction:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_equivalent_to_nfa(self, pattern):
+        nfa, _ = pipeline(pattern)
+        nsfa = correspondence_construction(nfa)
+        assert nsfa.kind == "N-SFA"
+        for w in WORDS:
+            assert nsfa.accepts(w) == nfa.accepts(w), (pattern, w)
+
+    def test_initial_identity_matrix(self):
+        nfa, _ = pipeline("(ab)*")
+        nsfa = correspondence_construction(nfa)
+        assert (nsfa.maps[0] == np.eye(nfa.size, dtype=bool)).all()
+
+    def test_nsfa_at_least_dsfa_semantics(self):
+        # N-SFA of the NFA accepts the same language as D-SFA of the DFA
+        nfa, dfa = pipeline("(ab|cd)*e?")
+        nsfa = correspondence_construction(nfa)
+        dsfa = correspondence_construction(dfa)
+        for w in WORDS:
+            assert nsfa.accepts(w) == dsfa.accepts(w)
+
+
+class TestMappingAlgebraOnSFA:
+    def test_compose_indices_closure(self):
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        for i in range(sfa.num_states):
+            for j in range(sfa.num_states):
+                k = sfa.compose_indices(i, j)
+                expected = sfa.maps[j][sfa.maps[i]]
+                assert (sfa.maps[k] == expected).all()
+
+    def test_compose_identity_neutral(self):
+        _, dfa = pipeline("(a|b)*abb")
+        sfa = correspondence_construction(dfa)
+        for i in range(sfa.num_states):
+            assert sfa.compose_indices(0, i) == i
+            assert sfa.compose_indices(i, 0) == i
+
+    def test_run_then_lookup_equals_word_mapping(self):
+        # running the SFA over w yields the state whose mapping is \hat{δ}_w
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        w = b"abab"
+        classes = dfa.partition.translate(w)
+        f = sfa.run_classes(classes)
+        for q in range(dfa.num_states):
+            assert sfa.maps[f, q] == dfa.run_classes(classes, start=q)
+
+    def test_final_states_of_mapping(self):
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        classes = dfa.partition.translate(b"ab")
+        f = sfa.run_classes(classes)
+        finals = sfa.final_states_of_mapping(f)
+        assert finals == [dfa.run_classes(classes)]
+
+    def test_trap_states(self):
+        _, dfa = pipeline("(ab)*")
+        sfa = correspondence_construction(dfa)
+        traps = sfa.trap_states()
+        assert len(traps) == 1  # the all-dead mapping
+        t = int(traps[0])
+        assert (sfa.maps[t] == sfa.maps[t][0]).all()
+
+
+@given(st.lists(st.sampled_from([0, 1]), max_size=40), st.integers(2, 5))
+@settings(max_examples=60, deadline=None)
+def test_sfa_word_mapping_property(bits, nsplit):
+    """The mapping reached on any word equals the all-starts simulation."""
+    _, dfa = pipeline("(ab)*")
+    sfa = correspondence_construction(dfa)
+    word = b"".join(b"ab"[b : b + 1] for b in bits)
+    classes = dfa.partition.translate(word)
+    f = sfa.run_classes(classes)
+    for q in range(dfa.num_states):
+        assert sfa.maps[f, q] == dfa.run_classes(classes, start=q)

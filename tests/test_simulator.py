@@ -1,0 +1,110 @@
+"""Machine-simulator sanity and figure-shape checks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.simulator import MachineConfig, SimulatedMachine
+
+GB = 10**9
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SimulatedMachine()
+
+
+class TestBasicProperties:
+    def test_dfa_sequential_linear_in_n(self, sim):
+        t1 = sim.dfa_sequential(GB, 10 * KB).seconds
+        t2 = sim.dfa_sequential(2 * GB, 10 * KB).seconds
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_sfa_parallel_speedup_small_ws(self, sim):
+        base = sim.sfa_parallel(GB, 1, 10 * KB).seconds
+        t12 = sim.sfa_parallel(GB, 12, 10 * KB).seconds
+        assert base / t12 > 8  # near-linear up to 12 cores
+
+    def test_more_threads_than_cores_waves(self, sim):
+        t12 = sim.sfa_parallel(GB, 12, 10 * KB).seconds
+        t13 = sim.sfa_parallel(GB, 13, 10 * KB).seconds
+        assert t13 > t12 * 1.5  # 13th thread forces a second wave
+
+    def test_invalid_p(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sfa_parallel(GB, 0, KB)
+        with pytest.raises(SimulationError):
+            sim.speculative_parallel(GB, 0, 10, KB)
+
+    def test_tree_reduction_needs_compose_cost(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sfa_parallel(GB, 4, KB, reduction="tree")
+
+    def test_unknown_reduction(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sfa_parallel(GB, 4, KB, reduction="magic")
+
+    def test_breakdown_sums_to_total(self, sim):
+        r = sim.sfa_parallel(GB, 6, 100 * KB)
+        assert sum(r.breakdown.values()) == pytest.approx(r.cycles)
+
+
+class TestSpeculativeOverhead:
+    def test_dfa_size_multiplies_cost(self, sim):
+        small = sim.speculative_parallel(GB, 4, dfa_size=10, working_set_bytes=40 * KB)
+        big = sim.speculative_parallel(GB, 4, dfa_size=1000, working_set_bytes=40 * KB)
+        assert big.seconds > 50 * small.seconds
+
+    def test_speculative_slower_than_sfa_same_chunks(self, sim):
+        """The paper's core claim: Algorithm 3 pays |D|× per char."""
+        spec = sim.speculative_parallel(GB, 8, dfa_size=100, working_set_bytes=100 * KB)
+        sfa = sim.sfa_parallel(GB, 8, working_set_bytes_per_thread=100 * KB)
+        assert spec.seconds > 10 * sfa.seconds
+
+
+class TestFigureShapes:
+    def test_fig6_shape_near_linear(self, sim):
+        """r5: tiny SFA (109 states) — scales ~linearly to 12 threads."""
+        curve = sim.speedup_curve(GB, 16 * KB, 16 * KB)
+        assert curve[12] / curve[1] > 8
+        assert all(curve[p + 1] >= curve[p] * 0.98 for p in range(2, 12))
+
+    def test_fig8_shape_reversal(self, sim):
+        """r500: SFA table ≫ L3 — parallel SFA loses to sequential DFA."""
+        dfa_ws = 64 * KB  # 1000-state DFA, one hot column
+        sfa_ws = 40 * MB  # per-thread slice of the 1 GB SFA table
+        curve = sim.speedup_curve(GB, sfa_ws, dfa_ws)
+        assert max(curve[p] for p in range(2, 13)) < curve[1]
+
+    def test_fig9_shape_locality_wins(self, sim):
+        """Huge table but single-state run: best throughput of all."""
+        curve = sim.speedup_curve(GB, 128, 128)
+        assert curve[12] / curve[1] > 8
+
+    def test_fig7_intermediate(self, sim):
+        """r50: SFA ~10 MB expanded — scales but below the r5 line."""
+        small = sim.speedup_curve(GB, 16 * KB, 16 * KB)
+        mid = sim.speedup_curve(GB, 1 * MB, 16 * KB)
+        assert mid[12] < small[12]
+        assert mid[12] > mid[2]  # still improves with threads
+
+    def test_fig10_crossover_exists(self):
+        """Small inputs: thread spawn dominates; crossover in the 100s of KB."""
+        sim = SimulatedMachine(MachineConfig())
+        sizes = [50 * KB, 100 * KB, 200 * KB, 400 * KB, 600 * KB, 800 * KB, 1600 * KB]
+        dfa = [sim.dfa_sequential(s, 8 * KB).seconds for s in sizes]
+        sfa2 = [sim.sfa_parallel(s, 2, 8 * KB).seconds for s in sizes]
+        # SFA with 2 threads loses on tiny inputs, wins on large
+        assert sfa2[0] > dfa[0]
+        assert sfa2[-1] < dfa[-1]
+
+
+class TestMachineConfig:
+    def test_seconds_conversion(self):
+        c = MachineConfig(clock_ghz=2.0)
+        assert c.seconds(2e9) == pytest.approx(1.0)
+
+    def test_per_char_includes_overlap(self):
+        c = MachineConfig(latency_overlap=2.0, scan_overhead_cycles=1.0)
+        assert c.per_char_cycles(8 * KB) == pytest.approx(1.0 + 4.0 / 2.0)

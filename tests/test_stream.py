@@ -1,0 +1,94 @@
+"""Streaming (online) matching."""
+
+import pytest
+
+from repro.errors import MatchEngineError
+from repro.matching.stream import ParallelStreamMatcher, StreamMatcher
+
+from .conftest import compiled
+
+
+class TestStreamMatcher:
+    def test_matches_offline_verdict(self):
+        m = compiled("(ab)*")
+        cur = StreamMatcher(m.sfa)
+        cur.feed(b"abab").feed(b"ab")
+        assert cur.accepted() == m.fullmatch(b"ababab")
+
+    def test_any_block_boundaries(self):
+        m = compiled("(a|b)*abb")
+        text = b"ababbabb" * 4
+        for cut in (1, 3, 7, 13):
+            cur = StreamMatcher(m.sfa)
+            for i in range(0, len(text), cut):
+                cur.feed(text[i : i + cut])
+            assert cur.accepted() == m.fullmatch(text), cut
+
+    def test_empty_blocks_are_noops(self):
+        m = compiled("(ab)*")
+        cur = StreamMatcher(m.sfa)
+        cur.feed(b"").feed(b"ab").feed(b"")
+        assert cur.accepted()
+        assert cur.bytes_consumed == 2
+
+    def test_reset(self):
+        m = compiled("(ab)*")
+        cur = StreamMatcher(m.sfa)
+        cur.feed(b"a")
+        assert not cur.accepted()
+        cur.reset()
+        assert cur.accepted()  # empty word is in (ab)*
+        assert cur.bytes_consumed == 0
+
+    def test_final_states(self):
+        m = compiled("(ab)*")
+        cur = StreamMatcher(m.sfa)
+        cur.feed(b"ab")
+        assert cur.final_states() == [m.min_dfa.initial]
+
+    def test_verdict_evolves(self):
+        m = compiled("(ab)*")
+        cur = StreamMatcher(m.sfa)
+        verdicts = []
+        for ch in b"abab":
+            cur.feed(bytes([ch]))
+            verdicts.append(cur.accepted())
+        assert verdicts == [False, True, False, True]
+
+
+class TestParallelStreamMatcher:
+    def test_matches_serial_cursor(self):
+        m = compiled("(a|b)*abb")
+        text = b"abbaabbbab" * 9
+        serial = StreamMatcher(m.sfa)
+        par = ParallelStreamMatcher(m.sfa, num_chunks=4)
+        for i in range(0, len(text), 17):
+            block = text[i : i + 17]
+            serial.feed(block)
+            par.feed(block)
+            assert par.accepted() == serial.accepted()
+            assert par.state == serial.state
+
+    def test_bad_chunks(self):
+        m = compiled("(ab)*")
+        with pytest.raises(MatchEngineError):
+            ParallelStreamMatcher(m.sfa, num_chunks=0)
+
+    def test_block_smaller_than_chunks(self):
+        m = compiled("(ab)*")
+        par = ParallelStreamMatcher(m.sfa, num_chunks=16)
+        par.feed(b"ab")  # 2 bytes < 16 chunks
+        assert par.accepted()
+
+    def test_consumed_accounting(self):
+        m = compiled("(ab)*")
+        par = ParallelStreamMatcher(m.sfa, num_chunks=4)
+        par.feed(b"abab").feed(b"")
+        assert par.bytes_consumed == 4
+
+    def test_reset(self):
+        m = compiled("(ab)*")
+        par = ParallelStreamMatcher(m.sfa, num_chunks=4)
+        par.feed(b"a")
+        par.reset()
+        assert par.state == m.sfa.initial

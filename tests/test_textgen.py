@@ -1,0 +1,102 @@
+"""Text generators must produce texts the automata actually accept."""
+
+import numpy as np
+import pytest
+
+from repro.automata.ops import intersect
+from repro.errors import AutomatonError
+from repro.workloads.textgen import (
+    accepted_text,
+    classes_to_bytes,
+    fig9_text,
+    random_text,
+    rn_accepted_text,
+)
+from repro.workloads.patterns import rn_pattern
+
+from .conftest import compiled
+
+
+class TestRnText:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_accepted(self, n):
+        m = compiled(rn_pattern(n))
+        text = rn_accepted_text(n, 1000)
+        assert m.fullmatch(text)
+
+    def test_deterministic_block_mode(self):
+        assert rn_accepted_text(3, 12, seed=None) == b"000555000555"
+
+    def test_seeded_mode_varies_digits(self):
+        t = rn_accepted_text(4, 4000, seed=3)
+        assert len(set(t)) > 2  # not just '0' and '5'
+        assert compiled(rn_pattern(4)).fullmatch(t)
+
+    def test_length_is_block_multiple(self):
+        t = rn_accepted_text(7, 1000)
+        assert len(t) % 14 == 0
+        assert len(t) <= 1000
+
+    def test_too_small_target(self):
+        with pytest.raises(ValueError):
+            rn_accepted_text(10, 5)
+
+    def test_seeds_reproducible(self):
+        assert rn_accepted_text(5, 500, seed=9) == rn_accepted_text(5, 500, seed=9)
+
+
+class TestGenericGenerators:
+    def test_fig9_text(self):
+        assert fig9_text(10) == b"aaaaaaaaaa"
+
+    def test_random_text_deterministic(self):
+        assert random_text(64, seed=5) == random_text(64, seed=5)
+
+    def test_random_text_alphabet(self):
+        t = random_text(256, seed=1, alphabet=b"xy")
+        assert set(t) <= {ord("x"), ord("y")}
+
+    def test_classes_to_bytes_representatives(self):
+        m = compiled("[ab]c")
+        classes = m.translate(b"ac")
+        out = classes_to_bytes(m.partition, classes)
+        assert m.fullmatch(out) == m.fullmatch(b"ac")
+
+    def test_classes_to_bytes_seeded_members(self):
+        m = compiled("[ab]{64}")
+        classes = m.translate(b"a" * 64)
+        out = classes_to_bytes(m.partition, classes, seed=2)
+        assert set(out) <= {ord("a"), ord("b")}
+        assert m.fullmatch(out)
+
+
+class TestAcceptedText:
+    @pytest.mark.parametrize(
+        "pattern", ["(ab)*", "a+b+", "(ab|cd)+", "x[yz]{2,}x", "[0-9]+\\.[0-9]+"]
+    )
+    def test_generated_text_is_accepted(self, pattern):
+        m = compiled(pattern)
+        text = accepted_text(m.min_dfa, 300)
+        assert m.fullmatch(text), (pattern, text[:40])
+        assert len(text) >= 150  # reasonably close to target
+
+    def test_empty_language_raises(self):
+        a = compiled("a+").min_dfa
+        b = compiled("b+").min_dfa
+        empty = intersect(a, b)
+        with pytest.raises(AutomatonError):
+            accepted_text(empty, 100)
+
+    def test_finite_language_without_pump_raises(self):
+        d = compiled("ab").min_dfa
+        with pytest.raises(AutomatonError):
+            accepted_text(d, 100)
+
+    def test_finite_language_short_target_ok(self):
+        d = compiled("ab").min_dfa
+        assert accepted_text(d, 2) == b"ab"
+
+    def test_seeded_variation(self):
+        m = compiled("[ab]+")
+        t = accepted_text(m.min_dfa, 200, seed=4)
+        assert m.fullmatch(t)

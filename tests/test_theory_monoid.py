@@ -1,0 +1,137 @@
+"""Transition monoids, syntactic complexity, and the SFA correspondence."""
+
+import numpy as np
+import pytest
+
+from repro.automata import correspondence_construction, glushkov_nfa, minimize, subset_construction
+from repro.regex.parser import parse
+from repro.theory.monoid import (
+    green_r_classes,
+    idempotents,
+    is_aperiodic,
+    is_group,
+    monoid_multiplication_table,
+    rank_distribution,
+    syntactic_complexity,
+    transition_monoid,
+)
+
+
+def min_dfa(pattern: str):
+    return minimize(subset_construction(glushkov_nfa(parse(pattern))))
+
+
+PATTERNS = ["(ab)*", "(a|b)*abb", "a{2,4}", "(ab|ba)+", "[ab]*a[ab]"]
+
+
+class TestMonoidSFACorrespondence:
+    """Sect. VII: D-SFA states = transition monoid (∪ identity)."""
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_dsfa_size_equals_monoid_size(self, pattern):
+        d = min_dfa(pattern)
+        sfa = correspondence_construction(d)
+        monoid = transition_monoid(d, include_identity=True)
+        assert sfa.num_states == len(monoid)
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_dsfa_maps_are_monoid_elements(self, pattern):
+        d = min_dfa(pattern)
+        sfa = correspondence_construction(d)
+        monoid = {m._key for m in transition_monoid(d)}
+        for i in range(sfa.num_states):
+            assert sfa.maps[i].astype(np.int32).tobytes() in monoid
+
+    def test_syntactic_complexity_is_minimal_sfa(self):
+        # syntactic complexity computed on a *non-minimal* DFA must equal
+        # the D-SFA size of the minimal DFA
+        d_raw = subset_construction(glushkov_nfa(parse("(a|b)*abb")))
+        d_min = minimize(d_raw)
+        assert syntactic_complexity(d_raw) == correspondence_construction(d_min).num_states
+
+
+class TestMonoidStructure:
+    def test_multiplication_table_closed(self):
+        d = min_dfa("(ab)*")
+        monoid = transition_monoid(d)
+        table = monoid_multiplication_table(monoid)
+        m = len(monoid)
+        assert table.shape == (m, m)
+        assert table.min() >= 0 and table.max() < m
+
+    def test_identity_row_and_column(self):
+        d = min_dfa("(ab)*")
+        monoid = transition_monoid(d)
+        table = monoid_multiplication_table(monoid)
+        idx = next(i for i, e in enumerate(monoid) if e.is_identity())
+        assert (table[idx] == np.arange(len(monoid))).all()
+        assert (table[:, idx] == np.arange(len(monoid))).all()
+
+    def test_associativity_spot_check(self):
+        d = min_dfa("(a|b)*abb")
+        monoid = transition_monoid(d)
+        table = monoid_multiplication_table(monoid)
+        m = len(monoid)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = rng.integers(0, m, size=3)
+            assert table[table[i, j], k] == table[i, table[j, k]]
+
+    def test_idempotents_exist(self):
+        d = min_dfa("(ab)*")
+        monoid = transition_monoid(d)
+        ids = idempotents(monoid)
+        assert any(e.is_identity() for e in ids)
+        assert len(ids) >= 2  # identity + the dead map at least
+
+    def test_group_detection(self):
+        # (aa)* over {a}: transformations form the cyclic group Z2 + sink
+        # behaviour on the 'other' class makes it non-group; use a pure
+        # 2-cycle DFA built directly instead.
+        from repro.automata.dfa import dfa_from_transformations
+
+        cyc = dfa_from_transformations(
+            np.array([[1, 0]], dtype=np.int32), initial=0, accept=[0]
+        )
+        monoid = transition_monoid(cyc)
+        assert is_group(monoid)
+        assert len(monoid) == 2
+
+    def test_aperiodicity_starfree(self):
+        # a* is star-free (its syntactic monoid is aperiodic)
+        assert is_aperiodic(transition_monoid(min_dfa("a*")))
+        # (aa)* is the classic non-star-free language
+        assert not is_aperiodic(transition_monoid(min_dfa("(aa)*")))
+
+    def test_green_r_classes_partition(self):
+        d = min_dfa("(ab)*")
+        monoid = transition_monoid(d)
+        classes = green_r_classes(monoid)
+        all_idx = sorted(i for cls in classes for i in cls)
+        assert all_idx == list(range(len(monoid)))
+
+    def test_rank_distribution(self):
+        d = min_dfa("(ab)*")
+        monoid = transition_monoid(d)
+        dist = rank_distribution(monoid)
+        assert sum(dist.values()) == len(monoid)
+        assert dist.get(d.num_states) == 1  # only identity has full rank here
+        assert 1 in dist  # the dead map has rank 1
+
+
+class TestMonoidGenerators:
+    def test_without_identity_semigroup(self):
+        d = min_dfa("(ab)*")
+        semigroup = transition_monoid(d, include_identity=False)
+        monoid = transition_monoid(d, include_identity=True)
+        # for (ab)* no nonempty word acts as identity
+        assert len(semigroup) == len(monoid) - 1
+
+    def test_ex4_full_transformation_monoid(self):
+        from repro.theory.witness import ex4_dfa
+
+        monoid = transition_monoid(ex4_dfa(3))
+        assert len(monoid) == 27
+        ranks = rank_distribution(monoid)
+        # T_3 rank profile: 6 permutations, 18 rank-2, 3 constants
+        assert ranks == {3: 6, 2: 18, 1: 3}

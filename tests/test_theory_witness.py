@@ -1,0 +1,132 @@
+"""Worst-case witnesses (Facts 1–3) and boolean-matrix semigroups."""
+
+import numpy as np
+import pytest
+
+from repro.automata import correspondence_construction, minimize, subset_construction
+from repro.theory.boolmat import (
+    all_boolean_matrices,
+    boolean_matrix_semigroup,
+    full_boolean_semigroup_size,
+    generates_full_semigroup,
+    indecomposable_matrices,
+    minimal_generating_set_size,
+)
+from repro.theory.witness import (
+    devadze_witness_matrices,
+    ex3_nfa,
+    ex4_dfa,
+    ex4_generators,
+    full_transformation_monoid_size,
+)
+
+
+class TestFact1:
+    """∃ regex over 3 letters with |D| = 2^|N|."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_subset_blowup_exact(self, n):
+        nfa = ex3_nfa(n)
+        dfa = subset_construction(nfa)
+        assert dfa.num_states == 2**n
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_blowup_survives_minimization(self, n):
+        dfa = minimize(subset_construction(ex3_nfa(n)))
+        assert dfa.num_states == 2**n
+
+    def test_shift_semantics(self):
+        """a = arithmetic shift, l = logical shift, p = partial shift."""
+        nfa = ex3_nfa(4)
+        # from {0}: a -> {0,1}, l -> {1}, p -> {0}
+        assert nfa.step_set(0b0001, 0) == 0b0011
+        assert nfa.step_set(0b0001, 1) == 0b0010
+        assert nfa.step_set(0b0001, 2) == 0b0001
+        # from {0,1}: p -> {0,2} (partial shift fixes bit 0)
+        assert nfa.step_set(0b0011, 2) == 0b0101
+
+
+class TestFact2:
+    """∃ regex over 3 letters with |S_d| = |D|^|D|."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_dsfa_blowup_exact(self, n):
+        dfa = ex4_dfa(n)
+        sfa = correspondence_construction(dfa)
+        assert sfa.num_states == full_transformation_monoid_size(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_witness_dfa_is_minimal(self, n):
+        dfa = ex4_dfa(n)
+        assert minimize(dfa).num_states == dfa.num_states
+
+    def test_generators_shape(self):
+        gens = ex4_generators(4)
+        assert gens.shape == (3, 4)
+        cycle, transposition, collapse = gens
+        assert sorted(cycle.tolist()) == [0, 1, 2, 3]  # a permutation
+        assert sorted(transposition.tolist()) == [0, 1, 2, 3]
+        assert len(set(collapse.tolist())) == 3  # rank n-1
+
+    def test_n5_guarded(self):
+        # 5^5 = 3125 still cheap; verify the formula one size further up
+        sfa = correspondence_construction(ex4_dfa(5))
+        assert sfa.num_states == 5**5
+
+
+class TestBooleanMatrixSemigroup:
+    def test_closure_of_identity(self):
+        ident = np.eye(2, dtype=bool)
+        assert len(boolean_matrix_semigroup([ident])) == 1
+
+    def test_full_size_formula(self):
+        assert full_boolean_semigroup_size(1) == 2
+        assert full_boolean_semigroup_size(2) == 16
+        assert full_boolean_semigroup_size(3) == 512
+
+    def test_all_matrices_enumeration(self):
+        assert len(all_boolean_matrices(2)) == 16
+
+    def test_b1_minimal_generators(self):
+        assert minimal_generating_set_size(1) == 2
+
+    def test_b2_minimal_generators_is_known_value(self):
+        # B_2's 16 matrices: known minimal generating set size
+        size = minimal_generating_set_size(2)
+        assert 3 <= size <= 6
+        # and it must actually generate
+        gens = devadze_witness_matrices(2)
+        assert generates_full_semigroup(gens, 2)
+        assert len(gens) >= size
+
+    def test_b3_refused(self):
+        with pytest.raises(ValueError):
+            minimal_generating_set_size(3)
+
+    def test_indecomposables_must_be_in_any_generating_set(self):
+        ind = indecomposable_matrices(2)
+        # every indecomposable is required: removing one breaks generation
+        gens = devadze_witness_matrices(2)
+        keys = {m.tobytes() for m in gens}
+        for m in ind:
+            assert m.tobytes() in keys
+
+    def test_max_size_cutoff(self):
+        mats = all_boolean_matrices(2)
+        out = boolean_matrix_semigroup(mats, max_size=5)
+        assert len(out) <= 16
+
+
+class TestCorollary31Flavor:
+    """Devadze ⇒ no small regex drives N-SFA to 2^{k²} (demonstrated at k=2)."""
+
+    def test_two_generators_cannot_generate_b2(self):
+        mats = all_boolean_matrices(2)
+        target = full_boolean_semigroup_size(2)
+        from itertools import combinations
+
+        best = 0
+        for a, b in combinations(range(16), 2):
+            size = len(boolean_matrix_semigroup([mats[a], mats[b]], max_size=target + 1))
+            best = max(best, size)
+        assert best < target  # 2 letters can never reach all 16 correspondences
