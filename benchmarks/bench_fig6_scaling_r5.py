@@ -13,6 +13,8 @@ Two reproductions (DESIGN.md §3):
   12-thread scale.
 """
 
+import os
+
 from repro import compile_pattern
 from repro.bench.harness import (
     BenchRecord,
@@ -23,7 +25,9 @@ from repro.bench.harness import (
 )
 from repro.bench.report import emit
 from repro.matching.lockstep import lockstep_run
+from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.parallel.cache import table_working_set_bytes
+from repro.parallel.executor import ProcessExecutor
 from repro.parallel.simulator import SimulatedMachine
 from repro.workloads.patterns import rn_pattern
 from repro.workloads.textgen import rn_accepted_text
@@ -65,6 +69,57 @@ def test_fig6_measured_lockstep(benchmark):
     shape_check("monotone through p=32", tput[32] > tput[16] > tput[8] > tput[4])
 
     benchmark.pedantic(lambda: lockstep_run(m.sfa, classes, 16), rounds=3, iterations=1)
+
+
+def test_fig6_measured_processes(benchmark):
+    """The processes series: Algorithm 5 on real cores (pthread analogue).
+
+    Chunk count p plays the paper's thread role *literally* here — each
+    chunk scan runs in a worker process against the shared-memory SFA
+    table.  Scaling with p is bounded by the host's core count, so the
+    shape check only fires on multi-core machines; single-core runs still
+    record the (near-serial) throughput as the overhead floor.
+    """
+    m = compile_pattern(rn_pattern(5))
+    text = rn_accepted_text(5, TEXT_BYTES, seed=0)
+    classes = m.translate(text)
+    cores = os.cpu_count() or 1
+
+    serial_mbps = measure_throughput(
+        lambda: parallel_sfa_run(m.sfa, classes, 1), len(text), repeat=2
+    )
+    rows = [BenchRecord("serial (p=1)", {"MB/s": serial_mbps, "speedup": 1.0})]
+    tput = {}
+    with ProcessExecutor(min(8, cores)) as ex:
+        for p in [1, 2, 4, 8]:
+            mbps = measure_throughput(
+                lambda p=p: parallel_sfa_run(m.sfa, classes, p, executor=ex),
+                len(text), repeat=2,
+            )
+            tput[p] = mbps
+            rows.append(BenchRecord(f"processes p={p}", {
+                "MB/s": mbps, "speedup": mbps / serial_mbps,
+            }))
+        process_backed = ex.available
+        benchmark.pedantic(
+            lambda: parallel_sfa_run(m.sfa, classes, 4, executor=ex),
+            rounds=3, iterations=1,
+        )
+    emit(
+        format_table(
+            f"Fig. 6 (measured) — process-parallel SFA on r_5, "
+            f"{TEXT_BYTES/1e6:.0f} MB, {cores} core(s)",
+            ["MB/s", "speedup"],
+            rows,
+            note="True multicore Algorithm 5: worker processes attach the "
+            "SFA table from shared memory and scan chunks concurrently. "
+            "Speedup saturates at min(p, cores).",
+        )
+    )
+    if cores > 1 and process_backed:
+        best = max(tput.values())
+        shape_check("processes beat serial with spare cores",
+                    best > serial_mbps, f"{best:.1f} vs {serial_mbps:.1f} MB/s")
 
 
 def test_fig6_simulated_paper_scale(benchmark):

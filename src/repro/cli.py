@@ -2,6 +2,8 @@
 
     python -m repro sizes  '(ab)*'
     python -m repro match  '(ab)*' input.bin --engine lockstep --chunks 8
+    python -m repro match  '(ab)*' input.bin --engine sfa --chunks 8 \
+        --executor processes --workers 8
     python -m repro grep   'ERROR [0-9]+' server.log
     python -m repro dot    '(ab)*' --stage sfa --hide-traps
     python -m repro save   '(ab)*' --stage sfa -o abstar.npz
@@ -44,21 +46,35 @@ def _cmd_sizes(args: argparse.Namespace) -> int:
 def _cmd_match(args: argparse.Namespace) -> int:
     m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
     data = _read_input(args.input)
+    knobs = dict(
+        engine=args.engine,
+        num_chunks=args.chunks,
+        executor=None if args.executor == "serial" else args.executor,
+        num_workers=args.workers,
+    )
     if args.contains:
-        ok = m.contains(data, engine=args.engine, num_chunks=args.chunks)
+        ok = m.contains(data, **knobs)
     else:
-        ok = m.fullmatch(data, engine=args.engine, num_chunks=args.chunks)
+        ok = m.fullmatch(data, **knobs)
     print("match" if ok else "no match")
     return 0 if ok else 1
+
+
+# Below this line length, parallel dispatch cannot amortize its per-call
+# setup (the Fig. 10 crossover) — grep falls back to serial per line.
+GREP_EXECUTOR_MIN_BYTES = 4096
 
 
 def _cmd_grep(args: argparse.Namespace) -> int:
     m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
     search = m.search_pattern()
     data = _read_input(args.input)
+    executor = None if args.executor == "serial" else args.executor
     hit = False
     for lineno, line in enumerate(data.split(b"\n"), start=1):
-        if search.fullmatch(line, engine=args.engine, num_chunks=args.chunks):
+        ex = executor if len(line) >= GREP_EXECUTOR_MIN_BYTES else None
+        if search.fullmatch(line, engine=args.engine, num_chunks=args.chunks,
+                            executor=ex, num_workers=args.workers):
             hit = True
             text = line.decode("latin-1")
             if args.line_numbers:
@@ -124,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
             )
             p.add_argument("--chunks", type=int, default=8,
                            help="parallel chunk count (the paper's p)")
+            p.add_argument(
+                "--executor",
+                choices=["serial", "threads", "processes"],
+                default="serial",
+                help="chunk-dispatch backend for the sfa/speculative "
+                "engines; 'processes' runs chunk scans on real cores "
+                "with shared-memory transition tables",
+            )
+            p.add_argument("--workers", type=int, default=None,
+                           help="pool size for threads/processes "
+                           "(default: CPU count)")
 
     p = sub.add_parser("sizes", help="print pipeline automaton sizes")
     add_common(p)

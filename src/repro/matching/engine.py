@@ -27,6 +27,7 @@ from repro.matching.lockstep import lockstep_run
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.matching.sequential import SequentialDFAMatcher
 from repro.matching.speculative import speculative_run
+from repro.parallel.executor import resolve_executor
 from repro.regex.ast import Concat, Literal, Node, Star
 from repro.regex.charclass import ByteClassPartition, CharSet
 from repro.regex.parser import parse
@@ -130,6 +131,8 @@ class CompiledPattern:
         engine: str = "dfa",
         num_chunks: int = 1,
         reduction: str = "sequential",
+        executor=None,
+        num_workers: Optional[int] = None,
     ) -> bool:
         """Whole-input membership test ``data ∈ L(pattern)``.
 
@@ -137,6 +140,13 @@ class CompiledPattern:
         Algorithm 2, ``speculative`` Algorithm 3, ``sfa`` Algorithm 5 and
         ``lockstep`` its vectorized form.  ``num_chunks`` is the paper's
         thread count ``p``.
+
+        ``executor`` picks the chunk-dispatch backend for the chunked
+        engines (``"sfa"``/``"speculative"``): ``None`` (serial), a backend
+        name in {"serial", "threads", "processes"} — resolved to a warm
+        process-wide pool of ``num_workers`` workers — or any
+        :class:`~repro.parallel.executor.ChunkExecutor` instance.  The
+        single-scan engines (``"dfa"``, ``"lockstep"``) ignore it.
         """
         classes = self.translate(data)
         if engine == "dfa":
@@ -145,10 +155,17 @@ class CompiledPattern:
                     SequentialDFAMatcher(self.min_dfa).run_classes(classes)
                 ]
             )
+        # Resolve lazily: the single-scan engines must not spin up a pool.
         if engine == "speculative":
-            return speculative_run(self.min_dfa, classes, num_chunks, reduction).accepted
+            return speculative_run(
+                self.min_dfa, classes, num_chunks, reduction,
+                resolve_executor(executor, num_workers),
+            ).accepted
         if engine == "sfa":
-            return parallel_sfa_run(self.sfa, classes, num_chunks, reduction).accepted
+            return parallel_sfa_run(
+                self.sfa, classes, num_chunks, reduction,
+                resolve_executor(executor, num_workers),
+            ).accepted
         if engine == "lockstep":
             return lockstep_run(self.sfa, classes, num_chunks).accepted
         raise MatchEngineError(f"unknown engine {engine!r}")
@@ -159,14 +176,22 @@ class CompiledPattern:
         *,
         engine: str = "lockstep",
         num_chunks: int = 8,
+        executor=None,
+        num_workers: Optional[int] = None,
     ) -> bool:
         """Substring-search semantics: does any substring match?
 
         Implemented as membership in ``Σ* · L · Σ*`` (the IDS use case —
-        SNORT rules are matched against packet payloads this way).
+        SNORT rules are matched against packet payloads this way).  The
+        ``executor``/``num_workers`` knobs are forwarded to
+        :meth:`fullmatch`.
         """
         return self.search_pattern().fullmatch(
-            data, engine=engine, num_chunks=num_chunks
+            data,
+            engine=engine,
+            num_chunks=num_chunks,
+            executor=executor,
+            num_workers=num_workers,
         )
 
     def search_pattern(self) -> "CompiledPattern":

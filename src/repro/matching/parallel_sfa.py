@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
-from repro.parallel.chunking import split_classes
+from repro.parallel.chunking import split_balanced
 from repro.parallel.executor import ChunkExecutor, SerialExecutor
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
@@ -23,16 +23,12 @@ from repro.parallel.reduction import (
     tree_reduction_boolean,
     tree_reduction_transformations,
 )
+from repro.parallel.scan import sfa_scan
 
 
 def sfa_chunk_scan(table: np.ndarray, initial: int, classes: np.ndarray) -> int:
     """Lines 1–5 of Algorithm 5 for one chunk: a plain Algorithm-2 loop."""
-    k = table.shape[1]
-    flat = table.ravel().tolist()
-    f = initial
-    for c in classes.tolist():
-        f = flat[f * k + c]
-    return f
+    return sfa_scan(table, initial, classes)
 
 
 @dataclass
@@ -61,16 +57,16 @@ def parallel_sfa_run(
     """Full Algorithm 5.
 
     ``reduction`` ∈ {"sequential", "tree"}; ``executor`` controls how chunk
-    scans are dispatched (serial by default; a thread pool reproduces the
-    paper's pthread structure).
+    scans are dispatched — serial by default, a thread pool for the paper's
+    pthread structure, or a :class:`~repro.parallel.executor.ProcessExecutor`
+    for true multicore execution (the spans-based :meth:`scan` protocol lets
+    the process backend ship shared-memory references instead of tables).
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
     executor = executor or SerialExecutor()
-    chunks = split_classes(classes, num_chunks)
-    chunk_states = executor.map(
-        lambda ch: sfa_chunk_scan(sfa.table, sfa.initial, ch), chunks
-    )
+    spans = split_balanced(len(classes), num_chunks)
+    chunk_states = executor.scan("sfa", sfa.table, sfa.initial, classes, spans)
     lookups = int(len(classes))
 
     if reduction == "sequential":
@@ -110,7 +106,7 @@ def parallel_sfa_run(
         accepted=accepted,
         final_states=finals,
         chunk_states=list(chunk_states),
-        num_chunks=len(chunks),
+        num_chunks=len(spans),
         lookups=lookups,
         reduction=reduction,
         reduction_ops=red_ops,

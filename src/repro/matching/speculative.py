@@ -18,7 +18,9 @@ import numpy as np
 from repro.automata.dfa import DFA
 from repro.automata.mapping import Transformation
 from repro.errors import MatchEngineError
-from repro.parallel.chunking import split_classes
+from repro.parallel.chunking import split_balanced
+from repro.parallel.executor import ChunkExecutor, SerialExecutor
+from repro.parallel.scan import transform_scan
 
 
 def chunk_transformation(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
@@ -28,13 +30,7 @@ def chunk_transformation(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
     from ``q`` after the chunk.  One vectorized gather per character; the
     ``O(|D|)`` per-character cost is explicit in the gather width.
     """
-    n, k = table.shape
-    flat = table.ravel()
-    t = np.arange(n, dtype=np.int32)
-    for c in classes.tolist():
-        # T[q] <- δ(T[q], c) for all q at once
-        t = flat[t * k + c]
-    return t
+    return transform_scan(table, classes)
 
 
 def compose_transformations(parts: Sequence[np.ndarray]) -> np.ndarray:
@@ -68,6 +64,7 @@ def speculative_run(
     classes: np.ndarray,
     num_chunks: int,
     reduction: str = "sequential",
+    executor: Optional[ChunkExecutor] = None,
 ) -> SpeculativeRunResult:
     """Full Algorithm 3: chunked speculative scan + reduction.
 
@@ -77,13 +74,17 @@ def speculative_run(
       right column): ``O(p)`` extra time, no composition needed.
     * ``tree`` — compose transformations pairwise (line 9 left column):
       each ``⊙`` costs ``O(|D|)`` work here (gather of width ``|D|``).
+
+    ``executor`` dispatches the chunk scans (serial / threads / processes),
+    exactly as in :func:`repro.matching.parallel_sfa.parallel_sfa_run`.
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
-    chunks = split_classes(classes, num_chunks)
-    parts: List[np.ndarray] = [chunk_transformation(dfa.table, ch) for ch in chunks]
+    executor = executor or SerialExecutor()
+    spans = split_balanced(len(classes), num_chunks)
+    parts: List[np.ndarray] = executor.scan("transform", dfa.table, 0, classes, spans)
     n = dfa.num_states
-    lookups = sum(len(ch) for ch in chunks) * n
+    lookups = len(classes) * n
     if reduction == "sequential":
         q = dfa.initial
         for t in parts:
@@ -109,18 +110,29 @@ class SpeculativeDFAMatcher:
 
     name = "dfa-speculative"
 
-    def __init__(self, dfa: DFA, num_chunks: int = 2, reduction: str = "sequential"):
+    def __init__(
+        self,
+        dfa: DFA,
+        num_chunks: int = 2,
+        reduction: str = "sequential",
+        executor: Optional[ChunkExecutor] = None,
+    ):
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
         self.dfa = dfa
         self.num_chunks = num_chunks
         self.reduction = reduction
+        self.executor = executor
 
     def run_classes(self, classes: np.ndarray) -> int:
-        return speculative_run(self.dfa, classes, self.num_chunks, self.reduction).final_state
+        return speculative_run(
+            self.dfa, classes, self.num_chunks, self.reduction, self.executor
+        ).final_state
 
     def accepts_classes(self, classes: np.ndarray) -> bool:
-        return speculative_run(self.dfa, classes, self.num_chunks, self.reduction).accepted
+        return speculative_run(
+            self.dfa, classes, self.num_chunks, self.reduction, self.executor
+        ).accepted
 
     def accepts(self, data: bytes) -> bool:
         return self.accepts_classes(self.dfa.partition.translate(data))

@@ -1,17 +1,29 @@
 """Parallel substrate: chunking, executors, reductions, machine + cache sim.
 
-The paper's testbed (dual hexa-core Xeon, pthreads) is replaced by two
-substitutes documented in DESIGN.md §3:
+The paper's testbed (dual hexa-core Xeon, pthreads) is reproduced three
+ways, documented in DESIGN.md §3:
 
-* real chunk-parallel execution inside one process (lockstep vectorization,
-  plus an optional thread-pool executor), and
+* true multicore chunk-parallel execution on a
+  :class:`~repro.parallel.executor.ProcessExecutor` worker pool with the
+  transition tables in :mod:`multiprocessing.shared_memory`,
+* chunk-parallel execution inside one process (lockstep vectorization,
+  plus a thread-pool executor for free-threaded builds), and
 * a :class:`~repro.parallel.simulator.SimulatedMachine` whose per-access
   costs come from a set-associative LRU cache model sized like the paper's
   CPU — used to regenerate the thread-count axes of Figs. 6–10.
 """
 
 from repro.parallel.chunking import split_balanced, split_classes
-from repro.parallel.executor import ChunkExecutor, SerialExecutor, ThreadExecutor
+from repro.parallel.executor import (
+    ChunkExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_shared_executor,
+    make_executor,
+    resolve_executor,
+)
+from repro.parallel.scan import run_scan, sfa_scan, transform_scan
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
     sequential_reduction_nsfa,
@@ -26,12 +38,19 @@ __all__ = [
     "CacheLevel",
     "ChunkExecutor",
     "MachineConfig",
+    "ProcessExecutor",
     "SerialExecutor",
     "SimulatedMachine",
     "ThreadExecutor",
+    "get_shared_executor",
+    "make_executor",
+    "resolve_executor",
+    "run_scan",
     "sequential_reduction_dsfa",
     "sequential_reduction_nsfa",
+    "sfa_scan",
     "split_balanced",
     "split_classes",
+    "transform_scan",
     "tree_reduction_transformations",
 ]

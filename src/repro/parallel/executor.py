@@ -1,29 +1,85 @@
-"""Chunk executors: run per-chunk scans serially or on a thread pool.
+"""Chunk executors: run per-chunk scans serially, on threads, or on processes.
 
-On a multi-core interpreter-free runtime the thread pool is the paper's
-pthread setup; under CPython the GIL serializes the scalar loops, so the
-measured speedups in this repo come from the lockstep engine (see
-DESIGN.md §3) while :class:`ThreadExecutor` exists to exercise the same
-code path and for environments with free-threaded Python.
+The paper's testbed runs Algorithm 5's chunk scans on pthreads.  Under
+CPython the GIL serializes the scalar loops, so three backends coexist
+(DESIGN.md §3):
+
+* :class:`SerialExecutor` — the reference executor, one chunk after another.
+* :class:`ThreadExecutor` — a shared thread pool; GIL-bound for the scalar
+  kernels, but real parallelism on free-threaded builds and a faithful
+  reproduction of the paper's pthread *structure*.
+* :class:`ProcessExecutor` — true multicore execution via
+  :mod:`multiprocessing`.  Transition tables are published **once** through
+  :mod:`multiprocessing.shared_memory`; workers attach by name and rebuild a
+  zero-copy :class:`numpy.ndarray` view, so per-chunk messages carry only a
+  ``(kernel, segment name, span)`` descriptor — never the table.  The worker
+  pool is persistent (warm) by default, with a ``fresh_workers`` cold mode
+  mirroring the Fig. 10 thread-spawn overhead study, and falls back to
+  serial execution where ``fork``/shared memory is unavailable.
+
+All executors implement two entry points: the generic :meth:`~ChunkExecutor.map`
+over chunk arrays, and the structured :meth:`~ChunkExecutor.scan` over
+``(start, end)`` spans of one class array, which is what lets the process
+backend avoid pickling closures (see :mod:`repro.parallel.scan`).
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import os
+import pickle
+import secrets
+import weakref
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from repro.errors import MatchEngineError
+from repro.parallel.scan import run_scan
 
 T = TypeVar("T")
+
+#: ``(name, shape, dtype string)`` — enough for a worker to rebuild a view.
+ShmRef = Tuple[str, Tuple[int, ...], str]
 
 
 class ChunkExecutor:
     """Interface: map a scan function over chunk arrays, preserving order."""
 
+    name = "abstract"
+
     def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
         raise NotImplementedError
+
+    def scan(
+        self,
+        kind: str,
+        table: np.ndarray,
+        initial: int,
+        classes: np.ndarray,
+        spans: Sequence[Tuple[int, int]],
+    ) -> List[Any]:
+        """Run the named table-scan kernel over contiguous spans of ``classes``.
+
+        Default implementation: delegate to :meth:`map` with in-process
+        views (``classes[a:b]`` never copies).  :class:`ProcessExecutor`
+        overrides this with the shared-memory protocol.
+        """
+        return self.map(
+            lambda span: run_scan(kind, table, initial, classes[span[0] : span[1]]),
+            spans,
+        )
+
+    def close(self) -> None:
+        """Release pool/shared-memory resources (no-op for stateless executors)."""
+
+    def __enter__(self) -> "ChunkExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SerialExecutor(ChunkExecutor):
@@ -62,8 +118,370 @@ class ThreadExecutor(ChunkExecutor):
         if self._pool is not None:
             self._pool.shutdown()
 
-    def __enter__(self) -> "ThreadExecutor":
-        return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+
+# Worker-side cache of long-lived (table) segments: name -> (segment, view).
+# Bounded (oldest evicted first); the publisher unlinks the name at close(),
+# which on POSIX leaves existing mappings valid.
+_WORKER_TABLES: Dict[str, Tuple[Any, np.ndarray]] = {}
+_WORKER_TABLE_LIMIT = 32
+
+# Set by the pool initializer: True when this worker shares the publisher's
+# resource tracker (fork), False when it runs its own (spawn/forkserver).
+_TRACKER_INHERITED = True
+
+
+def _worker_init() -> None:
+    global _TRACKER_INHERITED
+    try:
+        from multiprocessing import resource_tracker
+
+        _TRACKER_INHERITED = (
+            getattr(resource_tracker._resource_tracker, "_fd", None) is not None
+        )
+    except Exception:  # pragma: no cover
+        _TRACKER_INHERITED = True
+
+
+def _untrack(seg) -> None:
+    """Undo the resource tracker's attach-side registration.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment with
+    the resource tracker even when merely attaching.  Harmless when the
+    tracker is shared with the publisher (fork: registration is idempotent
+    and the publisher unregisters on unlink), but a worker with its *own*
+    tracker (spawn) would "clean up" segments it does not own at exit — so
+    only then do we unregister the attach.
+    """
+    if _TRACKER_INHERITED:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_view(ref: ShmRef):
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = ref
+    seg = shared_memory.SharedMemory(name=name)
+    _untrack(seg)
+    return seg, np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+
+
+def _attach_table(ref: ShmRef) -> np.ndarray:
+    name = ref[0]
+    hit = _WORKER_TABLES.get(name)
+    if hit is not None:
+        return hit[1]
+    while len(_WORKER_TABLES) >= _WORKER_TABLE_LIMIT:
+        # FIFO eviction: unmap the oldest table (re-attached on next use).
+        old_seg, old_view = _WORKER_TABLES.pop(next(iter(_WORKER_TABLES)))
+        del old_view
+        try:
+            old_seg.close()
+        except Exception:  # pragma: no cover
+            pass
+    seg, view = _attach_view(ref)
+    _WORKER_TABLES[name] = (seg, view)
+    return view
+
+
+def _scan_shared_task(task) -> Any:
+    """Worker entry point: one chunk scan against shared-memory views."""
+    kind, table_ref, initial, classes_ref, a, b = task
+    table = _attach_table(table_ref)
+    seg, classes = _attach_view(classes_ref)
+    try:
+        out = run_scan(kind, table, initial, classes[a:b])
+        if isinstance(out, np.ndarray):
+            out = np.array(out, copy=True)  # detach from the segment buffer
+    finally:
+        del classes
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+    return out
+
+
+class ProcessExecutor(ChunkExecutor):
+    """Run chunk scans on a persistent :mod:`multiprocessing` worker pool.
+
+    This is the paper's pthread setup made real under CPython: each chunk
+    scan runs in its own process, so the scalar Algorithm-5 loop uses one
+    core per chunk instead of time-slicing one GIL.
+
+    Transition tables are content-addressed and published to shared memory
+    at most once per table; the class array of each :meth:`scan` call is
+    published for the duration of the call and unlinked immediately after.
+    Workers receive only ``(kind, table ref, initial, classes ref, a, b)``.
+
+    ``fresh_workers=True`` builds (and tears down) the pool on every call —
+    the cold mode of the Fig. 10 overhead study.  If process pools or shared
+    memory cannot be set up on this platform, the executor degrades to
+    serial in-process execution and records why in :attr:`fallback_reason`.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        fresh_workers: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise MatchEngineError("need at least one worker")
+        self.num_workers = num_workers
+        self.fresh_workers = fresh_workers
+        self._pool = None
+        self._ctx = None
+        self._published: Dict[Tuple[str, Tuple[int, ...], str], Any] = {}
+        self._refs: Dict[Tuple[str, Tuple[int, ...], str], ShmRef] = {}
+        # id() fast path over the content hash: (weakref, ShmRef, content key)
+        self._id_refs: Dict[int, Tuple[Any, ShmRef, Any]] = {}
+        self.max_tables = 32  # FIFO-evict published tables beyond this
+        self.fallback_reason: Optional[str] = None
+        self._probe(start_method)
+
+    # -- availability ---------------------------------------------------
+    def _probe(self, start_method: Optional[str]) -> None:
+        """Pick a start method and prove shared memory works, or record why not."""
+        try:
+            import multiprocessing
+            from multiprocessing import shared_memory
+
+            if start_method is None:
+                methods = multiprocessing.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else methods[0]
+            self._ctx = multiprocessing.get_context(start_method)
+            seg = shared_memory.SharedMemory(create=True, size=8)
+            seg.close()
+            seg.unlink()
+        except Exception as e:  # pragma: no cover - platform dependent
+            self._ctx = None
+            self.fallback_reason = f"{type(e).__name__}: {e}"
+
+    @property
+    def available(self) -> bool:
+        """True when scans actually run on worker processes."""
+        return self.fallback_reason is None
+
+    # -- shared-memory publication --------------------------------------
+    def _publish(self, arr: np.ndarray, transient: bool) -> Tuple[Any, ShmRef]:
+        from multiprocessing import shared_memory
+
+        source = arr
+        arr = np.ascontiguousarray(arr)
+        key = None
+        if not transient:
+            # id() fast path: the same table object (the usual case — an SFA
+            # held by a CompiledPattern) skips the content hash entirely.
+            hit = self._id_refs.get(id(source))
+            if hit is not None and hit[0]() is source:
+                seg = self._published.get(hit[2])
+                if seg is not None:  # may have been FIFO-evicted
+                    return seg, hit[1]
+            # Content-address long-lived tables so each is published once
+            # even when equal tables arrive as distinct objects.
+            key = (
+                hashlib.sha1(arr.data if arr.nbytes else b"").hexdigest(),
+                arr.shape,
+                arr.dtype.str,
+            )
+            ref = self._refs.get(key)
+            if ref is not None:
+                self._remember_id(source, ref, key)
+                return self._published[key], ref
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(1, arr.nbytes), name=f"repro_{secrets.token_hex(8)}"
+        )
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        del view
+        ref = (seg.name, arr.shape, arr.dtype.str)
+        if not transient:
+            while len(self._published) >= self.max_tables:
+                # FIFO eviction keeps a long-lived executor's /dev/shm
+                # footprint bounded; an evicted table is republished (under
+                # a new name) if it ever comes back.
+                old_key = next(iter(self._published))
+                old_seg = self._published.pop(old_key)
+                self._refs.pop(old_key, None)
+                old_seg.close()
+                try:
+                    old_seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._published[key] = seg
+            self._refs[key] = ref
+            self._remember_id(source, ref, key)
+        return seg, ref
+
+    def _remember_id(self, source: np.ndarray, ref: ShmRef, key) -> None:
+        # Freeze the table before trusting its identity: an id()-keyed hit
+        # skips the content hash, so an in-place mutation after publish
+        # would silently scan the stale shared-memory copy.  Read-only
+        # arrays turn that into a loud ValueError at the mutation site;
+        # arrays we cannot freeze are simply re-hashed on every call.
+        try:
+            source.flags.writeable = False
+            wr = weakref.ref(source)
+        except (ValueError, TypeError):
+            return
+        if len(self._id_refs) >= 4 * self.max_tables:
+            self._id_refs.clear()  # tiny tuples; wholesale reset is fine
+        self._id_refs[id(source)] = (wr, ref, key)
+
+    def published_segment_names(self) -> List[str]:
+        """Names of the live table segments (tests assert cleanup on these)."""
+        return [seg.name for seg in self._published.values()]
+
+    # -- execution -------------------------------------------------------
+    def _get_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.num_workers, initializer=_worker_init
+            )
+        return self._pool
+
+    def scan(
+        self,
+        kind: str,
+        table: np.ndarray,
+        initial: int,
+        classes: np.ndarray,
+        spans: Sequence[Tuple[int, int]],
+    ) -> List[Any]:
+        if not self.available:
+            return super().scan(kind, table, initial, classes, spans)
+        _, table_ref = self._publish(table, transient=False)
+        cls_seg, cls_ref = self._publish(classes, transient=True)
+        tasks = [(kind, table_ref, int(initial), cls_ref, a, b) for a, b in spans]
+        try:
+            if self.fresh_workers:
+                with self._ctx.Pool(
+                    processes=self.num_workers, initializer=_worker_init
+                ) as pool:
+                    return pool.map(_scan_shared_task, tasks)
+            return self._get_pool().map(_scan_shared_task, tasks)
+        except OSError as e:  # pragma: no cover - pool died (e.g. fork limit)
+            self.fallback_reason = f"{type(e).__name__}: {e}"
+            return super().scan(kind, table, initial, classes, spans)
+        finally:
+            cls_seg.close()
+            try:
+                cls_seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
+        """Generic map; runs in-process when ``fn`` cannot cross processes.
+
+        Closures over automata (the usual ``fn`` here) are not picklable, so
+        this transparently degrades to serial; table scans should use
+        :meth:`scan`, which never pickles the table.
+        """
+        if self.available:
+            try:
+                if self.fresh_workers:
+                    with self._ctx.Pool(
+                        processes=self.num_workers, initializer=_worker_init
+                    ) as pool:
+                        return pool.map(fn, list(chunks))
+                return self._get_pool().map(fn, list(chunks))
+            except (pickle.PicklingError, AttributeError, TypeError):
+                pass
+        return [fn(ch) for ch in chunks]
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every published segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        for seg in self._published.values():
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._published.clear()
+        self._refs.clear()
+        self._id_refs.clear()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Factory + shared registry
+# ---------------------------------------------------------------------------
+
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+
+def make_executor(name: str, num_workers: Optional[int] = None) -> ChunkExecutor:
+    """Build a fresh executor by backend name (caller owns its lifetime)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadExecutor(num_workers or (os.cpu_count() or 1))
+    if name == "processes":
+        return ProcessExecutor(num_workers)
+    raise MatchEngineError(
+        f"unknown executor {name!r} (choose from {', '.join(EXECUTOR_NAMES)})"
+    )
+
+
+_SHARED: Dict[Tuple[str, Optional[int]], ChunkExecutor] = {}
+
+
+def get_shared_executor(name: str, num_workers: Optional[int] = None) -> ChunkExecutor:
+    """Process-wide executor cache, so repeated ``fullmatch`` calls hit a
+    warm pool instead of paying pool/shared-memory setup per call.
+
+    Cached executors are closed automatically at interpreter exit.
+    """
+    key = (name, num_workers)
+    ex = _SHARED.get(key)
+    if ex is None:
+        ex = make_executor(name, num_workers)
+        _SHARED[key] = ex
+    return ex
+
+
+def resolve_executor(
+    executor, num_workers: Optional[int] = None
+) -> Optional[ChunkExecutor]:
+    """Normalize an ``executor=`` argument: None, backend name, or instance."""
+    if executor is None:
+        return None
+    if isinstance(executor, str):
+        return get_shared_executor(executor, num_workers)
+    if isinstance(executor, ChunkExecutor):
+        return executor
+    raise MatchEngineError(f"not an executor: {executor!r}")
+
+
+@atexit.register
+def _close_shared_executors() -> None:  # pragma: no cover - exit path
+    for ex in _SHARED.values():
+        try:
+            ex.close()
+        except Exception:
+            pass
+    _SHARED.clear()

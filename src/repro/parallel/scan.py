@@ -1,0 +1,63 @@
+"""Table-scan kernels shared by every executor backend.
+
+These are the per-chunk inner loops of Algorithms 3 and 5 factored into a
+plain module so that worker *processes* can run them: a process pool cannot
+pickle the closures that :mod:`repro.matching` builds around an automaton,
+but it can ship ``(kernel name, shared-memory reference, span)`` triples and
+let the worker import the kernel by name and run it against a zero-copy
+view of the table (DESIGN.md §3.4).
+
+Two kernels cover every chunked engine:
+
+* ``"sfa"`` — Algorithm 5 chunk scan: walk *one* state through the chunk,
+  one table lookup per character; returns the reached state index.
+* ``"transform"`` — Algorithm 3 chunk scan: simulate *all* states at once
+  (one vectorized gather per character); returns the transformation vector.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import MatchEngineError
+
+
+def sfa_scan(table: np.ndarray, initial: int, classes: np.ndarray) -> int:
+    """Walk one automaton state through ``classes`` (Algorithm 5 lines 1-5)."""
+    k = table.shape[1]
+    flat = table.ravel().tolist()
+    f = int(initial)
+    for c in classes.tolist():
+        f = flat[f * k + c]
+    return f
+
+
+def transform_scan(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Simulate transitions from all states over ``classes`` (Algorithm 3).
+
+    Returns the transformation vector ``T`` with ``T[q]`` = state reached
+    from ``q`` after the chunk; one vectorized gather per character.
+    """
+    n, k = table.shape
+    flat = table.ravel()
+    t = np.arange(n, dtype=np.int32)
+    for c in classes.tolist():
+        # T[q] <- δ(T[q], c) for all q at once
+        t = flat[t * k + c]
+    return t
+
+
+SCAN_KINDS = ("sfa", "transform")
+
+
+def run_scan(
+    kind: str, table: np.ndarray, initial: int, classes: np.ndarray
+) -> Union[int, np.ndarray]:
+    """Dispatch a named kernel (``initial`` is ignored by ``"transform"``)."""
+    if kind == "sfa":
+        return sfa_scan(table, initial, classes)
+    if kind == "transform":
+        return transform_scan(table, classes)
+    raise MatchEngineError(f"unknown scan kind {kind!r}")

@@ -1,0 +1,6 @@
+"""Test package.
+
+The presence of this file makes ``tests`` a proper package so that test
+modules can do ``from .conftest import compiled`` (pytest then imports them
+as ``tests.test_*`` instead of top-level modules).
+"""

@@ -57,6 +57,25 @@ class TestMatch:
         code, _, err = run(capsys, "match", "a", "/nonexistent/file")
         assert code == 2
 
+    def test_executor_selection(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"ab" * 100)
+        for executor in ("serial", "threads", "processes"):
+            code, out, _ = run(capsys, "match", "(ab)*", str(f),
+                               "--engine", "sfa", "--chunks", "4",
+                               "--executor", executor, "--workers", "2")
+            assert code == 0, executor
+            assert "match" in out
+
+    def test_executor_processes_no_match(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"ab" * 100 + b"x")
+        code, out, _ = run(capsys, "match", "(ab)*", str(f),
+                           "--engine", "speculative", "--chunks", "4",
+                           "--executor", "processes", "--workers", "2")
+        assert code == 1
+        assert "no match" in out
+
 
 class TestGrep:
     def test_matching_lines(self, capsys, tmp_path):

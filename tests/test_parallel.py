@@ -7,7 +7,13 @@ from hypothesis import strategies as st
 
 from repro.errors import MatchEngineError
 from repro.parallel.chunking import lockstep_layout, split_balanced, split_classes
-from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_executor,
+)
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
     sequential_reduction_nsfa,
@@ -155,3 +161,139 @@ class TestExecutors:
         with ThreadExecutor(4) as ex:
             res = parallel_sfa_run(m.sfa, classes, 4, executor=ex)
         assert res.accepted
+
+
+class TestProcessExecutor:
+    """The multicore backend: shared-memory tables + a worker pool."""
+
+    TABLE = np.array([[1, 0], [0, 1]], dtype=np.int32)  # parity automaton
+
+    def _classes(self, n=5000):
+        rng = np.random.default_rng(7)
+        return rng.integers(0, 2, size=n).astype(np.int32)
+
+    def test_scan_matches_serial(self):
+        classes = self._classes()
+        spans = split_balanced(len(classes), 4)
+        expect = SerialExecutor().scan("sfa", self.TABLE, 0, classes, spans)
+        with ProcessExecutor(2) as ex:
+            got = ex.scan("sfa", self.TABLE, 0, classes, spans)
+        assert got == expect
+
+    def test_transform_scan_matches_serial(self):
+        classes = self._classes()
+        spans = split_balanced(len(classes), 3)
+        expect = SerialExecutor().scan("transform", self.TABLE, 0, classes, spans)
+        with ProcessExecutor(2) as ex:
+            got = ex.scan("transform", self.TABLE, 0, classes, spans)
+        assert all((a == b).all() for a, b in zip(got, expect))
+
+    def test_table_published_once(self):
+        classes = self._classes()
+        spans = split_balanced(len(classes), 2)
+        with ProcessExecutor(2) as ex:
+            ex.scan("sfa", self.TABLE, 0, classes, spans)
+            ex.scan("sfa", self.TABLE, 0, classes, spans)
+            # one content-addressed segment for the table; the per-call
+            # classes segments are unlinked before scan() returns
+            assert len(ex.published_segment_names()) == 1
+
+    def test_table_cache_bounded_fifo(self):
+        from multiprocessing import shared_memory
+
+        classes = self._classes(500)
+        spans = split_balanced(len(classes), 2)
+        with ProcessExecutor(2) as ex:
+            ex.max_tables = 2
+            tables = [
+                np.array([[i & 1, (i >> 1) & 1], [0, 1]], dtype=np.int32)
+                for i in range(4)  # four distinct first rows
+            ]
+            expect = [SerialExecutor().scan("sfa", t, 0, classes, spans)
+                      for t in tables]
+            first_names = None
+            for t, e in zip(tables, expect):
+                assert ex.scan("sfa", t, 0, classes, spans) == e
+                if first_names is None:
+                    first_names = ex.published_segment_names()
+            assert len(ex.published_segment_names()) <= 2
+            # the first published table was evicted and unlinked
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=first_names[0])
+            # an evicted table is republished transparently and still correct
+            assert ex.scan("sfa", tables[0], 0, classes, spans) == expect[0]
+
+    def test_close_unlinks_segments_and_shuts_pool(self):
+        from multiprocessing import shared_memory
+
+        classes = self._classes()
+        ex = ProcessExecutor(2)
+        ex.scan("sfa", self.TABLE, 0, classes, split_balanced(len(classes), 2))
+        names = ex.published_segment_names()
+        assert names and ex._pool is not None
+        ex.close()
+        assert ex._pool is None
+        assert ex.published_segment_names() == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        ex.close()  # idempotent
+
+    def test_fallback_when_processes_unavailable(self):
+        classes = self._classes()
+        spans = split_balanced(len(classes), 4)
+        ex = ProcessExecutor(2, start_method="no-such-method")
+        assert not ex.available
+        assert ex.fallback_reason
+        expect = SerialExecutor().scan("sfa", self.TABLE, 0, classes, spans)
+        assert ex.scan("sfa", self.TABLE, 0, classes, spans) == expect
+        ex.close()
+
+    def test_fresh_workers_mode(self):
+        classes = self._classes(1000)
+        spans = split_balanced(len(classes), 2)
+        with ProcessExecutor(2, fresh_workers=True) as ex:
+            expect = SerialExecutor().scan("sfa", self.TABLE, 0, classes, spans)
+            assert ex.scan("sfa", self.TABLE, 0, classes, spans) == expect
+            assert ex._pool is None  # cold mode never keeps a pool
+
+    def test_generic_map_degrades_on_closures(self):
+        # closures cannot cross process boundaries; map runs them in-process
+        with ProcessExecutor(2) as ex:
+            out = ex.map(lambda a: int(a.sum()), [np.arange(3), np.arange(5)])
+        assert out == [3, 10]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(MatchEngineError):
+            ProcessExecutor(0)
+
+    def test_empty_input(self):
+        with ProcessExecutor(2) as ex:
+            got = ex.scan("sfa", self.TABLE, 0, np.array([], dtype=np.int32),
+                          split_balanced(0, 3))
+        assert got == [0, 0, 0]
+
+
+class TestExecutorFactory:
+    def test_make_executor_names(self):
+        for name, cls in [("serial", SerialExecutor), ("threads", ThreadExecutor),
+                          ("processes", ProcessExecutor)]:
+            ex = make_executor(name, 2)
+            assert isinstance(ex, cls)
+            ex.close()
+
+    def test_make_executor_unknown(self):
+        with pytest.raises(MatchEngineError):
+            make_executor("gpu")
+
+    def test_resolve_executor_passthrough_and_none(self):
+        assert resolve_executor(None) is None
+        ser = SerialExecutor()
+        assert resolve_executor(ser) is ser
+        with pytest.raises(MatchEngineError):
+            resolve_executor(42)
+
+    def test_resolve_executor_shared_instances(self):
+        a = resolve_executor("threads", 2)
+        b = resolve_executor("threads", 2)
+        assert a is b
