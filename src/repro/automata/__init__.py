@@ -17,6 +17,7 @@ from repro.automata.mapping import Correspondence, Transformation
 from repro.automata.nfa import NFA, glushkov_nfa, thompson_nfa
 from repro.automata.serialize import load_dfa, load_sfa, save_dfa, save_sfa
 from repro.automata.sfa import SFA, correspondence_construction
+from repro.automata.stride import StrideTable, build_stride_table
 from repro.automata.lazy import LazyDFA, LazySFA
 from repro.automata import ops
 
@@ -27,7 +28,9 @@ __all__ = [
     "Correspondence",
     "LazyDFA",
     "LazySFA",
+    "StrideTable",
     "Transformation",
+    "build_stride_table",
     "correspondence_construction",
     "glushkov_nfa",
     "load_dfa",

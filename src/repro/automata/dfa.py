@@ -117,6 +117,17 @@ class DFA:
             raise AutomatonError("byte input needs a ByteClassPartition")
         return self.accepts_classes(self.partition.translate(data))
 
+    def stride_table(self, stride: int, max_table_bytes: Optional[int] = None):
+        """Budget-capped ``stride``-gram precomposition of the table.
+
+        Returns a :class:`~repro.automata.stride.StrideTable` (memoized on
+        this DFA) or ``None`` when ``|D|·k^stride`` entries exceed the
+        table-byte budget — callers fall back to the 1-gram table.
+        """
+        from repro.automata.stride import cached_stride_table
+
+        return cached_stride_table(self, stride, max_table_bytes)
+
     # -- views ------------------------------------------------------------
     def byte_table(self) -> np.ndarray:
         """Expand to a full 256-wide byte-symbol table (paper layout)."""

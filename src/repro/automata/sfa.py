@@ -131,6 +131,17 @@ class SFA:
             raise AutomatonError("byte input needs a ByteClassPartition")
         return self.accepts_classes(self.partition.translate(data))
 
+    def stride_table(self, stride: int, max_table_bytes: Optional[int] = None):
+        """Budget-capped ``stride``-gram precomposition of the table.
+
+        Returns a :class:`~repro.automata.stride.StrideTable` (memoized on
+        this SFA) or ``None`` when ``|S|·k^stride`` entries exceed the
+        table-byte budget — callers fall back to the 1-gram table.
+        """
+        from repro.automata.stride import cached_stride_table
+
+        return cached_stride_table(self, stride, max_table_bytes)
+
     # -- mapping algebra ----------------------------------------------------
     def mapping_row(self, idx: int) -> np.ndarray:
         """The mapping payload of SFA state ``idx``."""

@@ -51,6 +51,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         num_chunks=args.chunks,
         executor=None if args.executor == "serial" else args.executor,
         num_workers=args.workers,
+        kernel=args.kernel,
     )
     if args.contains:
         ok = m.contains(data, **knobs)
@@ -62,6 +63,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 # Below this line length, parallel dispatch cannot amortize its per-call
 # setup (the Fig. 10 crossover) — grep falls back to serial per line.
+# Overridable per run with ``--parallel-threshold``.
 GREP_EXECUTOR_MIN_BYTES = 4096
 
 
@@ -70,11 +72,13 @@ def _cmd_grep(args: argparse.Namespace) -> int:
     search = m.search_pattern()
     data = _read_input(args.input)
     executor = None if args.executor == "serial" else args.executor
+    threshold = args.parallel_threshold
     hit = False
     for lineno, line in enumerate(data.split(b"\n"), start=1):
-        ex = executor if len(line) >= GREP_EXECUTOR_MIN_BYTES else None
+        ex = executor if len(line) >= threshold else None
         if search.fullmatch(line, engine=args.engine, num_chunks=args.chunks,
-                            executor=ex, num_workers=args.workers):
+                            executor=ex, num_workers=args.workers,
+                            kernel=args.kernel):
             hit = True
             text = line.decode("latin-1")
             if args.line_numbers:
@@ -151,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--workers", type=int, default=None,
                            help="pool size for threads/processes "
                            "(default: CPU count)")
+            p.add_argument(
+                "--kernel",
+                choices=["python", "stride2", "stride4", "vector"],
+                default="python",
+                help="chunk-scan kernel: stride2/stride4 precompose the "
+                "table over 2-/4-grams (budget-permitting), vector "
+                "block-composes mappings in NumPy",
+            )
 
     p = sub.add_parser("sizes", help="print pipeline automaton sizes")
     add_common(p)
@@ -165,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("grep", help="print lines containing a match")
     add_common(p, with_input=True)
     p.add_argument("-n", "--line-numbers", action="store_true")
+    p.add_argument(
+        "--parallel-threshold", type=int, default=GREP_EXECUTOR_MIN_BYTES,
+        help="line length in bytes below which the chunk executor is "
+        "bypassed per line (default: the measured Fig. 10 crossover, "
+        f"{GREP_EXECUTOR_MIN_BYTES})",
+    )
     p.set_defaults(func=_cmd_grep)
 
     p = sub.add_parser("dot", help="emit Graphviz DOT for a pipeline stage")

@@ -121,8 +121,8 @@ class CompiledPattern:
 
     # -- matching -----------------------------------------------------------
     def translate(self, data: Union[bytes, bytearray, memoryview]) -> np.ndarray:
-        """Byte→class translation of an input (vectorized)."""
-        return self.partition.translate(bytes(data))
+        """Byte→class translation of an input (vectorized, zero-copy)."""
+        return self.partition.translate(data)
 
     def fullmatch(
         self,
@@ -133,6 +133,7 @@ class CompiledPattern:
         reduction: str = "sequential",
         executor=None,
         num_workers: Optional[int] = None,
+        kernel: str = "python",
     ) -> bool:
         """Whole-input membership test ``data ∈ L(pattern)``.
 
@@ -147,6 +148,13 @@ class CompiledPattern:
         process-wide pool of ``num_workers`` workers — or any
         :class:`~repro.parallel.executor.ChunkExecutor` instance.  The
         single-scan engines (``"dfa"``, ``"lockstep"``) ignore it.
+
+        ``kernel`` ∈ {"python", "stride2", "stride4", "vector"} picks the
+        chunk-scan kernel (DESIGN.md §3.5) for the ``speculative``, ``sfa``
+        and ``lockstep`` engines; the stride kernels precompose the
+        transition table over 2-/4-grams (budget-permitting) so each
+        lookup consumes several symbols.  ``"dfa"`` ignores it (Algorithm 2
+        is the paper's scalar baseline).
         """
         classes = self.translate(data)
         if engine == "dfa":
@@ -159,15 +167,15 @@ class CompiledPattern:
         if engine == "speculative":
             return speculative_run(
                 self.min_dfa, classes, num_chunks, reduction,
-                resolve_executor(executor, num_workers),
+                resolve_executor(executor, num_workers), kernel,
             ).accepted
         if engine == "sfa":
             return parallel_sfa_run(
                 self.sfa, classes, num_chunks, reduction,
-                resolve_executor(executor, num_workers),
+                resolve_executor(executor, num_workers), kernel,
             ).accepted
         if engine == "lockstep":
-            return lockstep_run(self.sfa, classes, num_chunks).accepted
+            return lockstep_run(self.sfa, classes, num_chunks, kernel).accepted
         raise MatchEngineError(f"unknown engine {engine!r}")
 
     def contains(
@@ -178,12 +186,13 @@ class CompiledPattern:
         num_chunks: int = 8,
         executor=None,
         num_workers: Optional[int] = None,
+        kernel: str = "python",
     ) -> bool:
         """Substring-search semantics: does any substring match?
 
         Implemented as membership in ``Σ* · L · Σ*`` (the IDS use case —
         SNORT rules are matched against packet payloads this way).  The
-        ``executor``/``num_workers`` knobs are forwarded to
+        ``executor``/``num_workers``/``kernel`` knobs are forwarded to
         :meth:`fullmatch`.
         """
         return self.search_pattern().fullmatch(
@@ -192,6 +201,7 @@ class CompiledPattern:
             num_chunks=num_chunks,
             executor=executor,
             num_workers=num_workers,
+            kernel=kernel,
         )
 
     def search_pattern(self) -> "CompiledPattern":

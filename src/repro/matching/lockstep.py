@@ -23,11 +23,13 @@ import numpy as np
 
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
-from repro.parallel.chunking import lockstep_layout
+from repro.parallel.chunking import clamp_chunks, lockstep_layout
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
     sequential_reduction_nsfa,
 )
+from repro.parallel.scan import KERNELS, sfa_scan
+from repro.regex.charclass import pack_stride
 
 
 @dataclass
@@ -41,21 +43,44 @@ class LockstepRunResult:
     steps: int  # lockstep steps executed (≈ n / p)
 
 
-def lockstep_run(sfa: SFA, classes: np.ndarray, num_chunks: int) -> LockstepRunResult:
+def lockstep_run(
+    sfa: SFA, classes: np.ndarray, num_chunks: int, kernel: str = "python"
+) -> LockstepRunResult:
     """Run Algorithm 5 with all chunk scans advancing in lockstep.
 
     The input is cut into ``p`` equal chunks plus a ``< p`` tail; the tail
     extends the last chunk and is scanned scalar after the lockstep block
     (chunk boundaries stay contiguous, so Lemma 1 applies unchanged).
+    ``p`` is clamped to the symbol count, so the block never degenerates to
+    ``m == 0`` with the whole input in the tail.
+
+    ``kernel`` ∈ :data:`~repro.parallel.scan.KERNELS`: the stride kernels
+    advance every chunk by 2/4 symbols per gather via a precomposed
+    superalphabet table (budget-permitting); ``"vector"`` is accepted as an
+    alias of ``"python"`` — this engine is already fully vectorized.
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
-    p = num_chunks
-    k = sfa.num_classes
-    block, tail = lockstep_layout(classes, p)
+    if kernel not in KERNELS:
+        raise MatchEngineError(
+            f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+        )
+    table = sfa.table
+    scan_classes = classes
+    stride_tail = None
+    if kernel in ("stride2", "stride4"):
+        st = sfa.stride_table(2 if kernel == "stride2" else 4)
+        if st is not None:
+            scan_classes, stride_tail = pack_stride(
+                classes, sfa.num_classes, st.stride
+            )
+            table = st.table
+    p = clamp_chunks(len(scan_classes), num_chunks)
+    k = table.shape[1]
+    block, tail = lockstep_layout(scan_classes, p)
     m = block.shape[0]
 
-    flat = sfa.table.ravel().astype(np.int64)
+    flat = table.ravel().astype(np.int64)
     states = np.full(p, sfa.initial, dtype=np.int64)
     # Hot loop: two vector ops per position. ``np.take`` with ``out=`` avoids
     # per-step allocation of the gather result.
@@ -66,12 +91,15 @@ def lockstep_run(sfa: SFA, classes: np.ndarray, num_chunks: int) -> LockstepRunR
         np.take(flat, idx, out=states)
     chunk_states = states.tolist()
     if len(tail):
-        # finish the last chunk scalar
+        # finish the last chunk scalar (< p symbols; index the ndarray
+        # directly rather than materializing the whole table as a list)
         f = chunk_states[-1]
-        flat_list = flat.tolist()
         for c in tail.tolist():
-            f = flat_list[f * k + c]
+            f = int(flat[f * k + c])
         chunk_states[-1] = f
+    if stride_tail is not None and len(stride_tail):
+        # the < stride leftover runs on the base table
+        chunk_states[-1] = sfa_scan(sfa.table, chunk_states[-1], stride_tail)
 
     if sfa.kind == "D-SFA":
         q = sequential_reduction_dsfa(sfa.maps, chunk_states, sfa.origin_initial)
@@ -87,7 +115,7 @@ def lockstep_run(sfa: SFA, classes: np.ndarray, num_chunks: int) -> LockstepRunR
         final_states=finals,
         chunk_states=chunk_states,
         num_chunks=p,
-        steps=m + len(tail),
+        steps=m + len(tail) + (len(stride_tail) if stride_tail is not None else 0),
     )
 
 
@@ -96,14 +124,17 @@ class LockstepSFAMatcher:
 
     name = "sfa-lockstep"
 
-    def __init__(self, sfa: SFA, num_chunks: int = 8):
+    def __init__(self, sfa: SFA, num_chunks: int = 8, kernel: str = "python"):
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
         self.sfa = sfa
         self.num_chunks = num_chunks
+        self.kernel = kernel
 
     def run_classes(self, classes: np.ndarray) -> LockstepRunResult:
-        return lockstep_run(self.sfa, classes, self.num_chunks)
+        return lockstep_run(self.sfa, classes, self.num_chunks, self.kernel)
 
     def accepts_classes(self, classes: np.ndarray) -> bool:
         return self.run_classes(classes).accepted

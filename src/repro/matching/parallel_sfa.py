@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
-from repro.parallel.chunking import split_balanced
+from repro.parallel.chunking import clamp_chunks, split_balanced
 from repro.parallel.executor import ChunkExecutor, SerialExecutor
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
@@ -23,7 +23,8 @@ from repro.parallel.reduction import (
     tree_reduction_boolean,
     tree_reduction_transformations,
 )
-from repro.parallel.scan import sfa_scan
+from repro.parallel.scan import KERNELS, sfa_scan
+from repro.regex.charclass import pack_stride
 
 
 def sfa_chunk_scan(table: np.ndarray, initial: int, classes: np.ndarray) -> int:
@@ -53,6 +54,7 @@ def parallel_sfa_run(
     num_chunks: int,
     reduction: str = "sequential",
     executor: Optional[ChunkExecutor] = None,
+    kernel: str = "python",
 ) -> ParallelSFARunResult:
     """Full Algorithm 5.
 
@@ -61,13 +63,43 @@ def parallel_sfa_run(
     pthread structure, or a :class:`~repro.parallel.executor.ProcessExecutor`
     for true multicore execution (the spans-based :meth:`scan` protocol lets
     the process backend ship shared-memory references instead of tables).
+
+    ``kernel`` picks the chunk-scan kernel (DESIGN.md §3.5): ``"python"``
+    is the reference per-byte loop, ``"stride2"``/``"stride4"`` scan a
+    precomposed superalphabet table so each lookup consumes 2/4 symbols
+    (falling back to ``"python"`` when the stride table exceeds its
+    table-byte budget), and ``"vector"`` block-composes mappings in NumPy.
+    ``num_chunks`` is clamped to the symbol count so no empty chunk is
+    ever dispatched.
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
+    if kernel not in KERNELS:
+        raise MatchEngineError(
+            f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+        )
     executor = executor or SerialExecutor()
-    spans = split_balanced(len(classes), num_chunks)
-    chunk_states = executor.scan("sfa", sfa.table, sfa.initial, classes, spans)
-    lookups = int(len(classes))
+    st = None
+    if kernel in ("stride2", "stride4"):
+        st = sfa.stride_table(2 if kernel == "stride2" else 4)
+    if st is not None:
+        # Scan n/stride superalphabet symbols; the < stride tail of the
+        # last chunk is finished with the base table after dispatch.
+        packed, tail = pack_stride(classes, sfa.num_classes, st.stride)
+        spans = split_balanced(len(packed), clamp_chunks(len(packed), num_chunks))
+        chunk_states = list(
+            executor.scan("sfa", st.table, sfa.initial, packed, spans)
+        )
+        if len(tail):
+            chunk_states[-1] = sfa_scan(sfa.table, chunk_states[-1], tail)
+        lookups = len(packed) + len(tail)
+    else:
+        scan_kernel = kernel if kernel == "vector" else "python"
+        spans = split_balanced(len(classes), clamp_chunks(len(classes), num_chunks))
+        chunk_states = list(
+            executor.scan("sfa", sfa.table, sfa.initial, classes, spans, scan_kernel)
+        )
+        lookups = int(len(classes))
 
     if reduction == "sequential":
         if sfa.kind == "D-SFA":
@@ -137,19 +169,28 @@ class ParallelSFAMatcher:
         num_chunks: int = 2,
         reduction: str = "sequential",
         executor: Optional[ChunkExecutor] = None,
+        kernel: str = "python",
     ):
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
         if reduction not in ("sequential", "tree"):
             raise MatchEngineError(f"unknown reduction {reduction!r}")
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
         self.sfa = sfa
         self.num_chunks = num_chunks
         self.reduction = reduction
         self.executor = executor or SerialExecutor()
+        self.kernel = kernel
 
     def run_classes(self, classes: np.ndarray) -> ParallelSFARunResult:
         return parallel_sfa_run(
-            self.sfa, classes, self.num_chunks, self.reduction, self.executor
+            self.sfa,
+            classes,
+            self.num_chunks,
+            self.reduction,
+            self.executor,
+            self.kernel,
         )
 
     def accepts_classes(self, classes: np.ndarray) -> bool:

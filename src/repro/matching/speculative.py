@@ -11,16 +11,17 @@ NumPy gather per character, which is exactly the algorithm's data layout
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.automata.dfa import DFA
 from repro.automata.mapping import Transformation
 from repro.errors import MatchEngineError
-from repro.parallel.chunking import split_balanced
+from repro.parallel.chunking import clamp_chunks, split_balanced
 from repro.parallel.executor import ChunkExecutor, SerialExecutor
-from repro.parallel.scan import transform_scan
+from repro.parallel.scan import KERNELS, table_columns, transform_scan
+from repro.regex.charclass import pack_stride
 
 
 def chunk_transformation(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
@@ -65,6 +66,7 @@ def speculative_run(
     num_chunks: int,
     reduction: str = "sequential",
     executor: Optional[ChunkExecutor] = None,
+    kernel: str = "python",
 ) -> SpeculativeRunResult:
     """Full Algorithm 3: chunked speculative scan + reduction.
 
@@ -76,15 +78,44 @@ def speculative_run(
       each ``⊙`` costs ``O(|D|)`` work here (gather of width ``|D|``).
 
     ``executor`` dispatches the chunk scans (serial / threads / processes),
-    exactly as in :func:`repro.matching.parallel_sfa.parallel_sfa_run`.
+    exactly as in :func:`repro.matching.parallel_sfa.parallel_sfa_run`, and
+    ``kernel`` likewise picks the scan kernel (DESIGN.md §3.5): for the
+    all-states scan the stride kernels compose 2-/4-grams into the table
+    and run the vector shape over the packed stream.  ``num_chunks`` is
+    clamped to the symbol count so no empty chunk is dispatched.
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
+    if kernel not in KERNELS:
+        raise MatchEngineError(
+            f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+        )
     executor = executor or SerialExecutor()
-    spans = split_balanced(len(classes), num_chunks)
-    parts: List[np.ndarray] = executor.scan("transform", dfa.table, 0, classes, spans)
     n = dfa.num_states
-    lookups = len(classes) * n
+    st = None
+    if kernel in ("stride2", "stride4"):
+        st = dfa.stride_table(2 if kernel == "stride2" else 4)
+    if st is not None:
+        packed, tail = pack_stride(classes, dfa.num_classes, st.stride)
+        spans = split_balanced(len(packed), clamp_chunks(len(packed), num_chunks))
+        parts = list(
+            executor.scan("transform", st.table, 0, packed, spans, "vector")
+        )
+        if len(tail):
+            # compose the < stride leftover into the last chunk's mapping
+            cols = table_columns(dfa.table)
+            t = parts[-1]
+            for c in tail.tolist():
+                t = cols[c][t]
+            parts[-1] = t
+        lookups = (len(packed) + len(tail)) * n
+    else:
+        scan_kernel = kernel if kernel == "vector" else "python"
+        spans = split_balanced(len(classes), clamp_chunks(len(classes), num_chunks))
+        parts = list(
+            executor.scan("transform", dfa.table, 0, classes, spans, scan_kernel)
+        )
+        lookups = len(classes) * n
     if reduction == "sequential":
         q = dfa.initial
         for t in parts:
@@ -116,22 +147,28 @@ class SpeculativeDFAMatcher:
         num_chunks: int = 2,
         reduction: str = "sequential",
         executor: Optional[ChunkExecutor] = None,
+        kernel: str = "python",
     ):
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
         self.dfa = dfa
         self.num_chunks = num_chunks
         self.reduction = reduction
         self.executor = executor
+        self.kernel = kernel
 
     def run_classes(self, classes: np.ndarray) -> int:
         return speculative_run(
-            self.dfa, classes, self.num_chunks, self.reduction, self.executor
+            self.dfa, classes, self.num_chunks, self.reduction, self.executor,
+            self.kernel,
         ).final_state
 
     def accepts_classes(self, classes: np.ndarray) -> bool:
         return speculative_run(
-            self.dfa, classes, self.num_chunks, self.reduction, self.executor
+            self.dfa, classes, self.num_chunks, self.reduction, self.executor,
+            self.kernel,
         ).accepted
 
     def accepts(self, data: bytes) -> bool:

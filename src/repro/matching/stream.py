@@ -8,10 +8,16 @@ chunk-parallel with the lockstep engine, so the stream matcher is both
 online *and* data-parallel, something the plain DFA loop cannot offer
 without replaying.
 
+Blocks are accepted as ``bytes``, ``bytearray`` or ``memoryview`` and are
+translated through the buffer protocol without copying.  Both cursors take
+the same ``kernel`` knob as the offline engines (DESIGN.md §3.5), so a
+stream can be scanned with the multi-stride or vectorized kernels.
+
 Two cursor flavours:
 
 * :class:`StreamMatcher` — runs the SFA table directly (state index), one
-  lookup per byte; ``feed`` is sequential per block.
+  lookup per byte (per 2/4 bytes with a stride kernel); ``feed`` is
+  sequential per block.
 * :class:`ParallelStreamMatcher` — scans each block with ``p`` lockstep
   chunks and composes the block mapping into the running state via the
   (monoid-closed) composition index.
@@ -26,13 +32,19 @@ import numpy as np
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
 from repro.matching.lockstep import lockstep_run
+from repro.parallel.scan import KERNELS, sfa_scan, sfa_scan_vector
+
+Block = Union[bytes, bytearray, memoryview]
 
 
 class StreamMatcher:
     """Online membership cursor over a fixed SFA."""
 
-    def __init__(self, sfa: SFA):
+    def __init__(self, sfa: SFA, kernel: str = "python"):
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
         self.sfa = sfa
+        self.kernel = kernel
         self.state = sfa.initial
         self._consumed = 0
 
@@ -40,14 +52,27 @@ class StreamMatcher:
     def bytes_consumed(self) -> int:
         return self._consumed
 
-    def feed(self, block: Union[bytes, bytearray, memoryview]) -> "StreamMatcher":
+    def feed(self, block: Block) -> "StreamMatcher":
         """Consume one block; returns self for chaining."""
         if self.sfa.partition is None:
             raise MatchEngineError("streaming over bytes needs a partition")
-        classes = self.sfa.partition.translate(bytes(block))
-        self.state = self.sfa.run_classes(classes, start=self.state)
-        self._consumed += len(block)
+        classes = self.sfa.partition.translate(block)
+        self.state = self._scan(classes)
+        self._consumed += len(classes)
         return self
+
+    def _scan(self, classes: np.ndarray) -> int:
+        kernel = self.kernel
+        if kernel in ("stride2", "stride4"):
+            st = self.sfa.stride_table(2 if kernel == "stride2" else 4)
+            if st is not None:
+                packed, tail = st.pack(classes)
+                state = sfa_scan(st.table, self.state, packed)
+                return sfa_scan(self.sfa.table, state, tail)
+            kernel = "python"
+        if kernel == "vector":
+            return sfa_scan_vector(self.sfa.table, self.state, classes)
+        return sfa_scan(self.sfa.table, self.state, classes)
 
     def accepted(self) -> bool:
         """Verdict for the input consumed so far."""
@@ -71,11 +96,14 @@ class ParallelStreamMatcher:
     the reachable mappings are closed under composition.
     """
 
-    def __init__(self, sfa: SFA, num_chunks: int = 8):
+    def __init__(self, sfa: SFA, num_chunks: int = 8, kernel: str = "python"):
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
         self.sfa = sfa
         self.num_chunks = num_chunks
+        self.kernel = kernel
         self.state = sfa.initial
         self._consumed = 0
 
@@ -83,18 +111,18 @@ class ParallelStreamMatcher:
     def bytes_consumed(self) -> int:
         return self._consumed
 
-    def feed(self, block: Union[bytes, bytearray, memoryview]) -> "ParallelStreamMatcher":
+    def feed(self, block: Block) -> "ParallelStreamMatcher":
         if self.sfa.partition is None:
             raise MatchEngineError("streaming over bytes needs a partition")
-        classes = self.sfa.partition.translate(bytes(block))
+        classes = self.sfa.partition.translate(block)
         if len(classes) == 0:
             return self
-        res = lockstep_run(self.sfa, classes, min(self.num_chunks, max(1, len(classes))))
+        res = lockstep_run(self.sfa, classes, self.num_chunks, self.kernel)
         block_state = res.chunk_states[0]
         for f in res.chunk_states[1:]:
             block_state = self.sfa.compose_indices(block_state, f)
         self.state = self.sfa.compose_indices(self.state, block_state)
-        self._consumed += len(block)
+        self._consumed += len(classes)
         return self
 
     def accepted(self) -> bool:

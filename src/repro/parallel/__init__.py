@@ -13,7 +13,7 @@ ways, documented in DESIGN.md §3:
   CPU — used to regenerate the thread-count axes of Figs. 6–10.
 """
 
-from repro.parallel.chunking import split_balanced, split_classes
+from repro.parallel.chunking import clamp_chunks, split_balanced, split_classes
 from repro.parallel.executor import (
     ChunkExecutor,
     ProcessExecutor,
@@ -23,7 +23,14 @@ from repro.parallel.executor import (
     make_executor,
     resolve_executor,
 )
-from repro.parallel.scan import run_scan, sfa_scan, transform_scan
+from repro.parallel.scan import (
+    KERNELS,
+    run_scan,
+    sfa_scan,
+    sfa_scan_vector,
+    transform_scan,
+    transform_scan_vector,
+)
 from repro.parallel.reduction import (
     sequential_reduction_dsfa,
     sequential_reduction_nsfa,
@@ -37,11 +44,13 @@ __all__ = [
     "CacheHierarchy",
     "CacheLevel",
     "ChunkExecutor",
+    "KERNELS",
     "MachineConfig",
     "ProcessExecutor",
     "SerialExecutor",
     "SimulatedMachine",
     "ThreadExecutor",
+    "clamp_chunks",
     "get_shared_executor",
     "make_executor",
     "resolve_executor",
@@ -49,8 +58,10 @@ __all__ = [
     "sequential_reduction_dsfa",
     "sequential_reduction_nsfa",
     "sfa_scan",
+    "sfa_scan_vector",
     "split_balanced",
     "split_classes",
     "transform_scan",
+    "transform_scan_vector",
     "tree_reduction_transformations",
 ]

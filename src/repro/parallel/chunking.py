@@ -32,6 +32,19 @@ def split_balanced(n: int, p: int) -> List[Tuple[int, int]]:
     return spans
 
 
+def clamp_chunks(n: int, p: int) -> int:
+    """Effective chunk count for an ``n``-symbol input: ``max(1, min(p, n))``.
+
+    With ``p > n`` balanced splitting yields empty spans that are pure
+    dispatch overhead (and a degenerate ``m == 0`` lockstep block); the
+    chunked engines clamp with this before splitting, so no more than one
+    chunk per symbol is ever shipped.
+    """
+    if p < 1:
+        raise MatchEngineError("need at least one chunk")
+    return max(1, min(p, n))
+
+
 def split_classes(classes: np.ndarray, p: int) -> List[np.ndarray]:
     """Split a class-index array into ``p`` balanced contiguous views."""
     return [classes[a:b] for a, b in split_balanced(len(classes), p)]

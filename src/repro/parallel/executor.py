@@ -39,6 +39,7 @@ import numpy as np
 from repro.errors import MatchEngineError
 from repro.parallel.scan import run_scan
 
+
 T = TypeVar("T")
 
 #: ``(name, shape, dtype string)`` — enough for a worker to rebuild a view.
@@ -60,15 +61,20 @@ class ChunkExecutor:
         initial: int,
         classes: np.ndarray,
         spans: Sequence[Tuple[int, int]],
+        kernel: str = "python",
     ) -> List[Any]:
         """Run the named table-scan kernel over contiguous spans of ``classes``.
 
+        ``kernel`` picks the scan shape (``"python"`` reference loop or the
+        ``"vector"`` block-composed path; see :mod:`repro.parallel.scan`).
         Default implementation: delegate to :meth:`map` with in-process
         views (``classes[a:b]`` never copies).  :class:`ProcessExecutor`
         overrides this with the shared-memory protocol.
         """
         return self.map(
-            lambda span: run_scan(kind, table, initial, classes[span[0] : span[1]]),
+            lambda span: run_scan(
+                kind, table, initial, classes[span[0] : span[1]], kernel
+            ),
             spans,
         )
 
@@ -195,11 +201,11 @@ def _attach_table(ref: ShmRef) -> np.ndarray:
 
 def _scan_shared_task(task) -> Any:
     """Worker entry point: one chunk scan against shared-memory views."""
-    kind, table_ref, initial, classes_ref, a, b = task
+    kind, table_ref, initial, classes_ref, a, b, kernel = task
     table = _attach_table(table_ref)
     seg, classes = _attach_view(classes_ref)
     try:
-        out = run_scan(kind, table, initial, classes[a:b])
+        out = run_scan(kind, table, initial, classes[a:b], kernel)
         if isinstance(out, np.ndarray):
             out = np.array(out, copy=True)  # detach from the segment buffer
     finally:
@@ -354,6 +360,15 @@ class ProcessExecutor(ChunkExecutor):
             )
         return self._pool
 
+    @staticmethod
+    def _identity_result(kind: str, table: np.ndarray, initial: int) -> Any:
+        """Result of scanning an empty span: nothing moves."""
+        if kind == "sfa":
+            return int(initial)
+        if kind == "transform":
+            return np.arange(table.shape[0], dtype=np.int32)
+        raise MatchEngineError(f"unknown scan kind {kind!r}")
+
     def scan(
         self,
         kind: str,
@@ -361,28 +376,43 @@ class ProcessExecutor(ChunkExecutor):
         initial: int,
         classes: np.ndarray,
         spans: Sequence[Tuple[int, int]],
+        kernel: str = "python",
     ) -> List[Any]:
         if not self.available:
-            return super().scan(kind, table, initial, classes, spans)
+            return super().scan(kind, table, initial, classes, spans, kernel)
+        # Empty spans (p > n splits) are resolved to identity results here
+        # rather than shipped — an empty chunk scan is pure IPC overhead.
+        live = [(i, a, b) for i, (a, b) in enumerate(spans) if b > a]
+        results = [
+            self._identity_result(kind, table, initial) for _ in range(len(spans))
+        ]
+        if not live:
+            return results
         _, table_ref = self._publish(table, transient=False)
         cls_seg, cls_ref = self._publish(classes, transient=True)
-        tasks = [(kind, table_ref, int(initial), cls_ref, a, b) for a, b in spans]
+        tasks = [
+            (kind, table_ref, int(initial), cls_ref, a, b, kernel) for _, a, b in live
+        ]
         try:
             if self.fresh_workers:
                 with self._ctx.Pool(
                     processes=self.num_workers, initializer=_worker_init
                 ) as pool:
-                    return pool.map(_scan_shared_task, tasks)
-            return self._get_pool().map(_scan_shared_task, tasks)
+                    out = pool.map(_scan_shared_task, tasks)
+            else:
+                out = self._get_pool().map(_scan_shared_task, tasks)
         except OSError as e:  # pragma: no cover - pool died (e.g. fork limit)
             self.fallback_reason = f"{type(e).__name__}: {e}"
-            return super().scan(kind, table, initial, classes, spans)
+            return super().scan(kind, table, initial, classes, spans, kernel)
         finally:
             cls_seg.close()
             try:
                 cls_seg.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+        for (i, _, _), res in zip(live, out):
+            results[i] = res
+        return results
 
     def map(self, fn: Callable[[np.ndarray], T], chunks: Sequence[np.ndarray]) -> List[T]:
         """Generic map; runs in-process when ``fn`` cannot cross processes.

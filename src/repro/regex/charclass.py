@@ -228,10 +228,54 @@ class ByteClassPartition:
                 raise ValueError("CharSet splits a byte class")
         return out
 
-    def translate(self, data: bytes | bytearray | np.ndarray) -> np.ndarray:
-        """Vectorized byte→class translation of an input text."""
-        arr = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+    def translate(
+        self, data: bytes | bytearray | memoryview | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized byte→class translation of an input text.
+
+        ``bytes``, ``bytearray`` and contiguous ``memoryview`` inputs are
+        read through the buffer protocol without copying.
+        """
+        if isinstance(data, np.ndarray):
+            arr = data
+        else:
+            try:
+                arr = np.frombuffer(data, dtype=np.uint8)
+            except (BufferError, ValueError):
+                # non-contiguous memoryview: copying is the only option
+                arr = np.frombuffer(bytes(data), dtype=np.uint8)
         return self.classmap[arr]
 
     def __repr__(self) -> str:
         return f"ByteClassPartition(num_classes={self.num_classes})"
+
+
+def pack_stride(
+    classes: np.ndarray, num_classes: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack a class-index stream into ``stride``-gram superalphabet symbols.
+
+    Returns ``(packed, tail)``: ``packed[i]`` encodes classes
+    ``[i·stride, (i+1)·stride)`` big-endian (the earliest class is the most
+    significant base-``num_classes`` digit), matching the symbol layout of
+    :func:`repro.automata.stride.build_stride_table`; ``tail`` is the
+    ``< stride`` leftover to be scanned with the base table.  Packing is
+    vectorized (one multiply-add per stride position) and the packed dtype
+    shrinks to ``uint8`` when the superalphabet fits a byte.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    classes = np.asarray(classes)
+    if stride == 1:
+        return classes, classes[:0]
+    m = len(classes) // stride
+    body = classes[: m * stride]
+    tail = classes[m * stride :]
+    width = num_classes**stride
+    acc = body[0::stride].astype(np.int64 if width > 2**31 else np.int32)
+    for j in range(1, stride):
+        acc *= num_classes
+        acc += body[j::stride]
+    if width <= 256:
+        acc = acc.astype(np.uint8)
+    return acc, tail

@@ -76,6 +76,17 @@ class TestMatch:
         assert code == 1
         assert "no match" in out
 
+    def test_kernel_selection(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"ab" * 100)
+        for kernel in ("python", "stride2", "stride4", "vector"):
+            for engine in ("sfa", "speculative", "lockstep"):
+                code, out, _ = run(capsys, "match", "(ab)*", str(f),
+                                   "--engine", engine, "--chunks", "4",
+                                   "--kernel", kernel)
+                assert code == 0, (kernel, engine)
+                assert "match" in out
+
 
 class TestGrep:
     def test_matching_lines(self, capsys, tmp_path):
@@ -99,6 +110,45 @@ class TestGrep:
         f.write_bytes(b"Error: x\n")
         code, out, _ = run(capsys, "grep", "error", str(f), "-i")
         assert code == 0
+
+    def test_parallel_threshold_default(self):
+        from repro.cli import GREP_EXECUTOR_MIN_BYTES, build_parser
+
+        args = build_parser().parse_args(["grep", "x", "-"])
+        assert args.parallel_threshold == GREP_EXECUTOR_MIN_BYTES
+
+    def test_parallel_threshold_engages_executor(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"short ERROR 1\n" + b"x" * 64 + b" ERROR 2\n")
+        engaged = []
+
+        class SpyPattern:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def fullmatch(self, line, executor=None, **kw):
+                engaged.append((len(line), executor is not None))
+                return self._inner.fullmatch(line, **kw)
+
+        real_compile = cli.compile_pattern
+
+        def spy_compile(pattern, **kw):
+            m = real_compile(pattern, **kw)
+            m.search_pattern()  # build, then wrap
+            m._search = SpyPattern(m._search)
+            return m
+
+        monkeypatch.setattr(cli, "compile_pattern", spy_compile)
+        code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(f),
+                           "--executor", "threads",
+                           "--parallel-threshold", "32")
+        assert code == 0
+        assert "ERROR 1" in out and "ERROR 2" in out
+        # only the >= 32-byte line engaged the executor
+        assert (13, False) in engaged
+        assert any(n >= 32 and used for n, used in engaged)
 
 
 class TestDot:

@@ -1,0 +1,346 @@
+"""Kernel equivalence: stride/vector kernels agree with the python scan.
+
+The kernel knob must be invisible at the language level: every kernel, on
+every engine, on any chunking — including empty input, ``p > n`` and odd
+stride tails — computes the same verdict and final states as the reference
+per-byte loop, and the stream matchers agree with whole-input matching
+under arbitrary blockings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.stride import StrideTable, build_stride_table
+from repro.errors import AutomatonError, MatchEngineError
+from repro.matching.lockstep import lockstep_run
+from repro.matching.parallel_sfa import parallel_sfa_run
+from repro.matching.speculative import speculative_run
+from repro.matching.stream import ParallelStreamMatcher, StreamMatcher
+from repro.parallel.chunking import clamp_chunks
+from repro.parallel.executor import ProcessExecutor, SerialExecutor
+from repro.parallel.scan import (
+    KERNELS,
+    run_scan,
+    sfa_scan,
+    sfa_scan_vector,
+    transform_scan,
+    transform_scan_vector,
+)
+from repro.regex.charclass import pack_stride
+
+from .conftest import compiled
+
+PATTERNS = [
+    "(ab)*",
+    "(a|b)*abb",
+    "a*b+a?",
+    "([0-9][0-9])*",
+    "(GET|POST) /[a-z]{1,8}",
+]
+
+STRIDE_KERNELS = ("stride2", "stride4")
+
+
+# ---------------------------------------------------------------------------
+# Stride table construction + packing
+# ---------------------------------------------------------------------------
+
+
+class TestStrideTable:
+    def test_matches_stepwise_walk(self, rng):
+        m = compiled("(a|b)*abb")
+        for stride in (2, 4):
+            stt = m.sfa.stride_table(stride)
+            assert isinstance(stt, StrideTable)
+            word = rng.integers(0, m.sfa.num_classes, size=4 * stride).astype(np.uint8)
+            base = sfa_scan(m.sfa.table, m.sfa.initial, word)
+            packed, tail = stt.pack(word)
+            assert len(tail) == 0
+            assert sfa_scan(stt.table, m.sfa.initial, packed) == base
+
+    def test_budget_cap_returns_none(self):
+        table = np.zeros((4, 7), dtype=np.int32)
+        assert build_stride_table(table, 4, max_table_bytes=1000) is None
+        assert build_stride_table(table, 4) is not None
+
+    def test_unsupported_stride(self):
+        with pytest.raises(AutomatonError):
+            build_stride_table(np.zeros((1, 2), dtype=np.int32), 3)
+
+    def test_cached_on_automaton(self):
+        m = compiled("(ab)*")
+        assert m.sfa.stride_table(2) is m.sfa.stride_table(2)
+        assert m.min_dfa.stride_table(4) is m.min_dfa.stride_table(4)
+        # the over-budget outcome is cached too
+        assert m.sfa.stride_table(4, max_table_bytes=1) is None
+
+    def test_symbol_encoding_is_big_endian(self):
+        # δ over "c0 then c1" must sit at symbol c0*k + c1.
+        k = 3
+        table = np.array([[1, 2, 0], [2, 0, 1], [0, 1, 2]], dtype=np.int32)
+        stt = build_stride_table(table, 2)
+        for q in range(3):
+            for c0 in range(k):
+                for c1 in range(k):
+                    assert stt.table[q, c0 * k + c1] == table[table[q, c0], c1]
+
+    @given(n=st.integers(0, 17), stride=st.sampled_from((2, 4)), k=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_pack_stride_roundtrip(self, n, stride, k):
+        rng = np.random.default_rng(n * 31 + stride)
+        classes = rng.integers(0, k, size=n).astype(np.uint8)
+        packed, tail = pack_stride(classes, k, stride)
+        assert len(tail) == n % stride
+        assert len(packed) == n // stride
+        # decode big-endian digits back to the original class stream
+        decoded = []
+        for sym in packed.tolist():
+            digits = []
+            for _ in range(stride):
+                digits.append(sym % k)
+                sym //= k
+            decoded.extend(reversed(digits))
+        assert decoded + tail.tolist() == classes.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Scan-function equivalence (direct, below the engines)
+# ---------------------------------------------------------------------------
+
+
+class TestScanFunctions:
+    @pytest.mark.parametrize("length", [0, 1, 5, 255, 256, 257, 1000])
+    def test_vector_matches_python(self, rng, length):
+        m = compiled("(a|b)*abb")
+        classes = rng.integers(0, m.sfa.num_classes, size=length).astype(np.uint8)
+        assert sfa_scan_vector(m.sfa.table, m.sfa.initial, classes) == sfa_scan(
+            m.sfa.table, m.sfa.initial, classes
+        )
+        np.testing.assert_array_equal(
+            transform_scan_vector(m.min_dfa.table, classes),
+            transform_scan(m.min_dfa.table, classes),
+        )
+
+    def test_run_scan_dispatch(self, rng):
+        m = compiled("(ab)*")
+        classes = rng.integers(0, m.sfa.num_classes, size=40).astype(np.uint8)
+        base = run_scan("sfa", m.sfa.table, m.sfa.initial, classes)
+        for kernel in KERNELS:
+            # stride names run the reference loop on whatever table is given
+            assert run_scan("sfa", m.sfa.table, m.sfa.initial, classes, kernel) == base
+        with pytest.raises(MatchEngineError):
+            run_scan("sfa", m.sfa.table, 0, classes, kernel="simd")
+
+    def test_non_uint8_streams(self):
+        # packed streams wider than a byte walk through the tolist path
+        m = compiled("(ab)*")
+        classes = m.translate(b"abab").astype(np.int32)
+        assert sfa_scan(m.sfa.table, m.sfa.initial, classes) == sfa_scan(
+            m.sfa.table, m.sfa.initial, classes.astype(np.uint8)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine-level equivalence on random inputs
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.binary(max_size=300),
+    p=st.integers(1, 9),
+    pattern=st.sampled_from(PATTERNS),
+)
+@settings(max_examples=40, deadline=None)
+def test_parallel_sfa_kernels_agree(data, p, pattern):
+    m = compiled(pattern)
+    classes = m.translate(data)
+    base = parallel_sfa_run(m.sfa, classes, p)
+    for kernel in KERNELS:
+        res = parallel_sfa_run(m.sfa, classes, p, kernel=kernel)
+        assert res.accepted == base.accepted
+        assert res.final_states == base.final_states
+
+
+@given(
+    data=st.binary(max_size=300),
+    p=st.integers(1, 9),
+    pattern=st.sampled_from(PATTERNS),
+)
+@settings(max_examples=25, deadline=None)
+def test_speculative_kernels_agree(data, p, pattern):
+    m = compiled(pattern)
+    classes = m.translate(data)
+    base = speculative_run(m.min_dfa, classes, p)
+    for kernel in KERNELS:
+        res = speculative_run(m.min_dfa, classes, p, kernel=kernel)
+        assert res.accepted == base.accepted
+        assert res.final_state == base.final_state
+
+
+@given(
+    data=st.binary(max_size=300),
+    p=st.integers(1, 9),
+    pattern=st.sampled_from(PATTERNS),
+)
+@settings(max_examples=25, deadline=None)
+def test_lockstep_kernels_agree(data, p, pattern):
+    m = compiled(pattern)
+    classes = m.translate(data)
+    base = lockstep_run(m.sfa, classes, p)
+    for kernel in KERNELS:
+        res = lockstep_run(m.sfa, classes, p, kernel=kernel)
+        assert res.accepted == base.accepted
+        assert res.final_states == base.final_states
+
+
+class TestKernelEdgeCases:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_empty_input(self, kernel):
+        m = compiled("(ab)*")
+        classes = m.translate(b"")
+        assert parallel_sfa_run(m.sfa, classes, 4, kernel=kernel).accepted
+        assert speculative_run(m.min_dfa, classes, 4, kernel=kernel).accepted
+        assert lockstep_run(m.sfa, classes, 4, kernel=kernel).accepted
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("length", [1, 2, 3, 5, 7])
+    def test_more_chunks_than_symbols(self, kernel, length):
+        # p > n must clamp, not ship empty chunks or degenerate blocks
+        m = compiled("a*b+a?")
+        word = b"a" * (length - 1) + b"b"
+        classes = m.translate(word)
+        expected = m.fullmatch(word)
+        res = parallel_sfa_run(m.sfa, classes, 50, kernel=kernel)
+        assert res.accepted == expected
+        assert res.num_chunks <= max(1, len(classes))
+        assert lockstep_run(m.sfa, classes, 50, kernel=kernel).accepted == expected
+        assert speculative_run(m.min_dfa, classes, 50, kernel=kernel).accepted == expected
+
+    @pytest.mark.parametrize("kernel", STRIDE_KERNELS)
+    @pytest.mark.parametrize("tail", [0, 1, 2, 3])
+    def test_odd_stride_tails(self, kernel, tail):
+        m = compiled("(a|b)*abb")
+        word = b"ab" * 10 + b"abb"[: tail or 3]
+        for w in (word, word + b"b" * tail):
+            classes = m.translate(w)
+            res = parallel_sfa_run(m.sfa, classes, 3, kernel=kernel)
+            assert res.accepted == m.fullmatch(w)
+
+    def test_unknown_kernel_rejected(self):
+        m = compiled("(ab)*")
+        classes = m.translate(b"ab")
+        with pytest.raises(MatchEngineError):
+            parallel_sfa_run(m.sfa, classes, 2, kernel="simd")
+        with pytest.raises(MatchEngineError):
+            speculative_run(m.min_dfa, classes, 2, kernel="simd")
+        with pytest.raises(MatchEngineError):
+            lockstep_run(m.sfa, classes, 2, kernel="simd")
+        with pytest.raises(MatchEngineError):
+            StreamMatcher(m.sfa, kernel="simd")
+
+    def test_engine_api_kernel_knob(self):
+        m = compiled("(a|b)*abb")
+        for data in (b"", b"abb", b"ab" * 40 + b"b"):
+            expected = m.fullmatch(data)
+            for kernel in KERNELS:
+                for engine in ("speculative", "sfa", "lockstep"):
+                    assert (
+                        m.fullmatch(data, engine=engine, num_chunks=3, kernel=kernel)
+                        == expected
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Chunk clamping + executor dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestClamping:
+    def test_clamp_chunks(self):
+        assert clamp_chunks(10, 4) == 4
+        assert clamp_chunks(3, 50) == 3
+        assert clamp_chunks(0, 5) == 1
+        with pytest.raises(MatchEngineError):
+            clamp_chunks(10, 0)
+
+    def test_no_empty_spans_dispatched(self):
+        m = compiled("(ab)*")
+        classes = m.translate(b"ababab")
+        res = parallel_sfa_run(m.sfa, classes, 50)
+        assert res.num_chunks == len(classes)
+        assert res.accepted
+
+    def test_process_executor_skips_empty_spans(self):
+        m = compiled("(ab)*")
+        classes = m.translate(b"abab")
+        spans = [(0, 0), (0, 2), (2, 2), (2, 4), (4, 4)]
+        with ProcessExecutor(2) as ex:
+            got = ex.scan("sfa", m.sfa.table, m.sfa.initial, classes, spans)
+            assert got == SerialExecutor().scan(
+                "sfa", m.sfa.table, m.sfa.initial, classes, spans
+            )
+            # an all-empty scan never publishes or dispatches anything
+            before = len(ex.published_segment_names())
+            out = ex.scan(
+                "transform", m.min_dfa.table, 0, classes[:0], [(0, 0), (0, 0)]
+            )
+            assert len(ex.published_segment_names()) == before
+        assert all(
+            np.array_equal(t, np.arange(m.min_dfa.num_states)) for t in out
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stream matchers under random blockings
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.binary(max_size=200),
+    cuts=st.lists(st.integers(0, 200), max_size=6),
+    pattern=st.sampled_from(PATTERNS),
+    kernel=st.sampled_from(KERNELS),
+)
+@settings(max_examples=40, deadline=None)
+def test_stream_matchers_agree_with_fullmatch(data, cuts, pattern, kernel):
+    m = compiled(pattern)
+    expected = m.fullmatch(data)
+    bounds = sorted({0, len(data), *[c % (len(data) + 1) for c in cuts]})
+    blocks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    cur = StreamMatcher(m.sfa, kernel=kernel)
+    par = ParallelStreamMatcher(m.sfa, num_chunks=3, kernel=kernel)
+    for block in blocks:
+        cur.feed(block)
+        par.feed(block)
+    assert cur.accepted() == expected
+    assert par.accepted() == expected
+    assert cur.bytes_consumed == len(data)
+    assert par.bytes_consumed == len(data)
+
+
+class TestStreamZeroCopy:
+    @pytest.mark.parametrize("wrap", [bytes, bytearray, memoryview])
+    def test_feed_accepts_buffer_types(self, wrap):
+        m = compiled("(ab)*")
+        for matcher in (StreamMatcher(m.sfa), ParallelStreamMatcher(m.sfa, 4)):
+            matcher.feed(wrap(b"abab")).feed(wrap(b"")).feed(wrap(b"ab"))
+            assert matcher.accepted()
+            assert matcher.bytes_consumed == 6
+
+    def test_translate_zero_copy_buffer_types(self):
+        m = compiled("(ab)*")
+        for wrap in (bytes, bytearray, memoryview):
+            np.testing.assert_array_equal(
+                m.translate(wrap(b"abxy")), m.translate(b"abxy")
+            )
+
+    def test_non_contiguous_memoryview_still_works(self):
+        # strided views cannot go through frombuffer; the copy fallback must
+        m = compiled("(ab)*")
+        view = memoryview(b"aXbXaXbX")[::2]
+        np.testing.assert_array_equal(m.translate(view), m.translate(b"abab"))
+        cur = StreamMatcher(m.sfa)
+        cur.feed(view)
+        assert cur.accepted() and cur.bytes_consumed == 4
