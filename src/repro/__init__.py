@@ -38,13 +38,15 @@ from repro.errors import (
     UnsupportedFeatureError,
 )
 from repro.matching.engine import CompiledPattern, compile_pattern
+from repro.matching.multi import MultiPatternSet
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutomatonError",
     "CompiledPattern",
     "MatchEngineError",
+    "MultiPatternSet",
     "RegexSyntaxError",
     "ReproError",
     "SimulationError",

@@ -106,6 +106,32 @@ def build_stride_table(
     return StrideTable(cur, stride, k)
 
 
+def best_stride_table(
+    automaton,
+    stride: int,
+    max_table_bytes: Optional[int] = None,
+) -> Optional[StrideTable]:
+    """The largest affordable precomposition with stride ≤ the requested one.
+
+    ``stride4`` routinely blows any budget on wide byte-class alphabets
+    (``k⁴`` columns — an IDS union automaton with 30+ classes would need
+    gigabytes) while ``stride2`` fits comfortably.  Rather than collapsing
+    all the way to the 1-gram table, try each supported stride from the
+    requested one downward and return the first within budget, so the
+    stride knob degrades gracefully instead of cliffing to the reference
+    loop.  Tables are memoized per automaton exactly like
+    :func:`cached_stride_table`; returns ``None`` when even the smallest
+    supported stride is over budget.
+    """
+    if stride not in STRIDES:
+        raise AutomatonError(f"unsupported stride {stride!r} (choose from {STRIDES})")
+    for s in sorted((c for c in STRIDES if c <= stride), reverse=True):
+        st = cached_stride_table(automaton, s, max_table_bytes)
+        if st is not None:
+            return st
+    return None
+
+
 def cached_stride_table(
     automaton,
     stride: int,

@@ -8,9 +8,17 @@
     python -m repro dot    '(ab)*' --stage sfa --hide-traps
     python -m repro save   '(ab)*' --stage sfa -o abstar.npz
     python -m repro ruleset --rules 20 --seed 2940
+    python -m repro save --stage ruleset --rules-file rules.txt -o ids.npz
+    python -m repro matchset --rules-file ids.npz payload.bin \
+        --chunks 8 --executor processes --kernel stride4
 
-Exit codes follow grep conventions for ``match``/``grep``: 0 = matched,
-1 = no match, 2 = usage/compile error.
+``matchset`` scans one payload against a whole ruleset in a single
+union-automaton pass and prints every matching rule; ``--rules-file``
+takes either a pattern file (one regex per line, ``#`` comments) or a
+compiled ``.npz`` ruleset written by ``save --stage ruleset``.
+
+Exit codes follow grep conventions for ``match``/``grep``/``matchset``:
+0 = matched, 1 = no match, 2 = usage/compile error.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import MatchEngineError, ReproError
 from repro.matching.engine import compile_pattern
 
 
@@ -28,6 +36,37 @@ def _read_input(path: str) -> bytes:
         return sys.stdin.buffer.read()
     with open(path, "rb") as fh:
         return fh.read()
+
+
+def _load_ruleset_arg(rules_file: str, ignore_case: bool):
+    """A scan-ready MultiPatternSet from a pattern file or ``.npz`` archive."""
+    from repro.matching.multi import MultiPatternSet
+
+    if rules_file.endswith(".npz"):
+        import zipfile
+
+        from repro.automata.serialize import load_ruleset
+
+        try:
+            return load_ruleset(rules_file)
+        except (ValueError, zipfile.BadZipFile) as e:
+            # np.load noise on a non-archive file -> the CLI error contract
+            raise MatchEngineError(
+                f"{rules_file} is not a ruleset archive: {e}"
+            ) from None
+    try:
+        with open(rules_file, "r", encoding="utf-8") as fh:
+            rules = [ln.strip() for ln in fh]
+    except UnicodeDecodeError:
+        # binary data read as a pattern file must exit 2, not crash with 1
+        raise MatchEngineError(
+            f"{rules_file} is not a text pattern file (compiled ruleset "
+            "archives must keep their .npz extension)"
+        ) from None
+    rules = [ln for ln in rules if ln and not ln.startswith("#")]
+    if not rules:
+        raise MatchEngineError(f"no rules found in {rules_file}")
+    return MultiPatternSet(rules, ignore_case=ignore_case)
 
 
 def _cmd_sizes(args: argparse.Namespace) -> int:
@@ -105,8 +144,41 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_save(args: argparse.Namespace) -> int:
-    from repro.automata.serialize import save_dfa, save_sfa
+    from repro.automata.serialize import save_dfa, save_ruleset, save_sfa
 
+    # np.savez appends .npz to extension-less paths; normalize up front so
+    # the reported path is the written one (and matchset's .npz dispatch
+    # recognizes the archive).
+    out = args.output if args.output.endswith(".npz") else args.output + ".npz"
+    args.output = out
+    if args.stage == "ruleset":
+        if args.rules_file is None:
+            raise MatchEngineError(
+                "--stage ruleset needs --rules-file (a pattern positional "
+                "would save a single rule, not a ruleset)"
+            )
+        if args.pattern is not None:
+            raise MatchEngineError(
+                "--stage ruleset takes its rules from --rules-file; "
+                "drop the pattern argument"
+            )
+        mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
+        save_ruleset(mps, args.output)
+        print(
+            f"wrote ruleset ({mps.num_rules} rules, union DFA "
+            f"{mps.dfa.num_states} states) to {args.output}"
+        )
+        return 0
+    if args.rules_file is not None:
+        # A dfa/sfa archive of a union automaton is rule-blind: acceptance
+        # collapses "which rules matched" to one bit.  Refuse to write the
+        # lossy archive instead of silently dropping rule identities.
+        raise MatchEngineError(
+            f"--rules-file with --stage {args.stage} would drop per-rule "
+            "acceptance; use --stage ruleset"
+        )
+    if args.pattern is None:
+        raise MatchEngineError(f"--stage {args.stage} needs a pattern argument")
     m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
     if args.stage == "dfa":
         save_dfa(m.min_dfa, args.output)
@@ -114,6 +186,22 @@ def _cmd_save(args: argparse.Namespace) -> int:
         save_sfa(m.sfa, args.output)
     print(f"wrote {args.stage} of {args.pattern!r} to {args.output}")
     return 0
+
+
+def _cmd_matchset(args: argparse.Namespace) -> int:
+    mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
+    data = _read_input(args.input)
+    hits = mps.matches(
+        data,
+        num_chunks=args.chunks,
+        executor=None if args.executor == "serial" else args.executor,
+        num_workers=args.workers,
+        kernel=args.kernel,
+    )
+    for i in sorted(hits):
+        print(f"{i}:{mps.patterns[i]}")
+    print(f"matched {len(hits)}/{mps.num_rules} rules")
+    return 0 if hits else 1
 
 
 def _cmd_ruleset(args: argparse.Namespace) -> int:
@@ -132,6 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--chunks", type=int, default=8,
+                       help="parallel chunk count (the paper's p)")
+        p.add_argument(
+            "--executor",
+            choices=["serial", "threads", "processes"],
+            default="serial",
+            help="chunk-dispatch backend for the chunked engines; "
+            "'processes' runs chunk scans on real cores with "
+            "shared-memory transition tables",
+        )
+        p.add_argument("--workers", type=int, default=None,
+                       help="pool size for threads/processes "
+                       "(default: CPU count)")
+        p.add_argument(
+            "--kernel",
+            choices=["python", "stride2", "stride4", "vector"],
+            default="python",
+            help="chunk-scan kernel: stride2/stride4 precompose the "
+            "table over 2-/4-grams (largest affordable stride under "
+            "the byte budget), vector block-composes mappings in NumPy",
+        )
+
     def add_common(p: argparse.ArgumentParser, with_input: bool = False) -> None:
         p.add_argument("pattern", help="regular expression")
         p.add_argument("-i", "--ignore-case", action="store_true")
@@ -142,27 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=["dfa", "speculative", "sfa", "lockstep"],
                 default="lockstep",
             )
-            p.add_argument("--chunks", type=int, default=8,
-                           help="parallel chunk count (the paper's p)")
-            p.add_argument(
-                "--executor",
-                choices=["serial", "threads", "processes"],
-                default="serial",
-                help="chunk-dispatch backend for the sfa/speculative "
-                "engines; 'processes' runs chunk scans on real cores "
-                "with shared-memory transition tables",
-            )
-            p.add_argument("--workers", type=int, default=None,
-                           help="pool size for threads/processes "
-                           "(default: CPU count)")
-            p.add_argument(
-                "--kernel",
-                choices=["python", "stride2", "stride4", "vector"],
-                default="python",
-                help="chunk-scan kernel: stride2/stride4 precompose the "
-                "table over 2-/4-grams (budget-permitting), vector "
-                "block-composes mappings in NumPy",
-            )
+            add_engine_knobs(p)
 
     p = sub.add_parser("sizes", help="print pipeline automaton sizes")
     add_common(p)
@@ -194,11 +285,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="annotate SFA nodes with their mappings (Table I)")
     p.set_defaults(func=_cmd_dot)
 
-    p = sub.add_parser("save", help="serialize a compiled automaton to .npz")
-    add_common(p)
-    p.add_argument("--stage", choices=["dfa", "sfa"], default="sfa")
+    p = sub.add_parser(
+        "save", help="serialize a compiled automaton or ruleset to .npz"
+    )
+    p.add_argument("pattern", nargs="?", default=None,
+                   help="regular expression (for --stage dfa/sfa)")
+    p.add_argument("-i", "--ignore-case", action="store_true")
+    p.add_argument("--stage", choices=["dfa", "sfa", "ruleset"], default="sfa")
+    p.add_argument(
+        "--rules-file",
+        default=None,
+        help="rule sources for --stage ruleset: a pattern file (one regex "
+        "per line, '#' comments) or an existing .npz ruleset",
+    )
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_save)
+
+    p = sub.add_parser(
+        "matchset",
+        help="match a whole ruleset in one union-automaton scan",
+    )
+    p.add_argument(
+        "--rules-file",
+        required=True,
+        help="pattern file (one regex per line, '#' comments) or a "
+        "compiled .npz ruleset from 'save --stage ruleset'",
+    )
+    p.add_argument("input", help="input file, or - for stdin")
+    p.add_argument("-i", "--ignore-case", action="store_true",
+                   help="apply ASCII case folding to every rule "
+                   "(pattern files only; archives keep their flags)")
+    add_engine_knobs(p)
+    p.set_defaults(func=_cmd_matchset)
 
     p = sub.add_parser("ruleset", help="emit a synthetic SNORT-like ruleset")
     p.add_argument("--rules", type=int, default=20)

@@ -20,7 +20,11 @@ from repro.matching.multi import MultiPatternSet
 from repro.matching.parallel_sfa import ParallelSFAMatcher, parallel_sfa_run
 from repro.matching.sequential import SequentialDFAMatcher, sequential_run
 from repro.matching.speculative import SpeculativeDFAMatcher, speculative_run
-from repro.matching.stream import ParallelStreamMatcher, StreamMatcher
+from repro.matching.stream import (
+    ParallelStreamMatcher,
+    StreamingMultiMatcher,
+    StreamMatcher,
+)
 
 __all__ = [
     "CompiledPattern",
@@ -31,6 +35,7 @@ __all__ = [
     "SequentialDFAMatcher",
     "SpeculativeDFAMatcher",
     "StreamMatcher",
+    "StreamingMultiMatcher",
     "compile_pattern",
     "lockstep_run",
     "parallel_sfa_run",

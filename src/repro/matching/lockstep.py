@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.automata.sfa import SFA
+from repro.automata.stride import best_stride_table
 from repro.errors import MatchEngineError
 from repro.parallel.chunking import clamp_chunks, lockstep_layout
 from repro.parallel.reduction import (
@@ -44,7 +45,11 @@ class LockstepRunResult:
 
 
 def lockstep_run(
-    sfa: SFA, classes: np.ndarray, num_chunks: int, kernel: str = "python"
+    sfa: SFA,
+    classes: np.ndarray,
+    num_chunks: int,
+    kernel: str = "python",
+    stride_budget: Optional[int] = None,
 ) -> LockstepRunResult:
     """Run Algorithm 5 with all chunk scans advancing in lockstep.
 
@@ -56,8 +61,10 @@ def lockstep_run(
 
     ``kernel`` ∈ :data:`~repro.parallel.scan.KERNELS`: the stride kernels
     advance every chunk by 2/4 symbols per gather via a precomposed
-    superalphabet table (budget-permitting); ``"vector"`` is accepted as an
-    alias of ``"python"`` — this engine is already fully vectorized.
+    superalphabet table (budget-permitting, degrading stride4 → stride2 →
+    1-gram; ``stride_budget`` overrides the default table-byte cap);
+    ``"vector"`` is accepted as an alias of ``"python"`` — this engine is
+    already fully vectorized.
     """
     if num_chunks < 1:
         raise MatchEngineError("num_chunks must be >= 1")
@@ -69,7 +76,9 @@ def lockstep_run(
     scan_classes = classes
     stride_tail = None
     if kernel in ("stride2", "stride4"):
-        st = sfa.stride_table(2 if kernel == "stride2" else 4)
+        st = best_stride_table(
+            sfa, 2 if kernel == "stride2" else 4, stride_budget
+        )
         if st is not None:
             scan_classes, stride_tail = pack_stride(
                 classes, sfa.num_classes, st.stride

@@ -16,11 +16,20 @@ gives the chunk-parallel scan: the final mapping applied to the start
 state yields the full matched-rule set, independent of the chunking
 (Theorem 3 applies verbatim — acceptance is any function of the final
 state).
+
+The scan paths have feature parity with :class:`CompiledPattern`
+(DESIGN.md §3.6): ``executor=`` dispatches chunk scans on the serial /
+thread / process backends (union tables ride the content-addressed
+shared-memory publication path), ``kernel=`` picks the scan kernel, and
+serial scans run the union DFA directly with the largest affordable
+precomposed stride table.  Compiled rulesets persist via
+:func:`repro.automata.serialize.save_ruleset` and stream via
+:class:`repro.matching.stream.StreamingMultiMatcher`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -29,11 +38,66 @@ from repro.automata.nfa import NFA, glushkov_nfa
 from repro.automata.sfa import SFA, correspondence_construction
 from repro.errors import MatchEngineError, StateExplosionError
 from repro.matching.lockstep import lockstep_run
-from repro.parallel.chunking import split_classes
-from repro.regex.ast import Concat, Literal, Node, Star
+from repro.matching.parallel_sfa import parallel_sfa_run
+from repro.parallel.chunking import clamp_chunks
+from repro.parallel.executor import (
+    EXECUTOR_NAMES,
+    ChunkExecutor,
+    resolve_executor,
+)
+from repro.parallel.scan import KERNELS, scan_block
+from repro.regex.ast import Concat, Literal, Star
 from repro.regex.charclass import ByteClassPartition, CharSet
 from repro.regex.parser import parse
 from repro.util.bitset import iter_bits
+
+#: Per-table byte budget for the union automaton's stride tables.  More
+#: generous than the single-pattern 4 MiB default: an IDS union DFA has
+#: more states and byte classes (``|Q|·k²`` grows fast), and one
+#: precomposed table is amortized over every payload the ruleset scans.
+DEFAULT_STRIDE_BUDGET = 32 << 20
+
+#: A rule is a plain regex source, or a ``(pattern, ignore_case)`` pair.
+Rule = Union[str, Tuple[str, bool]]
+
+
+def _normalize_rules(
+    patterns: Sequence[Rule],
+    ignore_case: bool,
+    flags: Optional[Sequence[bool]],
+) -> Tuple[List[str], List[bool]]:
+    """Split rule entries into (sources, per-rule ignore-case flags).
+
+    Real IDS rules set ``nocase`` per rule, not per ruleset, so a rule may
+    be a bare string or a ``(pattern, ignore_case)`` pair; an optional
+    ``flags`` sequence covers callers who keep flags in a parallel array.
+    The ruleset-wide ``ignore_case`` OR-s into every rule.
+    """
+    sources: List[str] = []
+    per_rule: List[bool] = []
+    for entry in patterns:
+        if isinstance(entry, str):
+            sources.append(entry)
+            per_rule.append(bool(ignore_case))
+            continue
+        try:
+            pat, flag = entry
+        except (TypeError, ValueError):
+            raise MatchEngineError(
+                f"rule must be a pattern string or (pattern, ignore_case) "
+                f"pair, got {entry!r}"
+            ) from None
+        if not isinstance(pat, str):
+            raise MatchEngineError(f"rule pattern must be a string, got {pat!r}")
+        sources.append(pat)
+        per_rule.append(bool(flag) or bool(ignore_case))
+    if flags is not None:
+        if len(flags) != len(sources):
+            raise MatchEngineError(
+                f"flags length {len(flags)} != rule count {len(sources)}"
+            )
+        per_rule = [f or bool(g) for f, g in zip(per_rule, flags)]
+    return sources, per_rule
 
 
 class MultiPatternSet:
@@ -42,34 +106,55 @@ class MultiPatternSet:
     Parameters
     ----------
     patterns:
-        rule regex sources.
+        rule regex sources — plain strings, or ``(pattern, ignore_case)``
+        pairs for per-rule case folding.
     mode:
         ``"search"`` (default) — a rule matches if any substring matches
         (IDS semantics, via ``Σ*·L·Σ*``); ``"fullmatch"`` — whole-input
         membership per rule.
+    ignore_case:
+        ruleset-wide case folding, OR-ed with any per-rule flag.
     max_dfa_states:
         budget for the union subset construction (the cross-product of
         rule automata can blow up; callers see
         :class:`~repro.errors.StateExplosionError`, not an OOM).
+    flags:
+        optional per-rule ignore-case flags (same length as ``patterns``),
+        OR-ed with the tuple form and ``ignore_case``.
+    stride_budget:
+        byte cap for the union automaton's precomposed stride tables
+        (scans pick the largest affordable stride under it); ``None``
+        means the multi default of :data:`DEFAULT_STRIDE_BUDGET`.
     """
 
     def __init__(
         self,
-        patterns: Sequence[str],
+        patterns: Sequence[Rule],
         mode: str = "search",
         ignore_case: bool = False,
         max_dfa_states: int = 200_000,
         max_sfa_states: int = 2_000_000,
+        *,
+        flags: Optional[Sequence[bool]] = None,
+        stride_budget: Optional[int] = None,
     ):
         if mode not in ("search", "fullmatch"):
             raise MatchEngineError(f"unknown mode {mode!r}")
         if not patterns:
             raise MatchEngineError("need at least one pattern")
-        self.patterns = list(patterns)
+        self.patterns, self.rule_flags = _normalize_rules(
+            patterns, ignore_case, flags
+        )
         self.mode = mode
         self.max_sfa_states = max_sfa_states
+        self.stride_budget = (
+            DEFAULT_STRIDE_BUDGET if stride_budget is None else stride_budget
+        )
 
-        asts = [parse(p, ignore_case=ignore_case) for p in self.patterns]
+        asts = [
+            parse(p, ignore_case=f)
+            for p, f in zip(self.patterns, self.rule_flags)
+        ]
         if mode == "search":
             any_star = Star(Literal(CharSet.any_byte()))
             asts = [Concat([any_star, a, any_star]) for a in asts]
@@ -77,11 +162,54 @@ class MultiPatternSet:
         for a in asts:
             charsets.extend(a.charsets())
         self.partition = ByteClassPartition(charsets)
-        self._nfas = [glushkov_nfa(a, self.partition) for a in asts]
+        self._nfas: Optional[List[NFA]] = [
+            glushkov_nfa(a, self.partition) for a in asts
+        ]
         self._dfa, self.rule_sets = _union_subset_construction(
             self._nfas, self.partition, max_dfa_states
         )
         self._sfa: Optional[SFA] = None
+
+    @classmethod
+    def from_components(
+        cls,
+        patterns: Sequence[str],
+        flags: Sequence[bool],
+        mode: str,
+        partition: ByteClassPartition,
+        dfa: DFA,
+        rule_sets: Sequence[Sequence[int]],
+        sfa: Optional[SFA] = None,
+        max_sfa_states: int = 2_000_000,
+        stride_budget: Optional[int] = None,
+    ) -> "MultiPatternSet":
+        """Rebuild a compiled set from persisted tables, skipping parsing
+        and subset construction entirely.
+
+        This is the :func:`repro.automata.serialize.load_ruleset` entry
+        point; components are trusted to be mutually consistent (the
+        loader validates them against the archive invariants).
+        """
+        if mode not in ("search", "fullmatch"):
+            raise MatchEngineError(f"unknown mode {mode!r}")
+        if not patterns:
+            raise MatchEngineError("need at least one pattern")
+        if len(flags) != len(patterns):
+            raise MatchEngineError("flags length != rule count")
+        obj = cls.__new__(cls)
+        obj.patterns = [str(p) for p in patterns]
+        obj.rule_flags = [bool(f) for f in flags]
+        obj.mode = mode
+        obj.max_sfa_states = max_sfa_states
+        obj.stride_budget = (
+            DEFAULT_STRIDE_BUDGET if stride_budget is None else stride_budget
+        )
+        obj.partition = partition
+        obj._nfas = None  # construction intermediates are not persisted
+        obj._dfa = dfa
+        obj.rule_sets = [tuple(int(r) for r in rules) for rules in rule_sets]
+        obj._sfa = sfa
+        return obj
 
     # -- properties --------------------------------------------------------
     @property
@@ -110,41 +238,127 @@ class MultiPatternSet:
         }
 
     # -- matching ------------------------------------------------------------
-    def matches(self, data: bytes, num_chunks: int = 1) -> Set[int]:
+    def matches(
+        self,
+        data: bytes,
+        num_chunks: int = 1,
+        *,
+        executor=None,
+        num_workers: Optional[int] = None,
+        kernel: str = "python",
+    ) -> Set[int]:
         """Indices of all rules matching ``data``.
 
-        ``num_chunks > 1`` uses the chunk-parallel lockstep SFA engine;
-        the result is chunking-invariant.
+        ``num_chunks > 1`` runs Algorithm 5 on the union D-SFA — lockstep
+        (vectorized) when no executor is given, or per-chunk scans
+        dispatched through ``executor`` (``"serial"``/``"threads"``/
+        ``"processes"`` or a :class:`~repro.parallel.executor.ChunkExecutor`
+        instance; the process backend publishes the union table over
+        shared memory once).  ``kernel`` picks the scan kernel; serial
+        scans use the largest affordable precomposed stride table of the
+        union DFA.  The result is chunking- and backend-invariant.
         """
-        classes = self.partition.translate(data)
-        if num_chunks <= 1:
-            q = self._dfa.run_classes(classes)
-        else:
-            res = lockstep_run(self.sfa, classes, num_chunks)
-            q = res.final_states[0]
+        q = self._final_origin_state(
+            self.partition.translate(data), num_chunks, executor, num_workers,
+            kernel,
+        )
         return set(self.rule_sets[q])
 
-    def matches_any(self, data: bytes, num_chunks: int = 1) -> bool:
-        """Does any rule match?  (cheapest verdict)"""
-        classes = self.partition.translate(data)
-        if num_chunks <= 1:
-            return bool(self._dfa.accept[self._dfa.run_classes(classes)])
-        return lockstep_run(self.sfa, classes, num_chunks).accepted
+    def matches_any(
+        self,
+        data: bytes,
+        num_chunks: int = 1,
+        *,
+        executor=None,
+        num_workers: Optional[int] = None,
+        kernel: str = "python",
+    ) -> bool:
+        """Does any rule match?  (cheapest verdict; same knobs as
+        :meth:`matches`)"""
+        q = self._final_origin_state(
+            self.partition.translate(data), num_chunks, executor, num_workers,
+            kernel,
+        )
+        return bool(self._dfa.accept[q])
 
-    def scan_chunked(self, data: bytes, num_chunks: int) -> Set[int]:
+    def scan_chunked(
+        self,
+        data: bytes,
+        num_chunks: int,
+        *,
+        executor=None,
+        num_workers: Optional[int] = None,
+        kernel: str = "python",
+    ) -> Set[int]:
         """Algorithm 5 with explicit per-chunk scans (thread-shaped).
 
-        Exposed for tests and executors; equivalent to
-        ``matches(data, num_chunks)``.
+        Chunk scans are shipped as ``(kernel, table, span)`` tasks through
+        :meth:`~repro.parallel.executor.ChunkExecutor.scan`, so the
+        process backend sends shared-memory references instead of tables.
+        ``num_chunks`` is clamped to the symbol count — ``p > n`` never
+        dispatches an empty chunk.  Equivalent to
+        ``matches(data, num_chunks)`` for every backend and kernel.
         """
         classes = self.partition.translate(data)
-        chunks = split_classes(classes, num_chunks)
-        sfa = self.sfa
-        states = [sfa.run_classes(ch) for ch in chunks]
-        q = self._dfa.initial
-        for f in states:
-            q = int(sfa.maps[f, q])
-        return set(self.rule_sets[q])
+        res = parallel_sfa_run(
+            self.sfa, classes, num_chunks, "sequential",
+            resolve_executor(executor, num_workers), kernel,
+            stride_budget=self.stride_budget,
+        )
+        return set(self.rule_sets[res.final_states[0]])
+
+    # -- scan internals ------------------------------------------------------
+    def _final_origin_state(
+        self,
+        classes: np.ndarray,
+        num_chunks: int,
+        executor,
+        num_workers: Optional[int],
+        kernel: str,
+    ) -> int:
+        """Union-DFA state reached on ``classes`` under any scan plan."""
+        if kernel not in KERNELS:
+            raise MatchEngineError(
+                f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+            )
+        # Validate the executor argument up front (without spinning up a
+        # pool), so a misconfigured value fails on every input length —
+        # not only once the payload is long enough to skip the p==1 path.
+        if isinstance(executor, str):
+            if executor not in EXECUTOR_NAMES:
+                raise MatchEngineError(
+                    f"unknown executor {executor!r} "
+                    f"(choose from {', '.join(EXECUTOR_NAMES)})"
+                )
+        elif executor is not None and not isinstance(executor, ChunkExecutor):
+            raise MatchEngineError(f"not an executor: {executor!r}")
+        p = clamp_chunks(len(classes), num_chunks)
+        if p == 1:
+            # One chunk gains nothing from a pool, and the serial DFA walk
+            # avoids building the (much larger) union D-SFA entirely.
+            return self._serial_scan(classes, kernel)
+        ex = resolve_executor(executor, num_workers)
+        if ex is None:
+            return lockstep_run(
+                self.sfa, classes, p, kernel, stride_budget=self.stride_budget
+            ).final_states[0]
+        res = parallel_sfa_run(
+            self.sfa, classes, p, "sequential", ex, kernel,
+            stride_budget=self.stride_budget,
+        )
+        return res.final_states[0]
+
+    def _serial_scan(self, classes: np.ndarray, kernel: str) -> int:
+        """One-chunk scan straight on the union DFA (no SFA needed).
+
+        The stride kernels precompose the *DFA* table — far smaller than
+        the union D-SFA, so the stride budget stretches much further —
+        degrading stride4 → stride2 → 1-gram as the byte-class alphabet
+        forces them over budget.
+        """
+        return scan_block(
+            self._dfa, self._dfa.initial, classes, kernel, self.stride_budget
+        )
 
     def __repr__(self) -> str:
         return (

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.automata.sfa import SFA
+from repro.automata.stride import best_stride_table
 from repro.errors import MatchEngineError
 from repro.parallel.chunking import clamp_chunks, split_balanced
 from repro.parallel.executor import ChunkExecutor, SerialExecutor
@@ -55,6 +56,7 @@ def parallel_sfa_run(
     reduction: str = "sequential",
     executor: Optional[ChunkExecutor] = None,
     kernel: str = "python",
+    stride_budget: Optional[int] = None,
 ) -> ParallelSFARunResult:
     """Full Algorithm 5.
 
@@ -67,8 +69,9 @@ def parallel_sfa_run(
     ``kernel`` picks the chunk-scan kernel (DESIGN.md §3.5): ``"python"``
     is the reference per-byte loop, ``"stride2"``/``"stride4"`` scan a
     precomposed superalphabet table so each lookup consumes 2/4 symbols
-    (falling back to ``"python"`` when the stride table exceeds its
-    table-byte budget), and ``"vector"`` block-composes mappings in NumPy.
+    (degrading to the largest affordable stride — then ``"python"`` — when
+    a table exceeds its byte budget; ``stride_budget`` overrides the
+    default cap), and ``"vector"`` block-composes mappings in NumPy.
     ``num_chunks`` is clamped to the symbol count so no empty chunk is
     ever dispatched.
     """
@@ -81,7 +84,9 @@ def parallel_sfa_run(
     executor = executor or SerialExecutor()
     st = None
     if kernel in ("stride2", "stride4"):
-        st = sfa.stride_table(2 if kernel == "stride2" else 4)
+        st = best_stride_table(
+            sfa, 2 if kernel == "stride2" else 4, stride_budget
+        )
     if st is not None:
         # Scan n/stride superalphabet symbols; the < stride tail of the
         # last chunk is finished with the base table after dispatch.

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.automata.dfa import DFA
 from repro.automata.mapping import Transformation
+from repro.automata.stride import best_stride_table
 from repro.errors import MatchEngineError
 from repro.parallel.chunking import clamp_chunks, split_balanced
 from repro.parallel.executor import ChunkExecutor, SerialExecutor
@@ -94,7 +95,7 @@ def speculative_run(
     n = dfa.num_states
     st = None
     if kernel in ("stride2", "stride4"):
-        st = dfa.stride_table(2 if kernel == "stride2" else 4)
+        st = best_stride_table(dfa, 2 if kernel == "stride2" else 4)
     if st is not None:
         packed, tail = pack_stride(classes, dfa.num_classes, st.stride)
         spans = split_balanced(len(packed), clamp_chunks(len(packed), num_chunks))

@@ -9,11 +9,11 @@ online *and* data-parallel, something the plain DFA loop cannot offer
 without replaying.
 
 Blocks are accepted as ``bytes``, ``bytearray`` or ``memoryview`` and are
-translated through the buffer protocol without copying.  Both cursors take
+translated through the buffer protocol without copying.  All cursors take
 the same ``kernel`` knob as the offline engines (DESIGN.md §3.5), so a
 stream can be scanned with the multi-stride or vectorized kernels.
 
-Two cursor flavours:
+Three cursor flavours:
 
 * :class:`StreamMatcher` — runs the SFA table directly (state index), one
   lookup per byte (per 2/4 bytes with a stride kernel); ``feed`` is
@@ -21,18 +21,24 @@ Two cursor flavours:
 * :class:`ParallelStreamMatcher` — scans each block with ``p`` lockstep
   chunks and composes the block mapping into the running state via the
   (monoid-closed) composition index.
+* :class:`StreamingMultiMatcher` — the same running-state machinery over
+  a whole compiled ruleset's union automaton; each ``feed`` reports the
+  rules newly matched by the stream so far (DESIGN.md §3.6).
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import TYPE_CHECKING, List, Set, Union
 
 import numpy as np
 
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
 from repro.matching.lockstep import lockstep_run
-from repro.parallel.scan import KERNELS, sfa_scan, sfa_scan_vector
+from repro.parallel.scan import KERNELS, scan_block
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.matching.multi import MultiPatternSet
 
 Block = Union[bytes, bytearray, memoryview]
 
@@ -57,22 +63,9 @@ class StreamMatcher:
         if self.sfa.partition is None:
             raise MatchEngineError("streaming over bytes needs a partition")
         classes = self.sfa.partition.translate(block)
-        self.state = self._scan(classes)
+        self.state = scan_block(self.sfa, self.state, classes, self.kernel)
         self._consumed += len(classes)
         return self
-
-    def _scan(self, classes: np.ndarray) -> int:
-        kernel = self.kernel
-        if kernel in ("stride2", "stride4"):
-            st = self.sfa.stride_table(2 if kernel == "stride2" else 4)
-            if st is not None:
-                packed, tail = st.pack(classes)
-                state = sfa_scan(st.table, self.state, packed)
-                return sfa_scan(self.sfa.table, state, tail)
-            kernel = "python"
-        if kernel == "vector":
-            return sfa_scan_vector(self.sfa.table, self.state, classes)
-        return sfa_scan(self.sfa.table, self.state, classes)
 
     def accepted(self) -> bool:
         """Verdict for the input consumed so far."""
@@ -117,11 +110,9 @@ class ParallelStreamMatcher:
         classes = self.sfa.partition.translate(block)
         if len(classes) == 0:
             return self
-        res = lockstep_run(self.sfa, classes, self.num_chunks, self.kernel)
-        block_state = res.chunk_states[0]
-        for f in res.chunk_states[1:]:
-            block_state = self.sfa.compose_indices(block_state, f)
-        self.state = self.sfa.compose_indices(self.state, block_state)
+        self.state = _fold_block_parallel(
+            self.sfa, self.state, classes, self.num_chunks, self.kernel
+        )
         self._consumed += len(classes)
         return self
 
@@ -134,3 +125,111 @@ class ParallelStreamMatcher:
     def reset(self) -> None:
         self.state = self.sfa.initial
         self._consumed = 0
+
+
+def _fold_block_parallel(
+    sfa: SFA,
+    state: int,
+    classes: np.ndarray,
+    num_chunks: int,
+    kernel: str,
+    stride_budget: "int | None" = None,
+) -> int:
+    """Chunk-parallel block scan folded into a running SFA state."""
+    res = lockstep_run(sfa, classes, num_chunks, kernel, stride_budget)
+    block_state = res.chunk_states[0]
+    for f in res.chunk_states[1:]:
+        block_state = sfa.compose_indices(block_state, f)
+    return sfa.compose_indices(state, block_state)
+
+
+class StreamingMultiMatcher:
+    """Online multi-pattern cursor over a compiled ruleset.
+
+    Maintains one running state of the ruleset's union D-SFA across
+    arbitrary block boundaries; :meth:`feed` returns the set of rules
+    *newly* matched (rule indices never reported before), so an IDS loop
+    can alert incrementally without rescanning.  Rules that already match
+    the empty stream are reported by the first :meth:`feed`, so consuming
+    only feed output sees every rule exactly once.  In ``"search"`` mode the
+    matched set is monotone along the stream (``Σ*·L·Σ*`` acceptance
+    survives extension), so checking at block boundaries loses nothing —
+    a rule matched mid-block is still matched at the block's end.  In
+    ``"fullmatch"`` mode :meth:`rules` reports the rules whose language
+    contains exactly the bytes consumed so far, and :meth:`matched_rules`
+    accumulates every boundary verdict.
+
+    ``num_chunks > 1`` scans each block chunk-parallel with the lockstep
+    engine over the union D-SFA and folds the block's ⊙-product into the
+    running state; the default serial cursor walks the (much smaller)
+    union *DFA* directly, so streaming a large ruleset never builds the
+    D-SFA at all.  ``kernel`` picks the block-scan kernel, as in
+    :class:`StreamMatcher`.
+    """
+
+    def __init__(
+        self,
+        ruleset: "MultiPatternSet",
+        num_chunks: int = 1,
+        kernel: str = "python",
+    ):
+        if num_chunks < 1:
+            raise MatchEngineError("num_chunks must be >= 1")
+        if kernel not in KERNELS:
+            raise MatchEngineError(f"unknown kernel {kernel!r}")
+        self.ruleset = ruleset
+        self.num_chunks = num_chunks
+        self.kernel = kernel
+        self._automaton = ruleset.dfa if num_chunks == 1 else ruleset.sfa
+        self.state = self._automaton.initial
+        self._consumed = 0
+        self._matched: Set[int] = set()  # reported by feed() so far
+
+    @property
+    def bytes_consumed(self) -> int:
+        return self._consumed
+
+    def feed(self, block: Block) -> Set[int]:
+        """Consume one block; returns the rules newly matched by it."""
+        classes = self.ruleset.partition.translate(block)
+        if len(classes):
+            if self.num_chunks > 1:
+                self.state = _fold_block_parallel(
+                    self._automaton, self.state, classes, self.num_chunks,
+                    self.kernel, self.ruleset.stride_budget,
+                )
+            else:
+                self.state = scan_block(
+                    self._automaton, self.state, classes, self.kernel,
+                    self.ruleset.stride_budget,
+                )
+            self._consumed += len(classes)
+        now = self.rules()
+        fresh = now - self._matched
+        self._matched |= now
+        return fresh
+
+    def rules(self) -> Set[int]:
+        """Rules matching the consumed input (the ruleset's mode applies)."""
+        if self.num_chunks == 1:
+            q = self.state  # the running state IS a union-DFA state
+        else:
+            sfa = self._automaton
+            q = sfa.apply_mapping(self.state, sfa.origin_initial)
+        return set(self.ruleset.rule_sets[q])
+
+    def matched_rules(self) -> Set[int]:
+        """Every rule matched so far (equals :meth:`rules` in search mode).
+
+        The union of all :meth:`feed` reports and the current verdict, so
+        it is complete even before the first block arrives.
+        """
+        return self._matched | self.rules()
+
+    def matched_any(self) -> bool:
+        return bool(self.matched_rules())
+
+    def reset(self) -> None:
+        self.state = self._automaton.initial
+        self._consumed = 0
+        self._matched = set()

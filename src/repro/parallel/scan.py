@@ -222,6 +222,39 @@ def sfa_scan_vector(
 # ---------------------------------------------------------------------------
 
 
+def scan_block(
+    automaton,
+    state: int,
+    classes: np.ndarray,
+    kernel: str,
+    stride_budget: "int | None" = None,
+) -> int:
+    """Advance one automaton state through a block with the chosen kernel.
+
+    Works for any table automaton (DFA or SFA — anything with ``table``
+    and ``stride_table``).  The stride kernels walk the largest affordable
+    precomposed table (under ``stride_budget``, degrading stride4 →
+    stride2 → the 1-gram loop) and finish the ``< stride`` leftover on
+    the base table; the running state stays a plain state index
+    throughout.  This is the shared serial scan of the stream cursors and
+    ``MultiPatternSet``'s one-chunk path.
+    """
+    from repro.automata.stride import best_stride_table
+
+    if kernel in ("stride2", "stride4"):
+        st = best_stride_table(
+            automaton, 2 if kernel == "stride2" else 4, stride_budget
+        )
+        if st is not None:
+            packed, tail = st.pack(classes)
+            state = sfa_scan(st.table, state, packed)
+            return sfa_scan(automaton.table, state, tail)
+        kernel = "python"
+    if kernel == "vector":
+        return sfa_scan_vector(automaton.table, state, classes)
+    return sfa_scan(automaton.table, state, classes)
+
+
 def run_scan(
     kind: str,
     table: np.ndarray,

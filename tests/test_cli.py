@@ -188,6 +188,161 @@ class TestSave:
         assert load_dfa(out_path).accepts(b"ab")
 
 
+class TestSaveRuleset:
+    def test_save_and_reload_ruleset(self, capsys, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("# comment\nabc\n\nzz*top\n")
+        out_path = str(tmp_path / "rs.npz")
+        code, out, _ = run(capsys, "save", "--stage", "ruleset",
+                           "--rules-file", str(rules), "-o", out_path)
+        assert code == 0
+        assert "2 rules" in out
+        from repro.automata.serialize import load_ruleset
+
+        mps = load_ruleset(out_path)
+        assert mps.patterns == ["abc", "zz*top"]
+        assert mps.matches(b"xx abc zztop") == {0, 1}
+
+    def test_ruleset_stage_requires_rules_file(self, capsys, tmp_path):
+        code, _, err = run(capsys, "save", "--stage", "ruleset",
+                           "-o", str(tmp_path / "x.npz"))
+        assert code == 2
+        assert "--rules-file" in err
+
+    def test_ruleset_stage_rejects_pattern_positional(self, capsys, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("abc\n")
+        code, _, err = run(capsys, "save", "abc", "--stage", "ruleset",
+                           "--rules-file", str(rules),
+                           "-o", str(tmp_path / "x.npz"))
+        assert code == 2
+        assert "pattern" in err
+
+    def test_rules_file_with_wrong_stage_fails_loudly(self, capsys, tmp_path):
+        # a dfa/sfa archive of a ruleset would silently drop rule identity
+        rules = tmp_path / "rules.txt"
+        rules.write_text("abc\nzz*top\n")
+        for stage in ("dfa", "sfa"):
+            out_path = tmp_path / f"{stage}.npz"
+            code, _, err = run(capsys, "save", "--stage", stage,
+                               "--rules-file", str(rules),
+                               "-o", str(out_path))
+            assert code == 2, stage
+            assert "--stage ruleset" in err
+            assert not out_path.exists()  # no lossy archive was written
+
+    def test_plain_stage_still_needs_pattern(self, capsys, tmp_path):
+        code, _, err = run(capsys, "save", "--stage", "sfa",
+                           "-o", str(tmp_path / "x.npz"))
+        assert code == 2
+        assert "pattern" in err
+
+    def test_empty_rules_file_rejected(self, capsys, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("# only comments\n")
+        code, _, err = run(capsys, "save", "--stage", "ruleset",
+                           "--rules-file", str(rules),
+                           "-o", str(tmp_path / "x.npz"))
+        assert code == 2
+        assert "no rules" in err
+
+
+class TestMatchset:
+    def _rules(self, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("abc\na[0-9]+b\nzz*top\n")
+        return str(rules)
+
+    def test_lists_matching_rules(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"pad abc pad a42b pad")
+        code, out, _ = run(capsys, "matchset",
+                           "--rules-file", self._rules(tmp_path), str(f))
+        assert code == 0
+        assert "0:abc" in out
+        assert "1:a[0-9]+b" in out
+        assert "2:zz*top" not in out
+        assert "matched 2/3 rules" in out
+
+    def test_no_match_exit_one(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"nothing here")
+        code, out, _ = run(capsys, "matchset",
+                           "--rules-file", self._rules(tmp_path), str(f))
+        assert code == 1
+        assert "matched 0/3 rules" in out
+
+    def test_knobs_and_npz_roundtrip(self, capsys, tmp_path):
+        """The end-to-end production flow: compile, save, load, scan."""
+        rules_path = self._rules(tmp_path)
+        npz_path = str(tmp_path / "rs.npz")
+        code, _, _ = run(capsys, "save", "--stage", "ruleset",
+                         "--rules-file", rules_path, "-o", npz_path)
+        assert code == 0
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x" * 100 + b"abc" + b"y" * 100 + b"zztop")
+        for executor in ("serial", "threads", "processes"):
+            for kernel in ("python", "stride4"):
+                code, out, _ = run(capsys, "matchset", "--rules-file", npz_path,
+                                   str(f), "--chunks", "4",
+                                   "--executor", executor, "--workers", "2",
+                                   "--kernel", kernel)
+                assert code == 0, (executor, kernel)
+                assert "matched 2/3 rules" in out, (executor, kernel)
+
+    def test_ignore_case_flag(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"PAD ABC PAD")
+        code, out, _ = run(capsys, "matchset",
+                           "--rules-file", self._rules(tmp_path), str(f), "-i")
+        assert code == 0
+        assert "0:abc" in out
+
+    def test_compile_error_exit_two(self, capsys, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("(ab\n")
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x")
+        code, _, err = run(capsys, "matchset", "--rules-file", str(rules), str(f))
+        assert code == 2
+        assert "error" in err
+
+    def test_bogus_npz_exit_two(self, capsys, tmp_path):
+        bogus = tmp_path / "rules.npz"
+        bogus.write_bytes(b"not an archive")
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x")
+        code, _, err = run(capsys, "matchset", "--rules-file", str(bogus), str(f))
+        assert code == 2
+        assert "not a ruleset archive" in err
+
+    def test_binary_pattern_file_exit_two(self, capsys, tmp_path):
+        # an archive renamed without .npz reads as a pattern file: exit 2,
+        # not a UnicodeDecodeError crash (which the shell reads as exit 1)
+        binary = tmp_path / "rules.dat"
+        binary.write_bytes(bytes(range(256)))
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x")
+        code, _, err = run(capsys, "matchset", "--rules-file", str(binary), str(f))
+        assert code == 2
+        assert "not a text pattern file" in err
+
+    def test_save_normalizes_npz_extension(self, capsys, tmp_path):
+        # np.savez appends .npz silently; the CLI must report the real path
+        rules = tmp_path / "rules.txt"
+        rules.write_text("abc\n")
+        bare = tmp_path / "ids"
+        code, out, _ = run(capsys, "save", "--stage", "ruleset",
+                           "--rules-file", str(rules), "-o", str(bare))
+        assert code == 0
+        assert not bare.exists()
+        assert f"{bare}.npz" in out
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx abc")
+        code, _, _ = run(capsys, "matchset", "--rules-file", f"{bare}.npz", str(f))
+        assert code == 0
+
+
 class TestRuleset:
     def test_emits_rules(self, capsys):
         code, out, _ = run(capsys, "ruleset", "--rules", "5", "--seed", "1")

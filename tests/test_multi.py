@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import MatchEngineError, StateExplosionError
 from repro.matching.multi import MultiPatternSet
+from repro.parallel.scan import KERNELS
 
 
 RULES = ["abc", "a[0-9]+b", "(GET|POST) /x", "zz*top"]
@@ -76,6 +77,139 @@ class TestChunkInvariance:
     def test_matches_any_parallel(self, mps):
         data = b"x" * 100 + b"abc" + b"y" * 100
         assert mps.matches_any(data, num_chunks=7)
+
+    @pytest.mark.parametrize("p", [2, 5, 50])
+    def test_more_chunks_than_symbols(self, mps, p):
+        # p > n must clamp, not ship empty chunks (the PR 2 bug, here too)
+        for data in (b"a", b"abc", b"zztop"):
+            assert mps.matches(data, num_chunks=p) == mps.matches(data)
+            assert mps.scan_chunked(data, p) == mps.matches(data)
+            assert mps.matches_any(data, num_chunks=p) == bool(mps.matches(data))
+
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_empty_input(self, mps, p):
+        assert mps.matches(b"", num_chunks=p) == set()
+        assert mps.scan_chunked(b"", p) == set()
+        assert not mps.matches_any(b"", num_chunks=p)
+
+    def test_empty_input_fullmatch_mode(self):
+        mps = MultiPatternSet(["(ab)*", "a+"], mode="fullmatch")
+        for p in (1, 4, 16):
+            assert mps.matches(b"", num_chunks=p) == {0}
+            assert mps.scan_chunked(b"", p) == {0}
+
+
+class TestExecutorAndKernelKnobs:
+    DATA = b"junk abc junk a987b junk zztop END" * 3
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("p", [1, 3, 50])
+    def test_kernels_agree(self, mps, kernel, p):
+        ref = mps.matches(self.DATA)
+        assert mps.matches(self.DATA, num_chunks=p, kernel=kernel) == ref
+        assert mps.scan_chunked(self.DATA, p, kernel=kernel) == ref
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_executors_agree(self, mps, executor):
+        ref = mps.matches(self.DATA)
+        got = mps.matches(
+            self.DATA, num_chunks=4, executor=executor, num_workers=2
+        )
+        assert got == ref
+        got = mps.scan_chunked(
+            self.DATA, 4, executor=executor, num_workers=2, kernel="stride2"
+        )
+        assert got == ref
+        assert mps.matches_any(
+            self.DATA, num_chunks=4, executor=executor, num_workers=2
+        )
+
+    def test_executor_instance(self, mps):
+        from repro.parallel.executor import ProcessExecutor
+
+        with ProcessExecutor(2) as ex:
+            assert mps.matches(self.DATA, num_chunks=3, executor=ex) == \
+                mps.matches(self.DATA)
+
+    def test_unknown_kernel_rejected(self, mps):
+        with pytest.raises(MatchEngineError):
+            mps.matches(b"abc", kernel="simd")
+        with pytest.raises(MatchEngineError):
+            mps.scan_chunked(b"abc", 2, kernel="simd")
+
+    def test_bad_chunk_count_rejected(self, mps):
+        with pytest.raises(MatchEngineError):
+            mps.matches(b"abc", num_chunks=0)
+
+    def test_unknown_executor_name_rejected(self, mps):
+        with pytest.raises(MatchEngineError):
+            mps.matches(b"abc", num_chunks=2, executor="gpu")
+        with pytest.raises(MatchEngineError):
+            mps.matches(b"a", executor="gpu")  # even when p clamps to 1
+
+    def test_non_executor_object_rejected_on_any_length(self, mps):
+        # a misconfigured object must fail on short inputs too, not only
+        # once the payload is long enough to skip the p==1 fast path
+        for data in (b"", b"a", b"abc" * 10):
+            with pytest.raises(MatchEngineError):
+                mps.matches(data, num_chunks=4, executor=object())
+
+    def test_stride_budget_none_means_multi_default(self):
+        from repro.matching.multi import DEFAULT_STRIDE_BUDGET
+
+        mps = MultiPatternSet(RULES, stride_budget=None)
+        assert mps.stride_budget == DEFAULT_STRIDE_BUDGET
+        assert MultiPatternSet(RULES, stride_budget=1024).stride_budget == 1024
+
+    def test_serial_scans_never_build_the_sfa(self):
+        # p == 1 (however reached) walks the union DFA; the far larger
+        # D-SFA must not be constructed as a side effect.
+        mps = MultiPatternSet(RULES)
+        assert mps.matches(b"xx abc yy") == {0}
+        assert mps.matches(b"a", num_chunks=50, executor="serial") == set()
+        assert mps.matches(b"zztop", kernel="stride4") == {3}
+        assert mps._sfa is None
+
+    def test_stride_budget_reaches_chunked_scans(self, mps):
+        data = b"junk abc junk zztop END" * 2
+        ref = mps.matches(data)
+        assert mps.matches(data, num_chunks=3, kernel="stride2") == ref
+        # the chunked path probes stride tables under the multi budget,
+        # not the 4 MiB engine default
+        assert (2, mps.stride_budget) in mps.sfa._stride_tables
+
+
+class TestPerRuleFlags:
+    def test_tuple_form(self):
+        mps = MultiPatternSet([("attack", True), "Virus"])
+        assert mps.rule_flags == [True, False]
+        assert mps.matches(b"an ATTACK detected") == {0}
+        assert mps.matches(b"virus") == set()
+        assert mps.matches(b"Virus aTtAcK") == {0, 1}
+
+    def test_flags_sequence(self):
+        mps = MultiPatternSet(["attack", "virus"], flags=[True, False])
+        assert mps.matches(b"ATTACK VIRUS") == {0}
+
+    def test_global_flag_ors_into_rules(self):
+        mps = MultiPatternSet([("attack", False), "virus"], ignore_case=True)
+        assert mps.rule_flags == [True, True]
+        assert mps.matches(b"ATTACK VIRUS") == {0, 1}
+
+    def test_flags_length_mismatch(self):
+        with pytest.raises(MatchEngineError):
+            MultiPatternSet(["a", "b"], flags=[True])
+
+    def test_malformed_rule_entry(self):
+        with pytest.raises(MatchEngineError):
+            MultiPatternSet([("a", True, "x")])
+        with pytest.raises(MatchEngineError):
+            MultiPatternSet([(b"a", True)])
+
+    def test_bare_strings_stay_compatible(self):
+        mps = MultiPatternSet(RULES)
+        assert mps.rule_flags == [False] * len(RULES)
+        assert mps.patterns == RULES
 
 
 class TestFullmatchMode:
