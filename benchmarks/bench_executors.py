@@ -28,7 +28,7 @@ from repro.bench.harness import (
     shape_check,
     time_callable,
 )
-from repro.bench.report import emit
+from repro.bench.report import emit, emit_json
 from repro.matching.lockstep import lockstep_run
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.parallel.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
@@ -83,6 +83,9 @@ def test_executor_throughput_comparison(benchmark):
             "the per-call IPC. 'threads' is GIL-bound under CPython.",
         )
     )
+    for name in ("serial", "threads", "lockstep", "processes"):
+        emit_json("bench_executors", name, mb_per_s=tput[name],
+                  speedup=tput[name] / tput["serial"], p=P, cores=cores)
     shape_check("all backends agree on the verdict",
                 len(set(verdicts.values())) == 1, f"{verdicts}")
     shape_check("verdict is accept (text is from L(r_5))", verdicts["serial"])

@@ -23,7 +23,7 @@ from repro.bench.harness import (
     measure_throughput,
     shape_check,
 )
-from repro.bench.report import emit
+from repro.bench.report import emit, emit_json
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.matching.speculative import speculative_run
 from repro.parallel.scan import KERNELS
@@ -90,6 +90,9 @@ def test_sfa_kernel_throughput(benchmark):
             "narrow tables (see the transform bench).",
         )
     )
+    for k in ("seed loop", *KERNELS):
+        emit_json("bench_kernels.sfa_scan", k, mb_per_s=tput[k],
+                  speedup=tput[k] / tput["seed loop"])
     shape_check("all kernels agree on the verdict",
                 len(set(verdicts.values())) == 1, f"{verdicts}")
     shape_check("verdict is accept (text is from L(r_5))", verdicts["python"])
@@ -155,6 +158,9 @@ def test_transform_kernel_vectorization(benchmark):
             "full 2 MB.",
         )
     )
+    for k in ("python", "stride4", "vector"):
+        emit_json("bench_kernels.transform_scan", k, mb_per_s=tput[k],
+                  speedup=tput[k] / tput["python"])
     shape_check("vector and stride agree on the verdict",
                 verdicts["vector"] == verdicts["stride4"] and verdicts["vector"],
                 f"{verdicts}")

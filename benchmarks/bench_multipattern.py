@@ -10,7 +10,7 @@ verdicts are chunk-invariant.
 
 from repro import compile_pattern
 from repro.bench.harness import BenchRecord, format_table, shape_check, time_callable
-from repro.bench.report import emit
+from repro.bench.report import emit, emit_json
 from repro.matching.multi import MultiPatternSet
 from repro.workloads.textgen import random_text
 
@@ -131,6 +131,10 @@ def test_kernel_executor_series(benchmark):
             f"the union D-SFA ({mps.sfa.num_states} states).",
         )
     )
+    base = times["seed DFA walk (p=1)"]
+    for label, t in times.items():
+        emit_json("bench_multipattern", label, mb_per_s=mb / t,
+                  speedup=base / t)
     speedup = times["seed DFA walk (p=1)"] / times["p=1 kernel=stride4"]
     shape_check(
         "stride4 kernel >= 3x the seed per-byte multi scan at p=1",

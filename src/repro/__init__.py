@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.matching.engine import CompiledPattern, compile_pattern
 from repro.matching.multi import MultiPatternSet
+from repro.matching.stream import StreamingMultiSpanMatcher, StreamingSpanMatcher
 
 __version__ = "1.1.0"
 
@@ -51,6 +52,8 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "StateExplosionError",
+    "StreamingMultiSpanMatcher",
+    "StreamingSpanMatcher",
     "UnsupportedFeatureError",
     "__version__",
     "compile_pattern",

@@ -2,11 +2,16 @@
 
 Benchmarks print paper-style tables and also persist them to
 ``benchmarks/out/results.txt`` (override with ``REPRO_BENCH_OUT``) so the
-reproduction record survives pytest's output capture.
+reproduction record survives pytest's output capture.  Machine-readable
+series additionally land in ``benchmarks/out/BENCH_results.json``
+(override with ``REPRO_BENCH_JSON``) — one record per measured case,
+``{"bench", "name", "mb_per_s", "speedup", ...}`` — so the performance
+trajectory is trackable across PRs (CI uploads the file as an artifact).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -16,6 +21,13 @@ def out_path() -> pathlib.Path:
     if env:
         return pathlib.Path(env)
     return pathlib.Path.cwd() / "benchmarks" / "out" / "results.txt"
+
+
+def json_path() -> pathlib.Path:
+    env = os.environ.get("REPRO_BENCH_JSON")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.cwd() / "benchmarks" / "out" / "BENCH_results.json"
 
 
 def emit(text: str) -> None:
@@ -29,3 +41,44 @@ def emit(text: str) -> None:
             fh.write("\n")
     except OSError:
         pass  # printing is the primary channel; persistence is best-effort
+
+
+# Paths already truncated by this process: the first emit_json of a run
+# starts the file fresh, so one bench invocation == one coherent record
+# set (re-runs never accumulate indistinguishable duplicates).
+_JSON_STARTED: set = set()
+
+
+def emit_json(bench: str, name: str, mb_per_s=None, speedup=None, **extra) -> None:
+    """Append one machine-readable result record to ``BENCH_results.json``.
+
+    The file holds a flat JSON list covering the *current* run: the first
+    call of a process truncates it, later calls append.  A corrupt file
+    is reset rather than crashing a bench run.  All values should be
+    plain numbers/strings (they are round-tripped through ``json``).
+    """
+    record = {"bench": bench, "name": name}
+    if mb_per_s is not None:
+        record["mb_per_s"] = round(float(mb_per_s), 3)
+    if speedup is not None:
+        record["speedup"] = round(float(speedup), 3)
+    record.update(extra)
+    path = json_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records: list = []
+        if str(path) in _JSON_STARTED:
+            try:
+                with open(path) as fh:
+                    records = json.load(fh)
+                if not isinstance(records, list):
+                    records = []
+            except (OSError, ValueError):
+                records = []
+        _JSON_STARTED.add(str(path))
+        records.append(record)
+        with open(path, "w") as fh:
+            json.dump(records, fh, indent=1)
+            fh.write("\n")
+    except OSError:
+        pass  # best-effort, like emit()

@@ -4,7 +4,9 @@
     python -m repro match  '(ab)*' input.bin --engine lockstep --chunks 8
     python -m repro match  '(ab)*' input.bin --engine sfa --chunks 8 \
         --executor processes --workers 8
-    python -m repro grep   'ERROR [0-9]+' server.log
+    python -m repro grep   'ERROR [0-9]+' server.log src/ var/log/
+    python -m repro grep   -o -n 'ERROR [0-9]+' server.log
+    python -m repro grep   -c 'ERROR' logs/        # per-file match-line counts
     python -m repro dot    '(ab)*' --stage sfa --hide-traps
     python -m repro save   '(ab)*' --stage sfa -o abstar.npz
     python -m repro ruleset --rules 20 --seed 2940
@@ -12,30 +14,58 @@
     python -m repro matchset --rules-file ids.npz payload.bin \
         --chunks 8 --executor processes --kernel stride4
 
+``grep`` is span-driven (DESIGN.md §3.7): files are mmapped (zero-copy),
+scanned **whole** with ``finditer``, and line numbers/matching lines are
+derived from the match spans against a vectorized newline index — no
+per-line rescans.  Directory arguments recurse (sorted), NUL-sniffed
+binary files are skipped, ``-o`` prints the matched spans themselves and
+``-c`` the per-file count of matching lines (GNU-grep compatible).
+
 ``matchset`` scans one payload against a whole ruleset in a single
 union-automaton pass and prints every matching rule; ``--rules-file``
 takes either a pattern file (one regex per line, ``#`` comments) or a
 compiled ``.npz`` ruleset written by ``save --stage ruleset``.
 
 Exit codes follow grep conventions for ``match``/``grep``/``matchset``:
-0 = matched, 1 = no match, 2 = usage/compile error.
+0 = matched, 1 = no match, 2 = usage/read/compile error.
 """
 
 from __future__ import annotations
 
 import argparse
+import mmap
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
+
+import numpy as np
 
 from repro.errors import MatchEngineError, ReproError
 from repro.matching.engine import compile_pattern
 
+InputData = Union[bytes, mmap.mmap]
 
-def _read_input(path: str) -> bytes:
+
+def _read_input(path: str) -> InputData:
+    """Open an input zero-copy: mmap regular files, read streams.
+
+    The returned object supports ``len()`` and the buffer protocol, which
+    is all the engines need (``translate`` wraps it with ``np.frombuffer``
+    without copying) — a multi-GB file costs address space, not RSS.
+    Empty and non-mappable inputs (pipes, sockets, ``-``) fall back to a
+    plain read.
+    """
     if path == "-":
         return sys.stdin.buffer.read()
-    with open(path, "rb") as fh:
-        return fh.read()
+    fh = open(path, "rb")
+    try:
+        try:
+            return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # empty file (cannot mmap 0 bytes) or non-mappable stream
+            return fh.read()
+    finally:
+        fh.close()  # the mapping survives the descriptor
 
 
 def _load_ruleset_arg(rules_file: str, ignore_case: bool):
@@ -100,30 +130,156 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-# Below this line length, parallel dispatch cannot amortize its per-call
-# setup (the Fig. 10 crossover) — grep falls back to serial per line.
+# Below this input size, chunked dispatch cannot amortize its per-call
+# setup (the Fig. 10 crossover) — grep scans smaller files serially.
 # Overridable per run with ``--parallel-threshold``.
 GREP_EXECUTOR_MIN_BYTES = 4096
+
+#: How many leading bytes are NUL-sniffed to classify a file as binary.
+GREP_BINARY_SNIFF_BYTES = 4096
+
+
+def _grep_walk(paths: List[str]) -> "tuple[list[str], list[str], bool]":
+    """Expand file/directory arguments into an ordered file list.
+
+    Directories recurse depth-first with sorted entries (so output order
+    is deterministic and diffable against ``grep -r``).  Returns
+    ``(files, missing, recursed)``.
+    """
+    files: List[str] = []
+    missing: List[str] = []
+    recursed = False
+    for p in paths:
+        if p == "-":
+            files.append(p)
+        elif os.path.isdir(p):
+            recursed = True
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                for name in sorted(names):
+                    files.append(os.path.join(root, name))
+        elif os.path.exists(p):
+            files.append(p)
+        else:
+            missing.append(p)
+    return files, missing, recursed
+
+
+def _grep_scan_file(m, path: str, args: argparse.Namespace):
+    """Scan one file; returns ``(spans, data, num_lines, newline_index)``.
+
+    ``None`` marks a skipped binary file.  Files at least
+    ``--parallel-threshold`` bytes long engage the chunked scan path
+    (``--chunks``/``--executor``/``--kernel``); smaller files take the
+    serial span pass, which has no dispatch overhead to amortize.
+    """
+    data = _read_input(path)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if b"\0" in bytes(memoryview(data)[:GREP_BINARY_SNIFF_BYTES]):
+        return None
+    engaged = len(arr) >= args.parallel_threshold
+    spans = m.span_engine().spans(
+        data,
+        num_chunks=args.chunks if engaged else 1,
+        executor=(None if args.executor == "serial" or not engaged
+                  else args.executor),
+        num_workers=args.workers,
+        kernel=args.kernel if engaged else "python",
+    )
+    nl = np.flatnonzero(arr == 0x0A)
+    # grep line count: a trailing newline terminates the last line rather
+    # than opening an empty one.
+    if len(arr) == 0:
+        num_lines = 0
+    elif len(nl) and int(nl[-1]) == len(arr) - 1:
+        num_lines = len(nl)
+    else:
+        num_lines = len(nl) + 1
+    return spans, data, num_lines, nl
+
+
+def _grep_emit(path, result, args, prefix: bool) -> "tuple[bool, list[str]]":
+    """Render one scanned file; returns ``(matched, output_lines)``."""
+    spans, data, num_lines, nl = result
+    tag = f"{path}:" if prefix else ""
+    # Map each span to the line its start falls on (spans are derived on
+    # the whole buffer; a span never crosses a line unless the pattern
+    # matches a literal newline, in which case it counts for its first
+    # line — same attribution grep uses for -z-less multiline escapes).
+    line_of = (
+        np.searchsorted(nl, [s for s, _ in spans], side="left").tolist()
+        if spans else []
+    )
+    matched_lines = sorted({
+        li for li in line_of if li < num_lines
+    })
+    if args.count:
+        return bool(matched_lines), [f"{tag}{len(matched_lines)}"]
+    out: List[str] = []
+    if args.only_matching:
+        buf = memoryview(data)
+        for (s, e), li in zip(spans, line_of):
+            if s == e or li >= num_lines:
+                continue  # grep -o skips empty matches
+            num = f"{li + 1}:" if args.line_numbers else ""
+            out.append(f"{tag}{num}{bytes(buf[s:e]).decode('latin-1')}")
+        return bool(matched_lines), out
+    starts = [0] + [int(i) + 1 for i in nl]
+    for li in matched_lines:
+        a = starts[li]
+        b = int(nl[li]) if li < len(nl) else len(data)
+        text = bytes(memoryview(data)[a:b]).decode("latin-1")
+        num = f"{li + 1}:" if args.line_numbers else ""
+        out.append(f"{tag}{num}{text}")
+    return bool(matched_lines), out
 
 
 def _cmd_grep(args: argparse.Namespace) -> int:
     m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
-    search = m.search_pattern()
-    data = _read_input(args.input)
-    executor = None if args.executor == "serial" else args.executor
-    threshold = args.parallel_threshold
+    m.span_engine()  # compile before fanning out to scan threads
+    files, missing, recursed = _grep_walk(args.paths)
+    for p in missing:
+        print(f"error: {p}: No such file or directory", file=sys.stderr)
+    prefix = recursed or len(files) > 1
+
+    def scan(path):
+        try:
+            return _grep_scan_file(m, path, args)
+        except OSError as e:
+            return e
+
+    def results():
+        if len(files) > 1 and args.executor == "serial":
+            # Parallel file walker: scan files concurrently, print in walk
+            # order.  With a chunk executor engaged the parallelism budget
+            # is already spent inside each file, so files go one at a time.
+            # Streaming off the ordered map (not materializing a list)
+            # lets each file's mmap and index arrays be freed as soon as
+            # its output is emitted.
+            from concurrent.futures import ThreadPoolExecutor
+
+            jobs = min(len(files), args.workers or os.cpu_count() or 1, 8)
+            with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+                yield from zip(files, pool.map(scan, files))
+        else:
+            for path in files:
+                yield path, scan(path)
+
     hit = False
-    for lineno, line in enumerate(data.split(b"\n"), start=1):
-        ex = executor if len(line) >= threshold else None
-        if search.fullmatch(line, engine=args.engine, num_chunks=args.chunks,
-                            executor=ex, num_workers=args.workers,
-                            kernel=args.kernel):
-            hit = True
-            text = line.decode("latin-1")
-            if args.line_numbers:
-                print(f"{lineno}:{text}")
-            else:
-                print(text)
+    errored = bool(missing)
+    for path, result in results():
+        if isinstance(result, OSError):
+            print(f"error: {path}: {result}", file=sys.stderr)
+            errored = True
+            continue
+        if result is None:  # binary file skipped
+            continue
+        matched, lines = _grep_emit(path, result, args, prefix)
+        hit = hit or matched
+        for line in lines:
+            print(line)
+    if errored:
+        return 2
     return 0 if hit else 1
 
 
@@ -265,14 +421,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="substring-search semantics instead of fullmatch")
     p.set_defaults(func=_cmd_match)
 
-    p = sub.add_parser("grep", help="print lines containing a match")
-    add_common(p, with_input=True)
-    p.add_argument("-n", "--line-numbers", action="store_true")
+    p = sub.add_parser(
+        "grep",
+        help="span-driven search over files and directories (mmap, "
+        "recursive, grep exit codes)",
+    )
+    p.add_argument("pattern", help="regular expression")
+    p.add_argument("paths", nargs="+", metavar="path",
+                   help="input files and/or directories (recursed), "
+                   "or - for stdin")
+    p.add_argument("-i", "--ignore-case", action="store_true")
+    p.add_argument("-n", "--line-numbers", action="store_true",
+                   help="prefix each output line with its 1-based line "
+                   "number (derived from match spans, not a rescan)")
+    p.add_argument("-o", "--only-matching", action="store_true",
+                   help="print each (non-empty) match instead of its line")
+    p.add_argument("-c", "--count", action="store_true",
+                   help="print the number of matching lines per file")
+    add_engine_knobs(p)
     p.add_argument(
         "--parallel-threshold", type=int, default=GREP_EXECUTOR_MIN_BYTES,
-        help="line length in bytes below which the chunk executor is "
-        "bypassed per line (default: the measured Fig. 10 crossover, "
-        f"{GREP_EXECUTOR_MIN_BYTES})",
+        help="file size in bytes below which the chunked scan path "
+        "(--chunks/--executor/--kernel) is bypassed (default: the "
+        f"measured Fig. 10 crossover, {GREP_EXECUTOR_MIN_BYTES})",
     )
     p.set_defaults(func=_cmd_grep)
 

@@ -19,10 +19,13 @@ from repro.matching.lockstep import LockstepSFAMatcher, lockstep_run
 from repro.matching.multi import MultiPatternSet
 from repro.matching.parallel_sfa import ParallelSFAMatcher, parallel_sfa_run
 from repro.matching.sequential import SequentialDFAMatcher, sequential_run
+from repro.matching.spans import SpanEngine
 from repro.matching.speculative import SpeculativeDFAMatcher, speculative_run
 from repro.matching.stream import (
     ParallelStreamMatcher,
     StreamingMultiMatcher,
+    StreamingMultiSpanMatcher,
+    StreamingSpanMatcher,
     StreamMatcher,
 )
 
@@ -33,9 +36,12 @@ __all__ = [
     "ParallelSFAMatcher",
     "ParallelStreamMatcher",
     "SequentialDFAMatcher",
+    "SpanEngine",
     "SpeculativeDFAMatcher",
     "StreamMatcher",
     "StreamingMultiMatcher",
+    "StreamingMultiSpanMatcher",
+    "StreamingSpanMatcher",
     "compile_pattern",
     "lockstep_run",
     "parallel_sfa_run",

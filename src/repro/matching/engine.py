@@ -70,6 +70,7 @@ class CompiledPattern:
         self._sfa: Optional[SFA] = None
         self._nsfa: Optional[SFA] = None
         self._search: Optional["CompiledPattern"] = None
+        self._spans = None  # SpanEngine, built on first find/finditer
 
     # -- pipeline stages -------------------------------------------------
     @property
@@ -210,6 +211,70 @@ class CompiledPattern:
             self._search = _SearchPattern(self)
         return self._search
 
+    # -- span extraction -------------------------------------------------
+    def span_engine(self):
+        """The pattern's :class:`~repro.matching.spans.SpanEngine` (cached)."""
+        if self._spans is None:
+            from repro.matching.spans import SpanEngine
+
+            self._spans = SpanEngine(self)
+        return self._spans
+
+    def finditer(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        *,
+        num_chunks: int = 1,
+        executor=None,
+        num_workers: Optional[int] = None,
+        kernel: str = "python",
+    ):
+        """Iterate the leftmost-longest non-overlapping ``(start, end)``
+        spans of the pattern in ``data`` (DESIGN.md §3.7).
+
+        ``num_chunks``/``executor``/``num_workers``/``kernel`` parallelize
+        the whole-input start pass exactly as in :meth:`fullmatch`; spans
+        are invariant under all of them.  Semantics match ``re.finditer``
+        except that alternation resolves to the *longest* branch (POSIX
+        leftmost-longest) rather than the first.
+        """
+        return iter(
+            self.span_engine().spans(
+                data, num_chunks=num_chunks, executor=executor,
+                num_workers=num_workers, kernel=kernel,
+            )
+        )
+
+    def find(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        **knobs,
+    ) -> Optional[tuple]:
+        """First leftmost-longest span, or ``None``.  Knobs as
+        :meth:`finditer`."""
+        spans = self.span_engine().spans(data, limit=1, **knobs)
+        return spans[0] if spans else None
+
+    def count(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        **knobs,
+    ) -> int:
+        """Number of non-overlapping matches.  Knobs as :meth:`finditer`."""
+        return len(self.span_engine().spans(data, **knobs))
+
+    def findall(
+        self,
+        data: Union[bytes, bytearray, memoryview],
+        **knobs,
+    ) -> List[bytes]:
+        """The matched byte strings, in order.  Knobs as :meth:`finditer`."""
+        buf = data if isinstance(data, (bytes, bytearray)) else memoryview(data)
+        return [
+            bytes(buf[s:e])
+            for s, e in self.span_engine().spans(data, **knobs)
+        ]
+
     # -- reporting -------------------------------------------------------
     def sizes(self) -> dict:
         """State counts of every pipeline stage (builds them all)."""
@@ -243,6 +308,7 @@ class _SearchPattern(CompiledPattern):
         self._min_dfa = None
         self._sfa = None
         self._nsfa = None
+        self._spans = None
         self._search = self  # searching a search pattern is idempotent
 
 

@@ -281,6 +281,62 @@ class MultiPatternSet:
         )
         return bool(self._dfa.accept[q])
 
+    def rule_pattern(self, rule: int) -> "CompiledPattern":
+        """The compiled single-pattern engine of one rule (cached).
+
+        Used by span extraction: per-rule spans need each rule's own
+        pattern automaton, not the union (which collapses rule identity
+        into state sets).  Compiled lazily per rule and memoized — works
+        for loaded rulesets too (sources and flags are persisted).
+        """
+        from repro.matching.engine import CompiledPattern
+
+        cache = getattr(self, "_rule_compiled", None)
+        if cache is None:
+            cache = {}
+            self._rule_compiled = cache
+        m = cache.get(rule)
+        if m is None:
+            m = CompiledPattern(
+                self.patterns[rule], ignore_case=self.rule_flags[rule]
+            )
+            cache[rule] = m
+        return m
+
+    def finditer(
+        self,
+        data: bytes,
+        num_chunks: int = 1,
+        *,
+        executor=None,
+        num_workers: Optional[int] = None,
+        kernel: str = "python",
+    ) -> List[Tuple[int, int, int]]:
+        """Leftmost-longest ``(rule, start, end)`` spans for every rule.
+
+        Two-stage plan (DESIGN.md §3.7): the union automaton *prefilters*
+        the payload with one (chunk-parallel, kernel-accelerated) scan —
+        in search mode, rules that do not match anywhere extract no spans
+        — then each surviving rule runs its own span engine serially.
+        Results are merged in stream order ``(start, end, rule)``.  In
+        ``"fullmatch"`` mode the union verdict is whole-input membership,
+        not occurrence, so every rule is extracted.
+        """
+        if self.mode == "search":
+            hit_rules = sorted(self.matches(
+                data, num_chunks, executor=executor, num_workers=num_workers,
+                kernel=kernel,
+            ))
+        else:
+            hit_rules = range(self.num_rules)
+        out = [
+            (r, s, e)
+            for r in hit_rules
+            for s, e in self.rule_pattern(r).finditer(data)
+        ]
+        out.sort(key=lambda t: (t[1], t[2], t[0]))
+        return out
+
     def scan_chunked(
         self,
         data: bytes,

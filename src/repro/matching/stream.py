@@ -13,7 +13,7 @@ translated through the buffer protocol without copying.  All cursors take
 the same ``kernel`` knob as the offline engines (DESIGN.md §3.5), so a
 stream can be scanned with the multi-stride or vectorized kernels.
 
-Three cursor flavours:
+Five cursor flavours:
 
 * :class:`StreamMatcher` — runs the SFA table directly (state index), one
   lookup per byte (per 2/4 bytes with a stride kernel); ``feed`` is
@@ -24,11 +24,16 @@ Three cursor flavours:
 * :class:`StreamingMultiMatcher` — the same running-state machinery over
   a whole compiled ruleset's union automaton; each ``feed`` reports the
   rules newly matched by the stream so far (DESIGN.md §3.6).
+* :class:`StreamingSpanMatcher` — incremental ``finditer``: each ``feed``
+  emits the match spans that no future byte can change, holding back only
+  the still-live tail (DESIGN.md §3.7).
+* :class:`StreamingMultiSpanMatcher` — per-rule span streaming over a
+  compiled ruleset (a fan-out of span cursors, one per rule).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Set, Union
+from typing import TYPE_CHECKING, List, Set, Tuple, Union
 
 import numpy as np
 
@@ -141,6 +146,127 @@ def _fold_block_parallel(
     for f in res.chunk_states[1:]:
         block_state = sfa.compose_indices(block_state, f)
     return sfa.compose_indices(state, block_state)
+
+
+class StreamingSpanMatcher:
+    """Incremental leftmost-longest ``finditer`` over a byte stream.
+
+    Blocks arrive via :meth:`feed`; each call returns the list of
+    ``(start, end)`` spans (in *global* stream offsets) whose outcome is
+    already final — i.e. no future byte can start an earlier match,
+    extend the span, or change the non-overlap cursor.  The cursor keeps
+    exactly the still-live tail of the stream buffered: the suffix from
+    the earliest position ``i`` with ``stream[i:] ∈ Pref(L(P))`` (a match
+    begun there could still complete or grow).  :meth:`finish` flushes
+    the held-back spans at end of stream.
+
+    The concatenation invariant — pinned by the differential harness —
+    is that the spans emitted by every ``feed`` plus :meth:`finish`
+    equal ``finditer`` over the whole concatenated stream, for every
+    blocking.  Patterns that keep the whole stream live (e.g. nullable
+    patterns, or ``a.*b`` fed only viable prefixes) buffer until
+    :meth:`finish`; that retention is the price of exact leftmost-longest
+    semantics, not a leak.
+    """
+
+    def __init__(self, pattern):
+        from repro.matching.engine import CompiledPattern
+
+        if not isinstance(pattern, CompiledPattern):
+            raise MatchEngineError(
+                f"StreamingSpanMatcher needs a CompiledPattern, "
+                f"got {pattern!r}"
+            )
+        self.engine = pattern.span_engine()
+        self._buf = bytearray()
+        self._base = 0  # global stream offset of _buf[0]
+        self._done = False
+
+    @property
+    def bytes_buffered(self) -> int:
+        """Size of the held-back (still-live) tail."""
+        return len(self._buf)
+
+    @property
+    def bytes_consumed(self) -> int:
+        return self._base + len(self._buf)
+
+    def feed(self, block: Block) -> List[Tuple[int, int]]:
+        """Consume one block; return the spans finalized by it."""
+        if self._done:
+            raise MatchEngineError("stream already finished")
+        self._buf += block
+        classes = self.engine.partition.translate(self._buf)
+        bits = self.engine.start_bits(classes)
+        alive = self.engine.alive_bits(classes)
+        spans, hold = self.engine._emit(classes, bits, alive=alive)
+        if hold is None:
+            hold = len(classes)
+        out = [(s + self._base, e + self._base) for s, e in spans]
+        del self._buf[:hold]
+        self._base += hold
+        return out
+
+    def finish(self) -> List[Tuple[int, int]]:
+        """End of stream: emit every remaining span and clear the buffer."""
+        if self._done:
+            return []
+        self._done = True
+        classes = self.engine.partition.translate(self._buf)
+        bits = self.engine.start_bits(classes)
+        spans, _ = self.engine._emit(classes, bits)
+        out = [(s + self._base, e + self._base) for s, e in spans]
+        self._base += len(self._buf)
+        self._buf = bytearray()
+        return out
+
+    def reset(self) -> None:
+        self._buf = bytearray()
+        self._base = 0
+        self._done = False
+
+
+class StreamingMultiSpanMatcher:
+    """Per-rule incremental span extraction over a compiled ruleset.
+
+    A fan-out of one :class:`StreamingSpanMatcher` per rule: every block
+    feeds every cursor, and each call returns the finalized
+    ``(rule, start, end)`` triples merged in stream order
+    ``(start, end, rule)``.  Cost is ``O(rules · block)`` per feed — the
+    price of exact per-rule leftmost-longest spans; use
+    :class:`StreamingMultiMatcher` when per-rule *verdicts* suffice
+    (one union-automaton state, rule-count-independent).
+    """
+
+    def __init__(self, ruleset: "MultiPatternSet"):
+        self.ruleset = ruleset
+        self._cursors = [
+            StreamingSpanMatcher(ruleset.rule_pattern(r))
+            for r in range(ruleset.num_rules)
+        ]
+
+    def feed(self, block: Block) -> List[Tuple[int, int, int]]:
+        """Consume one block; return finalized ``(rule, start, end)``s."""
+        out = [
+            (r, s, e)
+            for r, cur in enumerate(self._cursors)
+            for s, e in cur.feed(block)
+        ]
+        out.sort(key=lambda t: (t[1], t[2], t[0]))
+        return out
+
+    def finish(self) -> List[Tuple[int, int, int]]:
+        out = [
+            (r, s, e)
+            for r, cur in enumerate(self._cursors)
+            for s, e in cur.finish()
+        ]
+        out.sort(key=lambda t: (t[1], t[2], t[0]))
+        return out
+
+    def reset(self) -> None:
+        for cur in self._cursors:
+            cur.reset()
 
 
 class StreamingMultiMatcher:

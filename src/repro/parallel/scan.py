@@ -13,6 +13,10 @@ Two scan *kinds* cover every chunked engine:
   one table lookup per character; returns the reached state index.
 * ``"transform"`` — Algorithm 3 chunk scan: simulate *all* states at once;
   returns the transformation vector.
+* ``"mask"`` — the span engine's per-position pass (DESIGN.md §3.7): walk
+  one state and record the accept bit *after every symbol*; returns a
+  boolean array.  Needs the automaton's ``accept`` vector alongside the
+  table, so the scan protocol carries an optional ``accept`` operand.
 
 Each kind can run under two scan *shapes* (DESIGN.md §3.5):
 
@@ -42,7 +46,7 @@ from repro.errors import MatchEngineError
 #: Kernel knob values accepted by the engines (and threaded down here).
 KERNELS = ("python", "stride2", "stride4", "vector")
 
-SCAN_KINDS = ("sfa", "transform")
+SCAN_KINDS = ("sfa", "transform", "mask")
 
 # ---------------------------------------------------------------------------
 # Per-table derived-view caches
@@ -119,6 +123,32 @@ def table_columns(table: np.ndarray) -> np.ndarray:
     return _cached_view(_COLS_CACHE, table, lambda t: np.ascontiguousarray(t.T))
 
 
+# Accept vectors expanded to the scaled-state domain: acc[q * k] = accept[q]
+# (intermediate offsets are never indexed — the walk only lands on
+# multiples of k).  Keyed on (accept identity, width) since the same accept
+# vector may pair with tables of different widths (base vs stride tables
+# share |Q| but not k).
+_ACC_CACHE: Dict[Tuple[int, int], Tuple[Any, bytes]] = {}
+
+
+def _accept_flat(accept: np.ndarray, k: int) -> bytes:
+    key = (id(accept), k)
+    hit = _ACC_CACHE.get(key)
+    if hit is not None and hit[0]() is accept:
+        return hit[1]
+    value = np.repeat(np.asarray(accept, dtype=np.uint8), k).tobytes()
+    try:
+        accept.flags.writeable = False
+        wr = weakref.ref(accept)
+    except (ValueError, TypeError, AttributeError):
+        return value  # cannot pin identity safely; rebuild per call
+    with _CACHE_LOCK:
+        while len(_ACC_CACHE) >= _DERIVED_LIMIT:
+            _ACC_CACHE.pop(next(iter(_ACC_CACHE)), None)
+        _ACC_CACHE[key] = (wr, value)
+    return value
+
+
 # ---------------------------------------------------------------------------
 # Reference (python) kernels
 # ---------------------------------------------------------------------------
@@ -137,6 +167,63 @@ def sfa_scan(table: np.ndarray, initial: int, classes: np.ndarray) -> int:
     for c in _symbol_iter(classes):
         f = flat[f + c]
     return f // k
+
+
+def _accept_suffix_threshold(accept: np.ndarray) -> int:
+    """``thr`` if accepting states are exactly indices ``thr..n-1``, else -1.
+
+    The span engine renumbers its private automata into this layout
+    (:func:`repro.matching.spans.accept_last`) so the mask scan's accept
+    test is one int comparison on a rarely-taken branch instead of a
+    lookup + store per symbol (~1.7× on grep-shaped inputs).
+    """
+    n = len(accept)
+    thr = n - int(np.count_nonzero(accept))
+    if accept[thr:].all() and not accept[:thr].any():
+        return thr
+    return -1
+
+
+def mask_scan(
+    table: np.ndarray, accept: np.ndarray, initial: int, classes: np.ndarray
+) -> np.ndarray:
+    """Single-state walk recording the accept bit after every symbol.
+
+    Returns ``out`` with ``out[j] = accept[state after classes[0..j]]``.
+    This is the span engine's start/alive pass (DESIGN.md §3.7): run over a
+    *reversed* input with the reversed-pattern automaton, ``out`` marks the
+    positions where a match begins.  Inherently scalar — the bit at every
+    position is demanded, so the stride kernels (which skip positions)
+    cannot apply.  When the automaton is renumbered accepting-last the
+    loop body is one list pick plus one int compare per symbol; otherwise
+    it falls back to a per-symbol accept-table lookup.
+    """
+    k = table.shape[1]
+    flat = _scaled_flat(table)
+    f = int(initial) * k
+    thr = _accept_suffix_threshold(accept)
+    if thr == 0:  # every state accepts
+        return np.ones(len(classes), dtype=np.bool_)
+    if thr == len(accept):  # no state accepts
+        return np.zeros(len(classes), dtype=np.bool_)
+    if thr > 0:
+        scaled_thr = thr * k
+        hits: list = []
+        append = hits.append
+        for i, c in enumerate(_symbol_iter(classes)):
+            f = flat[f + c]
+            if f >= scaled_thr:
+                append(i)
+        out = np.zeros(len(classes), dtype=np.bool_)
+        if hits:
+            out[hits] = True
+        return out
+    acc = _accept_flat(accept, k)
+    out_b = bytearray(len(classes))
+    for i, c in enumerate(_symbol_iter(classes)):
+        f = flat[f + c]
+        out_b[i] = acc[f]
+    return np.frombuffer(bytes(out_b), dtype=np.bool_)
 
 
 def transform_scan(table: np.ndarray, classes: np.ndarray) -> np.ndarray:
@@ -261,6 +348,7 @@ def run_scan(
     initial: int,
     classes: np.ndarray,
     kernel: str = "python",
+    accept: "np.ndarray | None" = None,
 ) -> Union[int, np.ndarray]:
     """Dispatch a named kernel (``initial`` is ignored by ``"transform"``).
 
@@ -268,6 +356,9 @@ def run_scan(
     as ``"python"``/``"vector"`` over a precomposed table (the table swap
     and symbol packing happen in the engine), so ``"stride2"``/``"stride4"``
     here simply run the reference loop on whatever table they are given.
+    The ``"mask"`` kind additionally needs the automaton's ``accept``
+    vector and always runs the scalar loop (every position's bit is
+    demanded, so no kernel can skip positions).
     """
     if kernel not in KERNELS:
         raise MatchEngineError(
@@ -281,4 +372,8 @@ def run_scan(
         if kernel == "vector":
             return transform_scan_vector(table, classes)
         return transform_scan(table, classes)
+    if kind == "mask":
+        if accept is None:
+            raise MatchEngineError("mask scans need the accept vector")
+        return mask_scan(table, accept, initial, classes)
     raise MatchEngineError(f"unknown scan kind {kind!r}")

@@ -246,6 +246,26 @@ def expand_repeats(node: Node) -> Node:
     return node
 
 
+def reverse_node(node: Node) -> Node:
+    """AST of the mirror language ``rev(L(node))``.
+
+    Reverses every concatenation (including the ones hiding inside
+    :class:`Repeat` expansions via recursion); the other combinators are
+    symmetric.  Used by the span engine to build the *start automaton*
+    ``Σ*·rev(P)``, which — scanned right-to-left — marks every position
+    where a match of ``P`` begins (DESIGN.md §3.7).
+    """
+    if isinstance(node, Concat):
+        return Concat([reverse_node(c) for c in reversed(node.children)])
+    if isinstance(node, Alternation):
+        return Alternation([reverse_node(c) for c in node.children])
+    if isinstance(node, Star):
+        return Star(reverse_node(node.child))
+    if isinstance(node, Repeat):
+        return Repeat(reverse_node(node.child), node.lo, node.hi)
+    return node  # Literal / Empty / Never are their own mirrors
+
+
 def literal_string(text: str | bytes) -> Node:
     """AST matching exactly the given string."""
     if isinstance(text, str):

@@ -111,44 +111,207 @@ class TestGrep:
         code, out, _ = run(capsys, "grep", "error", str(f), "-i")
         assert code == 0
 
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            type("S", (), {"buffer": io.BytesIO(b"aa\nbb\n")})(),
+        )
+        code, out, _ = run(capsys, "grep", "a+", "-")
+        assert code == 0
+        assert out == "aa\n"
+
+    def test_only_matching(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ERROR 42 boom ERROR 7\nok\nERROR 9\n")
+        code, out, _ = run(capsys, "grep", "-o", "ERROR [0-9]+", str(f))
+        assert code == 0
+        assert out == "ERROR 42\nERROR 7\nERROR 9\n"
+
+    def test_only_matching_skips_empty_spans(self, capsys, tmp_path):
+        # GNU grep -o prints only non-empty matches of a nullable pattern
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"xaax\n")
+        code, out, _ = run(capsys, "grep", "-o", "a*", str(f))
+        assert code == 0
+        assert out == "aa\n"
+
+    def test_count_single_file(self, capsys, tmp_path):
+        # -c counts matching *lines*, not matches (two ERRORs on line 1)
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ERROR 1 then ERROR 2\nok\nERROR 3\n")
+        code, out, _ = run(capsys, "grep", "-c", "ERROR", str(f))
+        assert code == 0
+        assert out == "2\n"
+
+    def test_count_zero_exits_one(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"nothing\n")
+        code, out, _ = run(capsys, "grep", "-c", "ERROR", str(f))
+        assert code == 1
+        assert out == "0\n"
+
+    def test_no_trailing_newline(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ok\nERROR 5")  # last line unterminated
+        code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(f), "-n")
+        assert code == 0
+        assert out == "2:ERROR 5\n"
+
+    def test_empty_file(self, capsys, tmp_path):
+        f = tmp_path / "empty.txt"
+        f.write_bytes(b"")
+        code, out, _ = run(capsys, "grep", "a*", str(f))
+        assert code == 1  # no lines, so no matching lines — like grep
+        assert out == ""
+
     def test_parallel_threshold_default(self):
         from repro.cli import GREP_EXECUTOR_MIN_BYTES, build_parser
 
         args = build_parser().parse_args(["grep", "x", "-"])
         assert args.parallel_threshold == GREP_EXECUTOR_MIN_BYTES
 
-    def test_parallel_threshold_engages_executor(self, capsys, tmp_path, monkeypatch):
-        import repro.cli as cli
+    def test_parallel_threshold_engages_chunked_scan(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.matching.spans import SpanEngine
 
-        f = tmp_path / "log.txt"
-        f.write_bytes(b"short ERROR 1\n" + b"x" * 64 + b" ERROR 2\n")
+        small = tmp_path / "small.txt"
+        small.write_bytes(b"short ERROR 1\n")
+        big = tmp_path / "big.txt"
+        big.write_bytes(b"x" * 64 + b" ERROR 2\n")
         engaged = []
+        real = SpanEngine.spans
 
-        class SpyPattern:
-            def __init__(self, inner):
-                self._inner = inner
+        def spy(self, data, **kw):
+            engaged.append(
+                (len(data), kw.get("executor") is not None,
+                 kw.get("num_chunks"))
+            )
+            return real(self, data, **kw)
 
-            def fullmatch(self, line, executor=None, **kw):
-                engaged.append((len(line), executor is not None))
-                return self._inner.fullmatch(line, **kw)
-
-        real_compile = cli.compile_pattern
-
-        def spy_compile(pattern, **kw):
-            m = real_compile(pattern, **kw)
-            m.search_pattern()  # build, then wrap
-            m._search = SpyPattern(m._search)
-            return m
-
-        monkeypatch.setattr(cli, "compile_pattern", spy_compile)
-        code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(f),
-                           "--executor", "threads",
+        monkeypatch.setattr(SpanEngine, "spans", spy)
+        code, out, _ = run(capsys, "grep", "ERROR [0-9]+",
+                           str(big), str(small),
+                           "--executor", "threads", "--chunks", "4",
                            "--parallel-threshold", "32")
         assert code == 0
         assert "ERROR 1" in out and "ERROR 2" in out
-        # only the >= 32-byte line engaged the executor
-        assert (13, False) in engaged
-        assert any(n >= 32 and used for n, used in engaged)
+        # only the >= 32-byte file engaged the chunked/executor path
+        assert (14, False, 1) in engaged
+        assert any(n >= 32 and used and p == 4 for n, used, p in engaged)
+
+
+class TestGrepMultiFile:
+    def _tree(self, tmp_path):
+        root = tmp_path / "tree"
+        (root / "sub").mkdir(parents=True)
+        (root / "log.txt").write_bytes(b"ok\nERROR 42 boom\nfine\nERROR 7\n")
+        (root / "none.txt").write_bytes(b"nothing here\n")
+        (root / "sub" / "deep.txt").write_bytes(
+            b"ERROR 1\nERROR 2 and ERROR 3\n"
+        )
+        return root
+
+    def test_directory_recursion_golden(self, capsys, tmp_path):
+        root = self._tree(tmp_path)
+        code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(root), "-n")
+        assert code == 0
+        assert out == (
+            f"{root}/log.txt:2:ERROR 42 boom\n"
+            f"{root}/log.txt:4:ERROR 7\n"
+            f"{root}/sub/deep.txt:1:ERROR 1\n"
+            f"{root}/sub/deep.txt:2:ERROR 2 and ERROR 3\n"
+        )
+
+    def test_count_golden(self, capsys, tmp_path):
+        root = self._tree(tmp_path)
+        code, out, _ = run(capsys, "grep", "-c", "ERROR", str(root))
+        assert code == 0
+        assert out == (
+            f"{root}/log.txt:2\n"
+            f"{root}/none.txt:0\n"
+            f"{root}/sub/deep.txt:2\n"
+        )
+
+    def test_count_matches_system_grep(self, capsys, tmp_path):
+        import shutil
+        import subprocess
+
+        if shutil.which("grep") is None:
+            pytest.skip("no system grep")
+        root = self._tree(tmp_path)
+        code, out, _ = run(capsys, "grep", "-c", "ERROR", str(root))
+        assert code == 0
+        gnu = subprocess.run(
+            ["grep", "-rc", "ERROR", str(root)],
+            capture_output=True, text=True, check=True,
+        )
+        assert sorted(out.splitlines()) == sorted(gnu.stdout.splitlines())
+
+    def test_only_matching_multi_file(self, capsys, tmp_path):
+        root = self._tree(tmp_path)
+        code, out, _ = run(capsys, "grep", "-o", "-n", "ERROR [0-9]+",
+                           str(root / "sub"), str(root / "log.txt"))
+        assert code == 0
+        assert out == (
+            f"{root}/sub/deep.txt:1:ERROR 1\n"
+            f"{root}/sub/deep.txt:2:ERROR 2\n"
+            f"{root}/sub/deep.txt:2:ERROR 3\n"
+            f"{root}/log.txt:2:ERROR 42\n"
+            f"{root}/log.txt:4:ERROR 7\n"
+        )
+
+    def test_binary_file_skipped(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "bin.dat").write_bytes(b"bin\0ary ERROR 9\n")
+        (root / "log.txt").write_bytes(b"ERROR 1\n")
+        code, out, _ = run(capsys, "grep", "ERROR", str(root))
+        assert code == 0
+        assert "bin.dat" not in out
+        assert f"{root}/log.txt:ERROR 1\n" == out
+
+    def test_binary_only_no_match_exit_one(self, capsys, tmp_path):
+        f = tmp_path / "bin.dat"
+        f.write_bytes(b"\0ERROR\n")
+        code, out, _ = run(capsys, "grep", "ERROR", str(f))
+        assert code == 1
+        assert out == ""
+
+    def test_nonexistent_file_exit_two(self, capsys, tmp_path):
+        code, _, err = run(capsys, "grep", "x", str(tmp_path / "missing"))
+        assert code == 2
+        assert "No such file" in err
+
+    def test_nonexistent_plus_match_still_exit_two(self, capsys, tmp_path):
+        # grep semantics: errors dominate the exit code, matches still print
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ERROR 1\n")
+        code, out, err = run(capsys, "grep", "ERROR", str(f),
+                             str(tmp_path / "missing"))
+        assert code == 2
+        assert "ERROR 1" in out
+        assert "No such file" in err
+
+    def test_no_match_multi_exit_one(self, capsys, tmp_path):
+        root = self._tree(tmp_path)
+        code, out, _ = run(capsys, "grep", "NOPE", str(root))
+        assert code == 1
+        assert out == ""
+
+    def test_chunked_executor_kernel_output_invariant(self, capsys, tmp_path):
+        root = self._tree(tmp_path)
+        code, serial_out, _ = run(capsys, "grep", "ERROR [0-9]+", str(root))
+        assert code == 0
+        for executor in ("threads", "processes"):
+            code, out, _ = run(capsys, "grep", "ERROR [0-9]+", str(root),
+                               "--chunks", "4", "--executor", executor,
+                               "--workers", "2", "--kernel", "stride4",
+                               "--parallel-threshold", "0")
+            assert code == 0, executor
+            assert out == serial_out, executor
 
 
 class TestDot:
