@@ -75,10 +75,38 @@ def test_speculative_cost_grows_with_dfa(benchmark):
     )
     # Alg5 flat within noise across a 25x DFA-size range
     # (the bound is loose for timer noise; the point is the contrast with
-    # Alg3's ~|D|-fold growth over the same range)
+    # Alg3's ~|D|-fold growth over the same range).  Relative-timing
+    # checks flake under full-suite load on a 1-core CI container — one
+    # descheduled measurement skews the ratio — so each check gets one
+    # quiet re-measurement before it is allowed to fail.
+    def measure_sfa_spread():
+        times = {}
+        for n in [2, 10, 50]:
+            m = compile_pattern(rn_pattern(n))
+            classes = m.translate(rn_accepted_text(n, TEXT_BYTES, seed=0))
+            times[n] = time_callable(
+                lambda: parallel_sfa_run(m.sfa, classes, P), repeat=3
+            )
+        return max(times.values()) / min(times.values())
+
     sfa_spread = max(sfa_times.values()) / min(sfa_times.values())
+    if sfa_spread >= 3.0:
+        sfa_spread = measure_sfa_spread()
     shape_check("Alg5 cost independent of |D|", sfa_spread < 3.0, f"spread {sfa_spread:.2f}")
+
     # Alg3 clearly grows once |D| exceeds the vector-overhead floor
+    def measure_spec_growth():
+        times = {}
+        for n in [5, 2000]:
+            m = compile_pattern(rn_pattern(n), max_dfa_states=10_000)
+            classes = m.translate(rn_accepted_text(n, small_text, seed=0))
+            times[n] = time_callable(
+                lambda: speculative_run(m.min_dfa, classes, P), repeat=3
+            )
+        return times
+
+    if not spec_times[2000] > 3 * spec_times[5]:
+        spec_times = measure_spec_growth()
     shape_check("Alg3 cost grows with |D|", spec_times[2000] > 3 * spec_times[5],
                 f"{spec_times[2000]:.3f} vs {spec_times[5]:.3f}")
 

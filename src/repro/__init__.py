@@ -33,6 +33,7 @@ from repro.errors import (
     MatchEngineError,
     RegexSyntaxError,
     ReproError,
+    ServiceError,
     SimulationError,
     StateExplosionError,
     UnsupportedFeatureError,
@@ -50,6 +51,7 @@ __all__ = [
     "MultiPatternSet",
     "RegexSyntaxError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "StateExplosionError",
     "StreamingMultiSpanMatcher",

@@ -13,6 +13,9 @@
     python -m repro save --stage ruleset --rules-file rules.txt -o ids.npz
     python -m repro matchset --rules-file ids.npz payload.bin \
         --chunks 8 --executor processes --kernel stride4
+    python -m repro serve --port 7320 --executor processes --cache-size 128
+    python -m repro client match '(ab)*' input.bin --port 7320
+    python -m repro client stream 'ERROR [0-9]+' server.log --block-size 4096
 
 ``grep`` is span-driven (DESIGN.md §3.7): files are mmapped (zero-copy),
 scanned **whole** with ``finditer``, and line numbers/matching lines are
@@ -20,6 +23,19 @@ derived from the match spans against a vectorized newline index — no
 per-line rescans.  Directory arguments recurse (sorted), NUL-sniffed
 binary files are skipped, ``-o`` prints the matched spans themselves and
 ``-c`` the per-file count of matching lines (GNU-grep compatible).
+Recursion visits only *regular* files — FIFOs, sockets and device nodes
+in the tree are skipped exactly as GNU grep skips them (opening a FIFO
+with no writer blocks forever); the file list is deduplicated by real
+path so one file named twice is scanned (and counted) once; a per-file
+read error warns on stderr (``repro grep: <path>: <strerror>``), the
+remaining files are still scanned, and the exit code is 2.
+
+``serve`` starts the long-lived match service (DESIGN.md §3.8): an
+asyncio TCP server holding a compiled-artifact LRU cache and one warm
+chunk-executor pool, so compile cost is paid once per pattern across
+requests.  ``client`` drives it: one-shot ``match``/``scan``/
+``finditer``/``multiscan`` requests, block-wise ``stream`` sessions,
+``stats``/``ping``/``shutdown`` control.
 
 ``matchset`` scans one payload against a whole ruleset in a single
 union-automaton pass and prints every matching rule; ``--rules-file``
@@ -42,6 +58,8 @@ import numpy as np
 
 from repro.errors import MatchEngineError, ReproError
 from repro.matching.engine import compile_pattern
+from repro.service.protocol import DEFAULT_MAX_PAYLOAD
+from repro.service.protocol import DEFAULT_PORT as DEFAULT_SERVICE_PORT
 
 InputData = Union[bytes, mmap.mmap]
 
@@ -68,6 +86,24 @@ def _read_input(path: str) -> InputData:
         fh.close()  # the mapping survives the descriptor
 
 
+def _read_rule_lines(rules_file: str) -> List[str]:
+    """Rule sources from a text pattern file (one regex per line, ``#``
+    comments); shared by the one-shot and service client paths."""
+    try:
+        with open(rules_file, "r", encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+    except UnicodeDecodeError:
+        # binary data read as a pattern file must exit 2, not crash with 1
+        raise MatchEngineError(
+            f"{rules_file} is not a text pattern file (compiled ruleset "
+            "archives must keep their .npz extension)"
+        ) from None
+    rules = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not rules:
+        raise MatchEngineError(f"no rules found in {rules_file}")
+    return rules
+
+
 def _load_ruleset_arg(rules_file: str, ignore_case: bool):
     """A scan-ready MultiPatternSet from a pattern file or ``.npz`` archive."""
     from repro.matching.multi import MultiPatternSet
@@ -84,19 +120,7 @@ def _load_ruleset_arg(rules_file: str, ignore_case: bool):
             raise MatchEngineError(
                 f"{rules_file} is not a ruleset archive: {e}"
             ) from None
-    try:
-        with open(rules_file, "r", encoding="utf-8") as fh:
-            rules = [ln.strip() for ln in fh]
-    except UnicodeDecodeError:
-        # binary data read as a pattern file must exit 2, not crash with 1
-        raise MatchEngineError(
-            f"{rules_file} is not a text pattern file (compiled ruleset "
-            "archives must keep their .npz extension)"
-        ) from None
-    rules = [ln for ln in rules if ln and not ln.startswith("#")]
-    if not rules:
-        raise MatchEngineError(f"no rules found in {rules_file}")
-    return MultiPatternSet(rules, ignore_case=ignore_case)
+    return MultiPatternSet(_read_rule_lines(rules_file), ignore_case=ignore_case)
 
 
 def _cmd_sizes(args: argparse.Namespace) -> int:
@@ -143,23 +167,41 @@ def _grep_walk(paths: List[str]) -> "tuple[list[str], list[str], bool]":
     """Expand file/directory arguments into an ordered file list.
 
     Directories recurse depth-first with sorted entries (so output order
-    is deterministic and diffable against ``grep -r``).  Returns
-    ``(files, missing, recursed)``.
+    is deterministic and diffable against ``grep -r``) and include only
+    *regular* files: a FIFO, socket or device node in the tree must be
+    skipped, not opened — ``open()`` on a writer-less FIFO blocks forever,
+    which is GNU grep's reason for the same rule.  Explicitly named
+    non-regular paths are kept (grep reads an explicit FIFO argument).
+    The list is deduplicated by ``os.path.realpath`` keeping first
+    occurrence, so one file reachable under two names is scanned (and
+    counted) once.  Returns ``(files, missing, recursed)``.
     """
     files: List[str] = []
+    seen: set = set()
     missing: List[str] = []
     recursed = False
+
+    def add(path: str) -> None:
+        real = os.path.realpath(path)
+        if real not in seen:
+            seen.add(real)
+            files.append(path)
+
     for p in paths:
         if p == "-":
-            files.append(p)
+            if "-" not in files:
+                files.append(p)
         elif os.path.isdir(p):
             recursed = True
             for root, dirs, names in os.walk(p):
                 dirs.sort()
                 for name in sorted(names):
-                    files.append(os.path.join(root, name))
+                    full = os.path.join(root, name)
+                    # isfile stats through symlinks: regular files only.
+                    if os.path.isfile(full):
+                        add(full)
         elif os.path.exists(p):
-            files.append(p)
+            add(p)
         else:
             missing.append(p)
     return files, missing, recursed
@@ -239,7 +281,7 @@ def _cmd_grep(args: argparse.Namespace) -> int:
     m.span_engine()  # compile before fanning out to scan threads
     files, missing, recursed = _grep_walk(args.paths)
     for p in missing:
-        print(f"error: {p}: No such file or directory", file=sys.stderr)
+        print(f"repro grep: {p}: No such file or directory", file=sys.stderr)
     prefix = recursed or len(files) > 1
 
     def scan(path):
@@ -269,7 +311,9 @@ def _cmd_grep(args: argparse.Namespace) -> int:
     errored = bool(missing)
     for path, result in results():
         if isinstance(result, OSError):
-            print(f"error: {path}: {result}", file=sys.stderr)
+            # GNU grep semantics: warn, keep scanning the rest, exit 2.
+            reason = result.strerror or str(result)
+            print(f"repro grep: {path}: {reason}", file=sys.stderr)
             errored = True
             continue
         if result is None:  # binary file skipped
@@ -358,6 +402,143 @@ def _cmd_matchset(args: argparse.Namespace) -> int:
         print(f"{i}:{mps.patterns[i]}")
     print(f"matched {len(hits)}/{mps.num_rules} rules")
     return 0 if hits else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import MatchService
+
+    svc = MatchService(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        executor=None if args.executor == "serial" else args.executor,
+        num_workers=args.workers,
+        max_payload=args.max_payload,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+
+    async def main() -> None:
+        await svc.start()
+        # Printed *after* bind so scripts can wait for the line (and learn
+        # the real port when --port 0 asked the OS to pick one).
+        print(f"repro serve: listening on {svc.host}:{svc.port} "
+              f"(executor={svc.executor_name or 'none'}, "
+              f"cache={svc.cache.capacity})", flush=True)
+        await svc.serve_until_shutdown()
+
+    import asyncio
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
+def _client_rules(args: argparse.Namespace) -> List:
+    """Rule list for client multiscan/stream: sources + per-rule flags.
+
+    The whole point of the service is that *it* owns compilation, so the
+    client ships rule sources, not compiled tables: a ``.npz`` archive is
+    loaded only for its persisted sources/flags, and a text file is parsed
+    without building anything.
+    """
+    rules_file = args.rules_file
+    if rules_file.endswith(".npz"):
+        mps = _load_ruleset_arg(rules_file, args.ignore_case)
+        return [[p, bool(f)] for p, f in zip(mps.patterns, mps.rule_flags)]
+    return [
+        [ln, bool(args.ignore_case)] for ln in _read_rule_lines(rules_file)
+    ]
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as c:
+        return _run_client_op(c, args)
+
+
+def _run_client_op(c, args: argparse.Namespace) -> int:
+    import json
+
+    op = args.cop
+    if op == "ping":
+        print("pong" if c.ping() else "no pong")
+        return 0
+    if op == "stats":
+        print(json.dumps(c.stats(), indent=2, sort_keys=True))
+        return 0
+    if op == "shutdown":
+        c.shutdown()
+        print("server stopping")
+        return 0
+    if op in ("match", "scan"):
+        data = bytes(memoryview(_read_input(args.input)))
+        fn = c.match if op == "match" else c.scan
+        mode = "contains" if (op == "scan" or args.contains) else "fullmatch"
+        ok = fn(
+            args.pattern, data, mode=mode, ignore_case=args.ignore_case,
+            chunks=args.chunks, kernel=args.kernel,
+        )
+        print("match" if ok else "no match")
+        return 0 if ok else 1
+    if op == "finditer":
+        data = bytes(memoryview(_read_input(args.input)))
+        spans = c.finditer(
+            args.pattern, data, ignore_case=args.ignore_case,
+            chunks=args.chunks, kernel=args.kernel, limit=args.limit,
+        )
+        for s, e in spans:
+            print(f"{s}:{e}:{data[s:e].decode('latin-1')}")
+        return 0 if spans else 1
+    if op == "multiscan":
+        data = bytes(memoryview(_read_input(args.input)))
+        rules = _client_rules(args)
+        hits = c.multiscan(
+            rules, data, chunks=args.chunks, kernel=args.kernel,
+        )
+        for i in hits:
+            print(f"{i}:{rules[i][0]}")
+        print(f"matched {len(hits)}/{len(rules)} rules")
+        return 0 if hits else 1
+    if op == "stream":
+        return _client_stream(c, args)
+    raise MatchEngineError(f"unknown client op {op!r}")
+
+
+def _client_stream(c, args: argparse.Namespace) -> int:
+    """Feed a file block-wise through a server-side stream session."""
+    if args.rules_file is not None:
+        stream = c.open_stream(
+            rules=_client_rules(args), kind="multi",
+            chunks=args.chunks, kernel=args.kernel,
+        )
+    else:
+        if args.pattern is None:
+            raise MatchEngineError("stream needs a pattern or --rules-file")
+        stream = c.open_stream(
+            pattern=args.pattern, ignore_case=args.ignore_case,
+        )
+    data = memoryview(_read_input(args.input))
+    hit = False
+    for off in range(0, max(len(data), 1), args.block_size):
+        block = bytes(data[off:off + args.block_size])
+        for item in stream.feed(block):
+            hit = True
+            print(_format_stream_item(stream.kind, item))
+    for item in stream.finish():
+        hit = True
+        print(_format_stream_item(stream.kind, item))
+    return 0 if hit else 1
+
+
+def _format_stream_item(kind: str, item) -> str:
+    if kind == "spans":
+        return f"{item[0]}:{item[1]}"
+    if kind == "multispans":
+        return f"rule {item[0]} @ {item[1]}:{item[2]}"
+    return f"rule {item}"
 
 
 def _cmd_ruleset(args: argparse.Namespace) -> int:
@@ -489,6 +670,86 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_knobs(p)
     p.set_defaults(func=_cmd_matchset)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived match service (asyncio TCP, "
+        "compiled-pattern cache, warm executor pool)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                   help="TCP port (0 picks a free port, printed on start)")
+    p.add_argument("--cache-size", type=int, default=64,
+                   help="compiled-artifact LRU capacity in entries")
+    p.add_argument(
+        "--executor", choices=["serial", "threads", "processes"],
+        default="serial",
+        help="shared warm chunk-executor pool for chunked requests "
+        "(lifetime tied to the server; drained on shutdown)",
+    )
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size for the shared executor")
+    p.add_argument("--max-payload", type=int, default=DEFAULT_MAX_PAYLOAD,
+                   help="per-request payload cap in bytes")
+    p.add_argument("--no-remote-shutdown", action="store_true",
+                   help="refuse the wire 'shutdown' op")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("client", help="drive a running match service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
+    p.add_argument("--timeout", type=float, default=30.0)
+    csub = p.add_subparsers(dest="cop", required=True, metavar="op")
+
+    def add_client_knobs(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--chunks", type=int, default=1,
+                        help="chunk-parallel scan width on the server")
+        cp.add_argument(
+            "--kernel",
+            choices=["python", "stride2", "stride4", "vector"],
+            default="python",
+        )
+
+    csub.add_parser("ping", help="liveness probe")
+    csub.add_parser("stats", help="cache/counter snapshot as JSON")
+    csub.add_parser("shutdown", help="ask the server to drain and exit")
+    for cop, chelp in (
+        ("match", "whole-input membership test"),
+        ("scan", "chunk-parallel containment scan"),
+        ("finditer", "leftmost-longest match spans"),
+    ):
+        cp = csub.add_parser(cop, help=chelp)
+        cp.add_argument("pattern", help="regular expression")
+        cp.add_argument("input", help="input file, or - for stdin")
+        cp.add_argument("-i", "--ignore-case", action="store_true")
+        if cop == "match":
+            cp.add_argument("--contains", action="store_true",
+                            help="substring-search semantics")
+        if cop == "finditer":
+            cp.add_argument("--limit", type=int, default=None)
+        add_client_knobs(cp)
+    cp = csub.add_parser("multiscan", help="match a whole ruleset remotely")
+    cp.add_argument("--rules-file", required=True,
+                    help="pattern file or .npz ruleset (sources are "
+                    "shipped; the server compiles and caches)")
+    cp.add_argument("input", help="input file, or - for stdin")
+    cp.add_argument("-i", "--ignore-case", action="store_true")
+    add_client_knobs(cp)
+    cp = csub.add_parser(
+        "stream",
+        help="feed a file block-wise through a stateful stream session",
+    )
+    cp.add_argument("pattern", nargs="?", default=None,
+                    help="regular expression (span stream)")
+    cp.add_argument("input", help="input file, or - for stdin")
+    cp.add_argument("--rules-file", default=None,
+                    help="stream a ruleset (newly-matched rules per block) "
+                    "instead of a single pattern's spans")
+    cp.add_argument("-i", "--ignore-case", action="store_true")
+    cp.add_argument("--block-size", type=int, default=65536,
+                    help="bytes per feed block")
+    add_client_knobs(cp)
+    p.set_defaults(func=_cmd_client)
+
     p = sub.add_parser("ruleset", help="emit a synthetic SNORT-like ruleset")
     p.add_argument("--rules", type=int, default=20)
     p.add_argument("--seed", type=int, default=2940)
@@ -502,6 +763,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `head`, `grep -q`) hung up: the
+        # Unix convention is to die quietly with 128+SIGPIPE, not to
+        # report an error.  Detach stdout so interpreter shutdown does
+        # not print a second BrokenPipeError while flushing.
+        try:
+            sys.stdout.close()
+        except (OSError, ValueError):
+            pass
+        return 141
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2

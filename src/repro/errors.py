@@ -63,3 +63,19 @@ class MatchEngineError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the parallel-machine / cache simulators on bad configs."""
+
+
+class ServiceError(ReproError):
+    """Raised by the match service (protocol violations, remote errors).
+
+    Attributes
+    ----------
+    kind:
+        Short machine-readable error class, mirrored in the wire format's
+        structured error replies (e.g. ``"protocol"``, ``"payload-too-large"``,
+        ``"compile"``, ``"bad-request"``).
+    """
+
+    def __init__(self, message: str, kind: str = "service"):
+        self.kind = kind
+        super().__init__(message)

@@ -80,9 +80,10 @@ class StreamMatcher:
         """Original-automaton states reached (S_fin of Algorithm 5)."""
         return self.sfa.final_states_of_mapping(self.state)
 
-    def reset(self) -> None:
+    def reset(self) -> "StreamMatcher":
         self.state = self.sfa.initial
         self._consumed = 0
+        return self
 
 
 class ParallelStreamMatcher:
@@ -127,9 +128,10 @@ class ParallelStreamMatcher:
     def final_states(self) -> List[int]:
         return self.sfa.final_states_of_mapping(self.state)
 
-    def reset(self) -> None:
+    def reset(self) -> "ParallelStreamMatcher":
         self.state = self.sfa.initial
         self._consumed = 0
+        return self
 
 
 def _fold_block_parallel(
@@ -220,10 +222,12 @@ class StreamingSpanMatcher:
         self._buf = bytearray()
         return out
 
-    def reset(self) -> None:
+    def reset(self) -> "StreamingSpanMatcher":
+        """Rearm for reuse (e.g. a pooled cursor between stream sessions)."""
         self._buf = bytearray()
         self._base = 0
         self._done = False
+        return self
 
 
 class StreamingMultiSpanMatcher:
@@ -264,9 +268,10 @@ class StreamingMultiSpanMatcher:
         out.sort(key=lambda t: (t[1], t[2], t[0]))
         return out
 
-    def reset(self) -> None:
+    def reset(self) -> "StreamingMultiSpanMatcher":
         for cur in self._cursors:
             cur.reset()
+        return self
 
 
 class StreamingMultiMatcher:
@@ -335,6 +340,20 @@ class StreamingMultiMatcher:
         self._matched |= now
         return fresh
 
+    def finish(self) -> Set[int]:
+        """End of stream: the rules not yet reported by any :meth:`feed`.
+
+        Completes the feed protocol — consuming every :meth:`feed` return
+        plus :meth:`finish` sees each matched rule exactly once, even when
+        no block was ever fed (epsilon-matching rules, fullmatch-mode
+        verdicts on the empty stream).  Idempotent; the cursor stays
+        usable and :meth:`reset` rearms it for reuse.
+        """
+        now = self.rules()
+        fresh = now - self._matched
+        self._matched |= now
+        return fresh
+
     def rules(self) -> Set[int]:
         """Rules matching the consumed input (the ruleset's mode applies)."""
         if self.num_chunks == 1:
@@ -355,7 +374,8 @@ class StreamingMultiMatcher:
     def matched_any(self) -> bool:
         return bool(self.matched_rules())
 
-    def reset(self) -> None:
+    def reset(self) -> "StreamingMultiMatcher":
         self.state = self._automaton.initial
         self._consumed = 0
         self._matched = set()
+        return self

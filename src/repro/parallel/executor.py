@@ -30,6 +30,7 @@ import hashlib
 import os
 import pickle
 import secrets
+import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
@@ -267,6 +268,11 @@ class ProcessExecutor(ChunkExecutor):
             raise MatchEngineError("need at least one worker")
         self.num_workers = num_workers
         self.fresh_workers = fresh_workers
+        # One executor may be shared by many caller threads (the match
+        # service dispatches handler threads onto a single warm pool), so
+        # publication bookkeeping and pool creation are serialized; the
+        # pool's own map() is thread-safe and runs outside the lock.
+        self._lock = threading.Lock()
         self._pool = None
         self._ctx = None
         self._published: Dict[Tuple[str, Tuple[int, ...], str], Any] = {}
@@ -301,54 +307,66 @@ class ProcessExecutor(ChunkExecutor):
         return self.fallback_reason is None
 
     # -- shared-memory publication --------------------------------------
-    def _publish(self, arr: np.ndarray, transient: bool) -> Tuple[Any, ShmRef]:
+    @staticmethod
+    def _make_segment(arr: np.ndarray) -> Tuple[Any, ShmRef]:
+        """Allocate a fresh shared-memory segment holding a copy of ``arr``."""
         from multiprocessing import shared_memory
 
-        source = arr
-        arr = np.ascontiguousarray(arr)
-        key = None
-        if not transient:
-            # id() fast path: the same table object (the usual case — an SFA
-            # held by a CompiledPattern) skips the content hash entirely.
-            hit = self._id_refs.get(id(source))
-            if hit is not None and hit[0]() is source:
-                seg = self._published.get(hit[2])
-                if seg is not None:  # may have been FIFO-evicted
-                    return seg, hit[1]
-            # Content-address long-lived tables so each is published once
-            # even when equal tables arrive as distinct objects.
-            key = (
-                hashlib.sha1(arr.data if arr.nbytes else b"").hexdigest(),
-                arr.shape,
-                arr.dtype.str,
-            )
-            ref = self._refs.get(key)
-            if ref is not None:
-                self._remember_id(source, ref, key)
-                return self._published[key], ref
         seg = shared_memory.SharedMemory(
             create=True, size=max(1, arr.nbytes), name=f"repro_{secrets.token_hex(8)}"
         )
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
         view[...] = arr
         del view
-        ref = (seg.name, arr.shape, arr.dtype.str)
-        if not transient:
-            while len(self._published) >= self.max_tables:
-                # FIFO eviction keeps a long-lived executor's /dev/shm
-                # footprint bounded; an evicted table is republished (under
-                # a new name) if it ever comes back.
-                old_key = next(iter(self._published))
-                old_seg = self._published.pop(old_key)
-                self._refs.pop(old_key, None)
-                old_seg.close()
-                try:
-                    old_seg.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-            self._published[key] = seg
-            self._refs[key] = ref
+        return seg, (seg.name, arr.shape, arr.dtype.str)
+
+    def _publish(self, arr: np.ndarray, transient: bool) -> Tuple[Any, ShmRef]:
+        if transient:
+            # The per-call class array touches no shared bookkeeping, so
+            # its (potentially multi-MB) copy runs without the lock —
+            # concurrent handler threads sharing one executor publish
+            # their payloads in parallel.
+            return self._make_segment(np.ascontiguousarray(arr))
+        with self._lock:
+            return self._publish_locked(arr)
+
+    def _publish_locked(self, arr: np.ndarray) -> Tuple[Any, ShmRef]:
+        source = arr
+        arr = np.ascontiguousarray(arr)
+        # id() fast path: the same table object (the usual case — an SFA
+        # held by a CompiledPattern) skips the content hash entirely.
+        hit = self._id_refs.get(id(source))
+        if hit is not None and hit[0]() is source:
+            seg = self._published.get(hit[2])
+            if seg is not None:  # may have been FIFO-evicted
+                return seg, hit[1]
+        # Content-address long-lived tables so each is published once
+        # even when equal tables arrive as distinct objects.
+        key = (
+            hashlib.sha1(arr.data if arr.nbytes else b"").hexdigest(),
+            arr.shape,
+            arr.dtype.str,
+        )
+        ref = self._refs.get(key)
+        if ref is not None:
             self._remember_id(source, ref, key)
+            return self._published[key], ref
+        seg, ref = self._make_segment(arr)
+        while len(self._published) >= self.max_tables:
+            # FIFO eviction keeps a long-lived executor's /dev/shm
+            # footprint bounded; an evicted table is republished (under
+            # a new name) if it ever comes back.
+            old_key = next(iter(self._published))
+            old_seg = self._published.pop(old_key)
+            self._refs.pop(old_key, None)
+            old_seg.close()
+            try:
+                old_seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._published[key] = seg
+        self._refs[key] = ref
+        self._remember_id(source, ref, key)
         return seg, ref
 
     def _remember_id(self, source: np.ndarray, ref: ShmRef, key) -> None:
@@ -372,11 +390,12 @@ class ProcessExecutor(ChunkExecutor):
 
     # -- execution -------------------------------------------------------
     def _get_pool(self):
-        if self._pool is None:
-            self._pool = self._ctx.Pool(
-                processes=self.num_workers, initializer=_worker_init
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._ctx.Pool(
+                    processes=self.num_workers, initializer=_worker_init
+                )
+            return self._pool
 
     @staticmethod
     def _identity_result(kind: str, table: np.ndarray, initial: int) -> Any:
@@ -465,20 +484,23 @@ class ProcessExecutor(ChunkExecutor):
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down and unlink every published segment."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-        for seg in self._published.values():
+        """Shut the pool down (draining in-flight work) and unlink every
+        published segment."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            published = list(self._published.values())
+            self._published.clear()
+            self._refs.clear()
+            self._id_refs.clear()
+        if pool is not None:
+            pool.close()
+            pool.join()  # graceful drain: running chunk scans finish
+        for seg in published:
             seg.close()
             try:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
-        self._published.clear()
-        self._refs.clear()
-        self._id_refs.clear()
 
     def __del__(self):  # pragma: no cover - best-effort safety net
         try:
@@ -508,20 +530,23 @@ def make_executor(name: str, num_workers: Optional[int] = None) -> ChunkExecutor
 
 
 _SHARED: Dict[Tuple[str, Optional[int]], ChunkExecutor] = {}
+_SHARED_LOCK = threading.Lock()
 
 
 def get_shared_executor(name: str, num_workers: Optional[int] = None) -> ChunkExecutor:
     """Process-wide executor cache, so repeated ``fullmatch`` calls hit a
     warm pool instead of paying pool/shared-memory setup per call.
 
-    Cached executors are closed automatically at interpreter exit.
+    Thread-safe (concurrent first calls build one executor, not two);
+    cached executors are closed automatically at interpreter exit.
     """
     key = (name, num_workers)
-    ex = _SHARED.get(key)
-    if ex is None:
-        ex = make_executor(name, num_workers)
-        _SHARED[key] = ex
-    return ex
+    with _SHARED_LOCK:
+        ex = _SHARED.get(key)
+        if ex is None:
+            ex = make_executor(name, num_workers)
+            _SHARED[key] = ex
+        return ex
 
 
 def resolve_executor(

@@ -1,0 +1,22 @@
+"""Long-lived match service: the engines, servable (DESIGN.md §3.8).
+
+Every workload before this package was a one-shot process that paid full
+compile cost (DFA, D-SFA, stride tables — Table III) per invocation.  The
+service keeps compiled artifacts warm in an LRU cache behind an asyncio
+TCP server, so compile cost is paid once per pattern across millions of
+requests and each request is one cache lookup plus one kernel scan.
+
+- :mod:`repro.service.protocol` — wire format: newline-delimited JSON
+  headers with optional length-prefixed binary payloads.
+- :mod:`repro.service.cache` — the compiled-artifact LRU.
+- :mod:`repro.service.server` — :class:`MatchService`, the asyncio server
+  (``repro serve``).
+- :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  client (``repro client``).
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.client import ServiceClient
+from repro.service.server import MatchService
+
+__all__ = ["ArtifactCache", "MatchService", "ServiceClient"]

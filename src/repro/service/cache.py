@@ -1,0 +1,250 @@
+"""The compiled-artifact LRU cache (DESIGN.md §3.8).
+
+Construction dominates one-shot latency (Table III): a ``match`` request
+that recompiles its pattern pays parse → NFA → DFA → minimize → D-SFA →
+stride tables before scanning a single byte.  The service therefore keys
+every compiled object on its *source digest and flags* and keeps it in a
+bounded LRU.  Derived per-stage artifacts — the D-SFA, the span engine's
+backward automaton, ``(stage, kernel, stride)`` stride tables — are
+memoized *on* the compiled object (``CompiledPattern`` properties,
+:func:`repro.automata.stride.cached_stride_table` keyed ``(stride,
+budget)``), so one LRU entry owns its whole artifact tree and eviction
+frees all of it at once.  :meth:`ArtifactCache.warm` force-builds the
+artifacts a request plans to use, which is what makes the cached
+round-trip a pure table scan.
+
+Thread safety: handlers run on the server's thread pool, so lookups and
+eviction hold one lock.  Compilation itself runs *outside* the lock — a
+slow compile must not stall cache hits for other connections — with a
+per-key reservation so concurrent first requests for one pattern compile
+it once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+
+#: Stages :meth:`ArtifactCache.warm` understands, in pipeline order.
+WARM_STAGES = ("dfa", "sfa", "spans")
+
+
+def pattern_key(pattern: str, ignore_case: bool = False) -> str:
+    """Stable digest of a single-pattern cache entry."""
+    h = hashlib.sha1()
+    h.update(b"pattern\0")
+    h.update(b"i" if ignore_case else b"-")
+    h.update(pattern.encode("utf-8", "surrogatepass"))
+    return h.hexdigest()
+
+
+def ruleset_key(
+    rules: Sequence[str], flags: Sequence[bool], mode: str
+) -> str:
+    """Stable digest of a ruleset cache entry (order-sensitive: rule
+    indices are part of the observable result).
+
+    Each rule is length-framed before hashing: byte-regex sources may
+    contain any byte (including NUL), so separator-based framing would
+    let distinct rulesets collide on one digest — and a collision here
+    silently serves the wrong compiled ruleset.
+    """
+    h = hashlib.sha1()
+    h.update(b"ruleset\0")
+    h.update(mode.encode())
+    for pat, flag in zip(rules, flags):
+        raw = pat.encode("utf-8", "surrogatepass")
+        h.update(b"i" if flag else b"-")
+        h.update(len(raw).to_bytes(8, "big"))
+        h.update(raw)
+    return h.hexdigest()
+
+
+class _Entry:
+    __slots__ = ("value", "key", "warmed", "compile_seconds")
+
+    def __init__(self, value, key: str, compile_seconds: float):
+        self.value = value
+        self.key = key
+        self.compile_seconds = compile_seconds
+        #: ``(stage, kernel)`` pairs already force-built for this entry.
+        self.warmed: set = set()
+
+
+class ArtifactCache:
+    """Bounded LRU over compiled patterns and rulesets.
+
+    ``capacity`` counts entries, not bytes: an entry's footprint is
+    dominated by its automata, whose size the compile-time state budgets
+    already bound.  All methods are thread-safe.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ServiceError("cache capacity must be >= 1", kind="bad-request")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: key -> Event for compiles in flight (single-flight reservation).
+        self._building: Dict[str, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.compile_seconds = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    # -- lookups ---------------------------------------------------------
+    def get_pattern(self, pattern: str, ignore_case: bool = False):
+        """``(CompiledPattern, cache_hit)`` for a pattern source."""
+        from repro.matching.engine import compile_pattern
+
+        key = pattern_key(pattern, ignore_case)
+        return self._get(
+            key, lambda: compile_pattern(pattern, ignore_case=ignore_case)
+        )
+
+    def get_ruleset(
+        self,
+        rules: Sequence[str],
+        flags: Optional[Sequence[bool]] = None,
+        mode: str = "search",
+    ):
+        """``(MultiPatternSet, cache_hit)`` for a list of rule sources."""
+        from repro.matching.multi import MultiPatternSet
+
+        rules = [str(r) for r in rules]
+        flags = [bool(f) for f in flags] if flags is not None else [False] * len(rules)
+        if len(flags) != len(rules):
+            raise ServiceError(
+                f"{len(flags)} flags for {len(rules)} rules", kind="bad-request"
+            )
+        key = ruleset_key(rules, flags, mode)
+        return self._get(
+            key,
+            lambda: MultiPatternSet(
+                list(zip(rules, flags)), mode=mode
+            ),
+        )
+
+    def _get(self, key: str, build):
+        import time
+
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry.value, True
+                pending = self._building.get(key)
+                if pending is None:
+                    self._building[key] = threading.Event()
+                    break
+            # Another thread is compiling this key: wait and re-check.
+            pending.wait()
+        try:
+            t0 = time.perf_counter()
+            value = build()
+            dt = time.perf_counter() - t0
+        except BaseException:
+            with self._lock:
+                self._building.pop(key).set()
+            raise
+        with self._lock:
+            self.misses += 1
+            self.compile_seconds += dt
+            self._entries[key] = _Entry(value, key, dt)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._building.pop(key).set()
+        return value, False
+
+    # -- warming ---------------------------------------------------------
+    def warm(self, value, stages: Sequence[str], kernel: str = "python") -> List[str]:
+        """Force-build the artifacts a scan plan will use.
+
+        ``value`` is a cached :class:`CompiledPattern` or
+        :class:`MultiPatternSet`; ``stages`` ⊆ :data:`WARM_STAGES` plus the
+        kernel's stride tables when ``kernel`` is a stride kernel.  Returns
+        the stage names actually built by this call (idempotent).
+        """
+        from repro.automata.stride import best_stride_table
+        from repro.matching.engine import CompiledPattern
+
+        built: List[str] = []
+        entry = self._entry_of(value)
+        for stage in stages:
+            if stage not in WARM_STAGES:
+                raise ServiceError(
+                    f"unknown warm stage {stage!r} "
+                    f"(choose from {', '.join(WARM_STAGES)})",
+                    kind="bad-request",
+                )
+            mark = (stage, kernel)
+            if entry is not None and mark in entry.warmed:
+                continue
+            if stage == "dfa":
+                automaton = value.min_dfa if isinstance(value, CompiledPattern) else value.dfa
+            elif stage == "sfa":
+                automaton = value.sfa
+            else:  # spans
+                if isinstance(value, CompiledPattern):
+                    value.span_engine()
+                    automaton = value.min_dfa
+                else:
+                    for r in range(value.num_rules):
+                        value.rule_pattern(r).span_engine()
+                    automaton = value.dfa
+            if kernel in ("stride2", "stride4"):
+                budget = getattr(value, "stride_budget", None)
+                best_stride_table(
+                    automaton, 2 if kernel == "stride2" else 4, budget
+                )
+            built.append(stage)
+            if entry is not None:
+                entry.warmed.add(mark)
+        return built
+
+    def _entry_of(self, value) -> Optional[_Entry]:
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.value is value:
+                    return entry
+        return None
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "compile_seconds": round(self.compile_seconds, 6),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ArtifactCache(entries={s['entries']}/{s['capacity']}, "
+            f"hits={s['hits']}, misses={s['misses']}, "
+            f"evictions={s['evictions']})"
+        )

@@ -1,0 +1,314 @@
+"""Blocking client for the match service (``repro client``).
+
+A thin, dependency-free socket client speaking the §3.8 wire format.  One
+:class:`ServiceClient` holds one TCP connection; requests are synchronous
+(send → read one reply), which is the right shape for the CLI and for
+load generators that each own a connection.  Structured error replies are
+raised as :class:`~repro.errors.ServiceError` with the remote ``kind``;
+pass ``check=False`` to :meth:`ServiceClient.request` to inspect them
+instead.
+
+>>> with ServiceClient(port=port) as c:          # doctest: +SKIP
+...     c.match("(ab)*", b"abab")
+True
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    encode_message,
+    parse_header,
+    raise_remote,
+)
+
+Rules = Sequence[Union[str, Tuple[str, bool], List]]
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.service.server.MatchService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- transport -------------------------------------------------------
+    def request(
+        self,
+        header: Dict[str, Any],
+        payload: Optional[bytes] = None,
+        *,
+        check: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request and read its reply.
+
+        With ``check=True`` (default) a structured error reply raises
+        :class:`~repro.errors.ServiceError`; otherwise the error reply is
+        returned as-is for inspection.
+        """
+        try:
+            self._sock.sendall(encode_message(header, payload))
+        except (BrokenPipeError, ConnectionResetError) as e:
+            # Surface a dead server as a ServiceError, not a raw pipe
+            # error: the CLI maps BrokenPipeError to a *quiet* SIGPIPE
+            # exit (downstream reader hung up), which must never mask a
+            # service outage.
+            raise ServiceError(
+                f"server closed the connection: {e}", kind="protocol"
+            ) from None
+        reply, declared = self._read_message()
+        if declared >= 0:
+            # No current op returns binary replies; drain for forward
+            # compatibility with future payload-bearing responses.
+            reply["payload_bytes"] = self._read_exact(declared + 1)[:-1]
+        if check and not reply.get("ok"):
+            raise_remote(reply)
+        return reply
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (malformed-input tests; not for normal use)."""
+        self._sock.sendall(data)
+
+    def read_reply(self) -> Dict[str, Any]:
+        """Read one reply header without having sent via :meth:`request`."""
+        reply, declared = self._read_message()
+        if declared >= 0:
+            reply["payload_bytes"] = self._read_exact(declared + 1)[:-1]
+        return reply
+
+    def _read_message(self) -> Tuple[Dict[str, Any], int]:
+        line = self._rfile.readline(MAX_HEADER_BYTES + 1)
+        if not line:
+            raise ServiceError("server closed the connection", kind="protocol")
+        if not line.endswith(b"\n"):
+            raise ProtocolError("reply header truncated or oversized")
+        return parse_header(line)
+
+    def _read_exact(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            chunk = self._rfile.read(n - len(out))
+            if not chunk:
+                raise ServiceError(
+                    "server closed the connection mid-payload", kind="protocol"
+                )
+            out += chunk
+        return bytes(out)
+
+    # -- ops -------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def compile(
+        self,
+        pattern: Optional[str] = None,
+        *,
+        rules: Optional[Rules] = None,
+        ignore_case: bool = False,
+        stages: Sequence[str] = ("sfa",),
+        kernel: str = "python",
+        mode: str = "search",
+    ) -> Dict[str, Any]:
+        header: Dict[str, Any] = {
+            "op": "compile", "ignore_case": ignore_case,
+            "stages": list(stages), "kernel": kernel,
+        }
+        if rules is not None:
+            header["rules"] = [
+                r if isinstance(r, str) else [r[0], bool(r[1])] for r in rules
+            ]
+            header["mode"] = mode
+        elif pattern is not None:
+            header["pattern"] = pattern
+        else:
+            raise ServiceError(
+                "compile needs a pattern or rules", kind="bad-request"
+            )
+        return self.request(header)
+
+    def match(
+        self,
+        pattern: str,
+        data: bytes,
+        *,
+        mode: str = "fullmatch",
+        ignore_case: bool = False,
+        chunks: int = 1,
+        kernel: str = "python",
+    ) -> bool:
+        return bool(self.request(
+            {
+                "op": "match", "pattern": pattern, "mode": mode,
+                "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
+            },
+            data,
+        )["match"])
+
+    def scan(
+        self,
+        pattern: str,
+        data: bytes,
+        *,
+        mode: str = "contains",
+        ignore_case: bool = False,
+        chunks: int = 8,
+        kernel: str = "python",
+    ) -> bool:
+        return bool(self.request(
+            {
+                "op": "scan", "pattern": pattern, "mode": mode,
+                "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
+            },
+            data,
+        )["match"])
+
+    def finditer(
+        self,
+        pattern: str,
+        data: bytes,
+        *,
+        ignore_case: bool = False,
+        chunks: int = 1,
+        kernel: str = "python",
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, int]]:
+        header: Dict[str, Any] = {
+            "op": "finditer", "pattern": pattern,
+            "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
+        }
+        if limit is not None:
+            header["limit"] = limit
+        reply = self.request(header, data)
+        return [(s, e) for s, e in reply["spans"]]
+
+    def multiscan(
+        self,
+        rules: Rules,
+        data: bytes,
+        *,
+        mode: str = "search",
+        ignore_case: bool = False,
+        chunks: int = 1,
+        kernel: str = "python",
+    ) -> List[int]:
+        reply = self.request(
+            {
+                "op": "multiscan",
+                "rules": [
+                    r if isinstance(r, str) else [r[0], bool(r[1])]
+                    for r in rules
+                ],
+                "mode": mode, "ignore_case": ignore_case,
+                "chunks": chunks, "kernel": kernel,
+            },
+            data,
+        )
+        return [int(r) for r in reply["rules"]]
+
+    def open_stream(
+        self,
+        *,
+        pattern: Optional[str] = None,
+        rules: Optional[Rules] = None,
+        kind: Optional[str] = None,
+        ignore_case: bool = False,
+        mode: str = "search",
+        chunks: int = 1,
+        kernel: str = "python",
+    ) -> "ClientStream":
+        """Open a stateful stream session; see :class:`ClientStream`."""
+        if kind is None:
+            kind = "spans" if pattern is not None else "multi"
+        header: Dict[str, Any] = {
+            "op": "stream_open", "kind": kind, "ignore_case": ignore_case,
+            "chunks": chunks, "kernel": kernel,
+        }
+        if pattern is not None:
+            header["pattern"] = pattern
+        if rules is not None:
+            header["rules"] = [
+                r if isinstance(r, str) else [r[0], bool(r[1])] for r in rules
+            ]
+            header["mode"] = mode
+        reply = self.request(header)
+        return ClientStream(self, int(reply["stream"]), kind)
+
+
+class ClientStream:
+    """Handle for one server-side stream session.
+
+    ``feed`` returns what the block finalized — ``(start, end)`` spans for
+    ``"spans"``, ``(rule, start, end)`` triples for ``"multispans"``,
+    newly-matched rule indices for ``"multi"`` — and ``finish`` flushes
+    the holdback and closes the session.
+    """
+
+    def __init__(self, client: ServiceClient, stream_id: int, kind: str):
+        self.client = client
+        self.stream_id = stream_id
+        self.kind = kind
+        self.closed = False
+
+    def feed(self, block: bytes):
+        reply = self.client.request(
+            {"op": "stream_feed", "stream": self.stream_id}, block
+        )
+        return self._shape(reply)
+
+    def finish(self):
+        reply = self.client.request(
+            {"op": "stream_finish", "stream": self.stream_id}
+        )
+        self.closed = True
+        return self._shape(reply)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.client.request({"op": "stream_close", "stream": self.stream_id})
+            self.closed = True
+
+    def _shape(self, reply: Dict[str, Any]):
+        if self.kind in ("spans", "multispans"):
+            return [tuple(span) for span in reply["spans"]]
+        return [int(r) for r in reply["rules"]]
+
+    def __enter__(self) -> "ClientStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.close()
+        except ServiceError:  # pragma: no cover - already gone
+            pass

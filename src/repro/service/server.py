@@ -1,0 +1,657 @@
+"""The asyncio match service (``repro serve``, DESIGN.md §3.8).
+
+One long-lived process owns the compiled-artifact cache
+(:class:`~repro.service.cache.ArtifactCache`) and one warm chunk executor,
+and serves ``compile`` / ``match`` / ``scan`` / ``finditer`` /
+``multiscan`` requests plus stateful ``stream`` sessions over TCP.  The
+asyncio loop only moves bytes and dispatches; every engine call runs on a
+bounded thread pool (NumPy kernels release the GIL, and the process
+executor's chunk scans run on worker processes), so slow scans never
+stall other connections' cache hits.
+
+Lifecycle: :meth:`MatchService.start` binds, :meth:`MatchService.stop`
+drains gracefully — stop accepting, let in-flight requests finish (bounded
+by ``drain_timeout``), close stream sessions, shut the thread pool and the
+owned executor pool down.  A ``shutdown`` request does the same from the
+wire.
+
+Backpressure: request payloads are capped at ``max_payload`` (oversized
+payloads are drained and answered with a structured error, so the
+connection survives); concurrent heavy requests are bounded by the thread
+pool plus a semaphore sized to it; replies go through ``writer.drain()``
+so a slow-reading client throttles only itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RegexSyntaxError, ReproError, ServiceError
+from repro.service.cache import ArtifactCache
+from repro.service.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    DRAIN_CEILING,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    encode_message,
+    error_reply,
+    parse_header,
+)
+
+#: Per-connection cap on simultaneously open stream sessions.
+MAX_STREAMS_PER_CONNECTION = 64
+
+
+def _error_kind(exc: ReproError) -> str:
+    if isinstance(exc, ServiceError):
+        return exc.kind
+    if isinstance(exc, RegexSyntaxError):
+        return "compile"
+    return "engine"
+
+
+class _StreamSession:
+    """One stateful stream cursor plus its reply shaping."""
+
+    def __init__(self, kind: str, matcher):
+        self.kind = kind
+        self.matcher = matcher
+        self.bytes_fed = 0
+
+    def feed(self, payload: bytes) -> Dict[str, Any]:
+        self.bytes_fed += len(payload)
+        out = self.matcher.feed(payload)
+        if self.kind == "spans":
+            return {"spans": [[s, e] for s, e in out]}
+        if self.kind == "multispans":
+            return {"spans": [[r, s, e] for r, s, e in out]}
+        return {"rules": sorted(out)}
+
+    def finish(self) -> Dict[str, Any]:
+        if self.kind == "spans":
+            return {"spans": [[s, e] for s, e in self.matcher.finish()]}
+        if self.kind == "multispans":
+            return {"spans": [[r, s, e] for r, s, e in self.matcher.finish()]}
+        return {
+            "rules": sorted(self.matcher.finish()),
+            "matched": sorted(self.matcher.matched_rules()),
+        }
+
+
+class MatchService:
+    """The long-lived TCP match server.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    cache_size:
+        LRU capacity of the compiled-artifact cache, in entries.
+    executor:
+        ``"threads"``/``"processes"`` to build one warm shared chunk
+        executor for the server's lifetime (``None``: chunked requests use
+        the in-process lockstep path).  The pool is created at
+        :meth:`start` and drained at :meth:`stop`.
+    num_workers:
+        Pool size for the shared executor (default: CPU count).
+    max_payload:
+        Per-request payload cap in bytes.
+    handler_threads:
+        Size of the engine-call thread pool (default:
+        ``min(32, cpu_count * 2)``; each thread is mostly blocked on
+        kernels that release the GIL or on executor IPC).
+    allow_shutdown:
+        Whether the wire ``shutdown`` op is honored (the CLI default) or
+        answered with an error (embedding servers may want the latter).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_size: int = 64,
+        executor: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        handler_threads: Optional[int] = None,
+        drain_timeout: float = 10.0,
+        allow_shutdown: bool = True,
+    ):
+        import os
+
+        if max_payload < 1:
+            raise ServiceError("max_payload must be >= 1", kind="bad-request")
+        if executor not in (None, "serial", "threads", "processes"):
+            raise ServiceError(
+                f"unknown executor {executor!r}", kind="bad-request"
+            )
+        self.host = host
+        self._requested_port = port
+        self.cache = ArtifactCache(cache_size)
+        self.max_payload = max_payload
+        self.executor_name = None if executor == "serial" else executor
+        self.num_workers = num_workers
+        self.drain_timeout = drain_timeout
+        self.allow_shutdown = allow_shutdown
+        if handler_threads is None:
+            handler_threads = min(32, 2 * (os.cpu_count() or 1))
+        self.handler_threads = max(1, handler_threads)
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._executor = None  # the shared ChunkExecutor (owned)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._shutdown = None  # asyncio.Event, created on start
+        self._conn_tasks: set = set()
+        self._started_at = 0.0
+        self.counters: Dict[str, int] = {
+            "connections": 0, "requests": 0, "errors": 0,
+            "bytes_in": 0, "bytes_out": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._requested_port
+
+    async def start(self) -> "MatchService":
+        if self._server is not None:
+            raise ServiceError("server already started", kind="bad-request")
+        from repro.parallel.executor import make_executor
+
+        if self.executor_name is not None:
+            self._executor = make_executor(self.executor_name, self.num_workers)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.handler_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._gate = asyncio.Semaphore(self.handler_threads + 2)
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self._started_at = time.monotonic()
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight, free pools."""
+        if self._server is None:
+            return
+        self._shutdown.set()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=self.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._server = None
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`stop` or a wire ``shutdown`` request."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    def run(self) -> None:
+        """Blocking entry point (the ``repro serve`` main loop)."""
+        asyncio.run(self.serve_until_shutdown())
+
+    # -- connection loop -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.counters["connections"] += 1
+        streams: Dict[int, _StreamSession] = {}
+        next_stream = [1]
+        # Shutdown must wake connections parked in readline() — a
+        # graceful drain closes idle connections immediately instead of
+        # letting each one run out the drain timeout.
+        stop_wait = asyncio.ensure_future(self._shutdown.wait())
+        try:
+            while not self._shutdown.is_set():
+                read = asyncio.ensure_future(reader.readline())
+                await asyncio.wait(
+                    {read, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    read.cancel()
+                    try:
+                        await read
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    break  # draining: this connection was idle
+                try:
+                    line = read.result()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(writer, error_reply(
+                        "protocol",
+                        f"header line exceeds {MAX_HEADER_BYTES} bytes",
+                    ))
+                    break  # cannot resync after an unterminated header
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break  # clean EOF
+                if line == b"\n":
+                    continue  # blank keep-alive line
+                try:
+                    reply = await self._serve_one(
+                        reader, line, streams, next_stream
+                    )
+                except ProtocolError as e:
+                    self.counters["errors"] += 1
+                    await self._reply(writer, error_reply(e.kind, str(e)))
+                    break  # framing broken: the stream cannot be trusted
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break  # client went away mid-payload
+                ok = await self._reply(writer, reply)
+                if not ok:
+                    break
+        finally:
+            stop_wait.cancel()
+            streams.clear()
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _reply(self, writer: asyncio.StreamWriter, reply: Dict[str, Any]) -> bool:
+        data = encode_message(reply)
+        try:
+            writer.write(data)
+            await writer.drain()  # slow readers throttle themselves only
+        except (ConnectionError, OSError):
+            return False
+        self.counters["bytes_out"] += len(data)
+        return True
+
+    async def _serve_one(
+        self,
+        reader: asyncio.StreamReader,
+        line: bytes,
+        streams: Dict[int, _StreamSession],
+        next_stream,
+    ) -> Dict[str, Any]:
+        header, declared = parse_header(line)
+        reply = await self._dispatch(reader, header, declared, streams, next_stream)
+        # Echo the client's correlation id so pipelined clients can match
+        # replies to requests without trusting ordering alone.
+        if "id" in header and "id" not in reply:
+            reply["id"] = header["id"]
+        return reply
+
+    async def _dispatch(
+        self,
+        reader: asyncio.StreamReader,
+        header: Dict[str, Any],
+        declared: int,
+        streams: Dict[int, "_StreamSession"],
+        next_stream,
+    ) -> Dict[str, Any]:
+        payload: Optional[bytes] = None
+        if declared >= 0:
+            if declared > self.max_payload:
+                await self._drain_payload(reader, declared)
+                self.counters["errors"] += 1
+                return error_reply(
+                    "payload-too-large",
+                    f"declared payload of {declared} bytes exceeds the "
+                    f"server limit of {self.max_payload}",
+                    limit=self.max_payload,
+                )
+            body = await reader.readexactly(declared + 1)
+            if body[-1:] != b"\n":
+                raise ProtocolError("payload not newline-terminated")
+            payload = body[:-1]
+            self.counters["bytes_in"] += declared
+        self.counters["requests"] += 1
+        op = header.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            self.counters["errors"] += 1
+            return error_reply(
+                "bad-request",
+                f"unknown op {op!r} (choose from "
+                f"{', '.join(sorted(self._HANDLERS))})",
+            )
+        try:
+            return await handler(self, header, payload, streams, next_stream)
+        except ProtocolError:
+            raise
+        except ReproError as e:
+            self.counters["errors"] += 1
+            return error_reply(_error_kind(e), str(e))
+        except Exception as e:
+            # The contract is that a malformed request never drops the
+            # connection: anything a handler failed to classify (e.g. a
+            # non-hashable field where a scalar was expected) still gets
+            # a structured reply instead of killing the connection task.
+            self.counters["errors"] += 1
+            return error_reply(
+                "internal", f"{type(e).__name__}: {e}", op=str(op)
+            )
+
+    async def _drain_payload(self, reader: asyncio.StreamReader, declared: int) -> None:
+        """Discard an oversized (but sanely declared) payload so the
+        connection stays usable for the structured error reply."""
+        if declared > DRAIN_CEILING:
+            raise ProtocolError(
+                f"declared payload of {declared} bytes exceeds the drain "
+                f"ceiling of {DRAIN_CEILING}"
+            )
+        remaining = declared + 1  # payload plus its trailing newline
+        while remaining > 0:
+            chunk = await reader.read(min(remaining, 1 << 16))
+            if not chunk:
+                raise ProtocolError("connection closed mid-payload")
+            remaining -= len(chunk)
+
+    # -- request helpers -------------------------------------------------
+    async def _in_thread(self, fn, *args):
+        async with self._gate:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._threads, fn, *args
+            )
+
+    @staticmethod
+    def _need_payload(payload: Optional[bytes]) -> bytes:
+        if payload is None:
+            raise ServiceError(
+                "this op needs a binary payload "
+                "(set the 'payload' length field)",
+                kind="bad-request",
+            )
+        return payload
+
+    def _pattern_of(self, header: Dict[str, Any]):
+        pattern = header.get("pattern")
+        if not isinstance(pattern, str):
+            raise ServiceError(
+                "missing or non-string 'pattern' field", kind="bad-request"
+            )
+        return self.cache.get_pattern(pattern, bool(header.get("ignore_case")))
+
+    def _ruleset_of(self, header: Dict[str, Any]):
+        rules = header.get("rules")
+        if not isinstance(rules, list) or not rules:
+            raise ServiceError(
+                "missing or empty 'rules' list", kind="bad-request"
+            )
+        sources, flags = [], []
+        base = bool(header.get("ignore_case"))
+        for entry in rules:
+            if isinstance(entry, str):
+                sources.append(entry)
+                flags.append(base)
+            elif (
+                isinstance(entry, list) and len(entry) == 2
+                and isinstance(entry[0], str)
+            ):
+                sources.append(entry[0])
+                flags.append(bool(entry[1]) or base)
+            else:
+                raise ServiceError(
+                    f"rule must be a string or [pattern, ignore_case] "
+                    f"pair, got {entry!r}",
+                    kind="bad-request",
+                )
+        mode = header.get("mode", "search")
+        if mode not in ("search", "fullmatch"):
+            raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
+        return self.cache.get_ruleset(sources, flags, mode)
+
+    def _knobs(self, header: Dict[str, Any]) -> Tuple[int, str]:
+        chunks = header.get("chunks", 1)
+        kernel = header.get("kernel", "python")
+        if not isinstance(chunks, int) or chunks < 1:
+            raise ServiceError(
+                f"'chunks' must be a positive int, got {chunks!r}",
+                kind="bad-request",
+            )
+        if not isinstance(kernel, str):
+            raise ServiceError(
+                f"'kernel' must be a string, got {kernel!r}", kind="bad-request"
+            )
+        return chunks, kernel
+
+    # -- ops -------------------------------------------------------------
+    async def _op_ping(self, header, payload, streams, next_stream):
+        return {"ok": True, "pong": True}
+
+    async def _op_stats(self, header, payload, streams, next_stream):
+        return {
+            "ok": True,
+            "cache": self.cache.stats(),
+            "counters": dict(self.counters),
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "executor": self.executor_name or "none",
+            "open_streams": len(streams),
+            "max_payload": self.max_payload,
+        }
+
+    async def _op_shutdown(self, header, payload, streams, next_stream):
+        if not self.allow_shutdown:
+            raise ServiceError(
+                "shutdown over the wire is disabled", kind="shutdown"
+            )
+        self._shutdown.set()
+        return {"ok": True, "stopping": True}
+
+    async def _op_compile(self, header, payload, streams, next_stream):
+        stages = header.get("stages", ["sfa"])
+        if not isinstance(stages, list):
+            raise ServiceError("'stages' must be a list", kind="bad-request")
+        _, kernel = self._knobs(header)
+        if "rules" in header:
+            value, hit = await self._in_thread(lambda: self._ruleset_of(header))
+            sizes = dict(value.sizes()) if "sfa" in stages else {
+                "rules": value.num_rules, "union_dfa": value.dfa.num_states,
+            }
+        else:
+            value, hit = await self._in_thread(lambda: self._pattern_of(header))
+            sizes = {"min_dfa": value.min_dfa.num_states}
+            if "sfa" in stages:
+                sizes["d_sfa"] = value.sfa.num_states
+        built = await self._in_thread(
+            lambda: self.cache.warm(value, stages, kernel)
+        )
+        return {"ok": True, "cached": hit, "built": built, "sizes": sizes}
+
+    async def _op_match(self, header, payload, streams, next_stream):
+        data = self._need_payload(payload)
+        mode = header.get("mode", "fullmatch")
+        if mode not in ("fullmatch", "contains"):
+            raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
+        chunks, kernel = self._knobs(header)
+
+        def work():
+            m, hit = self._pattern_of(header)
+            fn = m.fullmatch if mode == "fullmatch" else m.contains
+            matched = fn(
+                data,
+                engine="lockstep" if chunks > 1 else "dfa",
+                num_chunks=chunks,
+                kernel=kernel,
+            )
+            return {"ok": True, "match": bool(matched), "cached": hit}
+
+        return await self._in_thread(work)
+
+    async def _op_scan(self, header, payload, streams, next_stream):
+        """Chunk-parallel containment scan through the shared executor."""
+        data = self._need_payload(payload)
+        mode = header.get("mode", "contains")
+        if mode not in ("fullmatch", "contains"):
+            raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
+        chunks, kernel = self._knobs(header)
+        chunks = max(2, chunks)
+
+        def work():
+            m, hit = self._pattern_of(header)
+            fn = m.fullmatch if mode == "fullmatch" else m.contains
+            matched = fn(
+                data,
+                engine="sfa",
+                num_chunks=chunks,
+                executor=self._executor,
+                kernel=kernel,
+            )
+            return {
+                "ok": True, "match": bool(matched), "cached": hit,
+                "chunks": chunks,
+                "executor": self.executor_name or "lockstep",
+            }
+
+        return await self._in_thread(work)
+
+    async def _op_finditer(self, header, payload, streams, next_stream):
+        data = self._need_payload(payload)
+        chunks, kernel = self._knobs(header)
+        limit = header.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ServiceError(
+                f"'limit' must be a non-negative int, got {limit!r}",
+                kind="bad-request",
+            )
+
+        def work():
+            m, hit = self._pattern_of(header)
+            spans = m.span_engine().spans(
+                data, num_chunks=chunks, executor=self._executor,
+                kernel=kernel, limit=limit,
+            )
+            return {
+                "ok": True, "spans": [[s, e] for s, e in spans], "cached": hit,
+            }
+
+        return await self._in_thread(work)
+
+    async def _op_multiscan(self, header, payload, streams, next_stream):
+        data = self._need_payload(payload)
+        chunks, kernel = self._knobs(header)
+
+        def work():
+            mps, hit = self._ruleset_of(header)
+            hits = mps.matches(
+                data, chunks, executor=self._executor, kernel=kernel
+            )
+            return {
+                "ok": True,
+                "rules": sorted(int(r) for r in hits),
+                "num_rules": mps.num_rules,
+                "cached": hit,
+            }
+
+        return await self._in_thread(work)
+
+    async def _op_stream_open(self, header, payload, streams, next_stream):
+        from repro.matching.stream import (
+            StreamingMultiMatcher,
+            StreamingMultiSpanMatcher,
+            StreamingSpanMatcher,
+        )
+
+        if len(streams) >= MAX_STREAMS_PER_CONNECTION:
+            raise ServiceError(
+                f"connection already has {len(streams)} open streams",
+                kind="limit",
+            )
+        kind = header.get("kind", "spans")
+        chunks, kernel = self._knobs(header)
+
+        def work():
+            if kind == "spans":
+                m, _ = self._pattern_of(header)
+                return _StreamSession(kind, StreamingSpanMatcher(m))
+            if kind == "multi":
+                mps, _ = self._ruleset_of(header)
+                return _StreamSession(
+                    kind,
+                    StreamingMultiMatcher(mps, num_chunks=chunks, kernel=kernel),
+                )
+            if kind == "multispans":
+                mps, _ = self._ruleset_of(header)
+                return _StreamSession(kind, StreamingMultiSpanMatcher(mps))
+            raise ServiceError(
+                f"unknown stream kind {kind!r} "
+                "(choose from spans, multi, multispans)",
+                kind="bad-request",
+            )
+
+        session = await self._in_thread(work)
+        sid = next_stream[0]
+        next_stream[0] += 1
+        streams[sid] = session
+        return {"ok": True, "stream": sid, "kind": kind}
+
+    def _session(self, header, streams) -> Tuple[int, _StreamSession]:
+        sid = header.get("stream")
+        try:
+            session = streams.get(sid)
+        except TypeError:  # unhashable id (e.g. a list) is just a bad request
+            session = None
+        if session is None:
+            raise ServiceError(
+                f"no open stream {sid!r} on this connection",
+                kind="bad-request",
+            )
+        return sid, session
+
+    async def _op_stream_feed(self, header, payload, streams, next_stream):
+        data = self._need_payload(payload)
+        _, session = self._session(header, streams)
+        out = await self._in_thread(session.feed, data)
+        out["ok"] = True
+        return out
+
+    async def _op_stream_finish(self, header, payload, streams, next_stream):
+        sid, session = self._session(header, streams)
+        out = await self._in_thread(session.finish)
+        del streams[sid]
+        out["ok"] = True
+        out["bytes_fed"] = session.bytes_fed
+        return out
+
+    async def _op_stream_close(self, header, payload, streams, next_stream):
+        sid, _ = self._session(header, streams)
+        del streams[sid]
+        return {"ok": True, "closed": sid}
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+        "compile": _op_compile,
+        "match": _op_match,
+        "scan": _op_scan,
+        "finditer": _op_finditer,
+        "multiscan": _op_multiscan,
+        "stream_open": _op_stream_open,
+        "stream_feed": _op_stream_feed,
+        "stream_finish": _op_stream_finish,
+        "stream_close": _op_stream_close,
+    }

@@ -1,5 +1,9 @@
 """Command-line interface (invoked in-process via repro.cli.main)."""
 
+import os
+import socket as socket_mod
+import threading
+
 import pytest
 
 from repro.cli import main
@@ -314,6 +318,193 @@ class TestGrepMultiFile:
             assert out == serial_out, executor
 
 
+class TestGrepNonRegularFiles:
+    """GNU grep recursion semantics: only regular files are opened.
+
+    A FIFO with no writer blocks ``open()`` forever, so these tests run
+    the grep under a timeout guard — a hang is reported as a failure, not
+    a stuck suite.
+    """
+
+    def _run_guarded(self, *argv, timeout=20.0):
+        result = {}
+
+        def target():
+            result["code"] = main(list(argv))
+
+        t = threading.Thread(target=target, daemon=True)
+        t.start()
+        t.join(timeout)
+        assert not t.is_alive(), f"repro {argv[0]} hung (> {timeout}s)"
+        return result["code"]
+
+    def test_fifo_in_tree_does_not_hang(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "log.txt").write_bytes(b"ERROR 1\n")
+        os.mkfifo(root / "pipe.fifo")  # no writer: open() would block
+        code = self._run_guarded("grep", "ERROR", str(root))
+        out, err = capsys.readouterr()
+        assert code == 0
+        assert "pipe.fifo" not in out and "pipe.fifo" not in err
+        assert "ERROR 1" in out
+
+    def test_socket_in_tree_skipped(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "log.txt").write_bytes(b"ERROR 2\n")
+        srv = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        try:
+            srv.bind(str(root / "ctl.sock"))
+            code = self._run_guarded("grep", "ERROR", str(root))
+        finally:
+            srv.close()
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert "ctl.sock" not in out
+        assert "ERROR 2" in out
+
+    def test_fifo_only_tree_exits_one(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        os.mkfifo(root / "pipe.fifo")
+        code = self._run_guarded("grep", "ERROR", str(root))
+        out, _ = capsys.readouterr()
+        assert code == 1  # nothing scanned, nothing matched, no error
+        assert out == ""
+
+
+class TestGrepErrorRecovery:
+    def test_unreadable_file_warns_and_continues(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+
+        good = tmp_path / "good.log"
+        good.write_bytes(b"ERROR ok\n")
+        bad = tmp_path / "bad.log"
+        bad.write_bytes(b"ERROR hidden\n")
+        real = cli._read_input
+
+        def deny(path):
+            if path == str(bad):
+                raise PermissionError(13, "Permission denied", path)
+            return real(path)
+
+        monkeypatch.setattr(cli, "_read_input", deny)
+        code = main(["grep", "ERROR", str(bad), str(good)])
+        out, err = capsys.readouterr()
+        assert code == 2  # GNU grep: errors dominate the exit code
+        assert "ERROR ok" in out  # the readable file was still scanned
+        assert "hidden" not in out
+        assert f"repro grep: {bad}: Permission denied" in err
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores file modes")
+    def test_real_permission_error(self, capsys, tmp_path):  # pragma: no cover
+        good = tmp_path / "good.log"
+        good.write_bytes(b"ERROR ok\n")
+        bad = tmp_path / "bad.log"
+        bad.write_bytes(b"ERROR hidden\n")
+        bad.chmod(0)
+        try:
+            code = main(["grep", "ERROR", str(tmp_path)])
+        finally:
+            bad.chmod(0o644)
+        out, err = capsys.readouterr()
+        assert code == 2
+        assert "ERROR ok" in out
+        assert "bad.log" in err
+
+    def test_unreadable_in_recursion_keeps_order(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+
+        (tmp_path / "a.log").write_bytes(b"ERROR a\n")
+        bad = tmp_path / "b.log"
+        bad.write_bytes(b"x\n")
+        (tmp_path / "c.log").write_bytes(b"ERROR c\n")
+        real = cli._read_input
+
+        def deny(path):
+            if path == str(bad):
+                raise OSError(5, "Input/output error", path)
+            return real(path)
+
+        monkeypatch.setattr(cli, "_read_input", deny)
+        code = main(["grep", "ERROR", str(tmp_path)])
+        out, err = capsys.readouterr()
+        assert code == 2
+        assert f"{tmp_path}/a.log:ERROR a\n{tmp_path}/c.log:ERROR c\n" == out
+        assert "Input/output error" in err
+
+
+class TestGrepDedupe:
+    def test_same_file_twice_counts_once(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ERROR 1\nERROR 2\n")
+        code = main(["grep", "-c", "ERROR", str(f), str(f)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert out == "2\n"  # one (deduped) file: no filename prefix
+
+    def test_symlink_alias_deduped(self, capsys, tmp_path):
+        f = tmp_path / "log.txt"
+        f.write_bytes(b"ERROR 1\n")
+        alias = tmp_path / "alias.txt"
+        alias.symlink_to(f)
+        code = main(["grep", "-c", "ERROR", str(f), str(alias)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        # first occurrence wins; the alias is not scanned again, so the
+        # (deduped) single file prints without a filename prefix
+        assert out == "1\n"
+
+    def test_file_and_containing_dir_deduped(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        f = root / "log.txt"
+        f.write_bytes(b"ERROR 1\n")
+        code = main(["grep", "-c", "ERROR", str(f), str(root)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert out == f"{f}:1\n"  # listed explicitly, then seen in the walk
+
+    def test_distinct_files_not_deduped(self, capsys, tmp_path):
+        a = tmp_path / "a.log"
+        a.write_bytes(b"ERROR 1\n")
+        b = tmp_path / "b.log"
+        b.write_bytes(b"ERROR 2\n")
+        code = main(["grep", "-c", "ERROR", str(a), str(b)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert out == f"{a}:1\n{b}:1\n"
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_exits_141_quietly(self, monkeypatch, tmp_path):
+        # `repro ... | grep -q` closes the pipe early; the Unix convention
+        # is a quiet 128+SIGPIPE exit, not an error report (and certainly
+        # not exit 2, which would trip pipefail CI scripts)
+        import io
+        import sys
+
+        import repro.cli as cli
+
+        f = tmp_path / "in.txt"
+        f.write_bytes(b"aa\n")
+
+        def boom(path):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli, "_read_input", boom)
+        monkeypatch.setattr(sys, "stdout", io.StringIO())
+        err = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", err)
+        assert main(["match", "a+", str(f)]) == 141
+        assert err.getvalue() == ""
+
+
 class TestDot:
     def test_dfa_dot(self, capsys):
         code, out, _ = run(capsys, "dot", "(ab)*", "--stage", "dfa")
@@ -504,6 +695,183 @@ class TestMatchset:
         f.write_bytes(b"xx abc")
         code, _, _ = run(capsys, "matchset", "--rules-file", f"{bare}.npz", str(f))
         assert code == 0
+
+
+class TestServeClientCLI:
+    """``repro client`` driven against a live in-process server."""
+
+    @pytest.fixture()
+    def service_port(self):
+        from tests.test_service import _ServerHandle
+
+        handle = _ServerHandle(cache_size=16)
+        yield handle.port
+        handle.stop()
+
+    def client(self, capsys, port, *argv):
+        code = main(["client", "--port", str(port), *argv])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_ping(self, capsys, service_port):
+        code, out, _ = self.client(capsys, service_port, "ping")
+        assert code == 0
+        assert out == "pong\n"
+
+    def test_match_and_exit_codes(self, capsys, service_port, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"abab")
+        code, out, _ = self.client(
+            capsys, service_port, "match", "(ab)*", str(f)
+        )
+        assert code == 0 and out == "match\n"
+        code, out, _ = self.client(
+            capsys, service_port, "match", "(ab)*c", str(f)
+        )
+        assert code == 1 and out == "no match\n"
+
+    def test_scan_and_finditer(self, capsys, service_port, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx ERROR 42 yy ERROR 7")
+        code, out, _ = self.client(
+            capsys, service_port, "scan", "ERROR [0-9]+", str(f),
+            "--chunks", "4", "--kernel", "stride2",
+        )
+        assert code == 0 and out == "match\n"
+        code, out, _ = self.client(
+            capsys, service_port, "finditer", "ERROR [0-9]+", str(f)
+        )
+        assert code == 0
+        assert out == "3:11:ERROR 42\n15:22:ERROR 7\n"
+
+    def test_multiscan(self, capsys, service_port, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("# c\nabc\nzz*top\nnope[0-9]\n")
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx abc zztop")
+        code, out, _ = self.client(
+            capsys, service_port, "multiscan",
+            "--rules-file", str(rules), str(f),
+        )
+        assert code == 0
+        assert "0:abc" in out and "1:zz*top" in out
+        assert "matched 2/3 rules" in out
+
+    def test_stream_spans(self, capsys, service_port, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx ERROR 42 yy ERROR 7 zz")
+        code, out, _ = self.client(
+            capsys, service_port, "stream", "ERROR [0-9]+", str(f),
+            "--block-size", "5",
+        )
+        assert code == 0
+        assert out == "3:11\n15:22\n"
+
+    def test_stream_rules(self, capsys, service_port, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("abc\nzz*top\n")
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"xx abc yy zztop")
+        code, out, _ = self.client(
+            capsys, service_port, "stream", str(f),
+            "--rules-file", str(rules), "--block-size", "4",
+        )
+        assert code == 0
+        assert out == "rule 0\nrule 1\n"
+
+    def test_stats_json(self, capsys, service_port):
+        code, out, _ = self.client(capsys, service_port, "stats")
+        assert code == 0
+        import json
+
+        stats = json.loads(out)
+        assert stats["ok"] is True and "cache" in stats
+
+    def test_compile_error_exit_two(self, capsys, service_port, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x")
+        code, _, err = self.client(
+            capsys, service_port, "match", "(ab", str(f)
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_connection_refused_exit_two(self, capsys, tmp_path):
+        f = tmp_path / "in.bin"
+        f.write_bytes(b"x")
+        with socket_mod.socket() as s:  # grab a port nobody serves
+            s.bind(("127.0.0.1", 0))
+            dead_port = s.getsockname()[1]
+        code, _, err = self.client(capsys, dead_port, "ping")
+        assert code == 2
+        assert err != ""
+
+    def test_serve_main_in_process(self):
+        """`repro serve` main loop, driven and shut down over the wire."""
+        import time
+
+        from repro.service.client import ServiceClient
+
+        with socket_mod.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        t = threading.Thread(
+            target=main, args=(["serve", "--port", str(port)],), daemon=True
+        )
+        t.start()
+        client = None
+        for _ in range(200):
+            try:
+                client = ServiceClient(port=port, timeout=10.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "serve main never started listening"
+        with client:
+            assert client.ping()
+            client.shutdown()
+        t.join(15)
+        assert not t.is_alive(), "serve main did not exit after shutdown"
+
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        """The real thing: a `repro serve` process driven by `repro client`."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        srv = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = srv.stdout.readline()
+            assert "listening on" in line, line
+            port = line.split(":")[2].split()[0]
+            f = tmp_path / "in.bin"
+            f.write_bytes(b"abab")
+
+            def client(*argv):
+                return subprocess.run(
+                    [sys.executable, "-m", "repro", "client",
+                     "--port", port, *argv],
+                    capture_output=True, text=True, env=env, timeout=60,
+                )
+
+            r = client("match", "(ab)*", str(f))
+            assert r.returncode == 0 and r.stdout == "match\n", r.stderr
+            r = client("shutdown")
+            assert r.returncode == 0, r.stderr
+            assert srv.wait(timeout=30) == 0  # graceful exit
+        finally:
+            if srv.poll() is None:  # pragma: no cover - cleanup path
+                srv.kill()
+                srv.wait()
 
 
 class TestRuleset:
