@@ -1,0 +1,52 @@
+"""Static pattern analysis (DESIGN.md §3.9).
+
+Sound facts about a pattern's language and compilation cost, computed
+from the AST alone — no determinization, no scan:
+
+* :mod:`~repro.analysis.facts` — nullability, min/max match length,
+  first/last byte sets, alphabet footprint, DFA/D-SFA state bounds and
+  stride-table size predictions.
+* :mod:`~repro.analysis.literals` — required literal factors
+  (Hyperscan-style prefix/suffix/interior claims with offset windows)
+  and the span-engine prefilter plan derived from them.
+* :mod:`~repro.analysis.report` — structured diagnostics
+  (:class:`PatternReport` / :class:`RulesetReport`) behind
+  ``repro analyze`` and the service ``analyze`` op.
+"""
+
+from repro.analysis.facts import PatternFacts, compute_facts
+from repro.analysis.literals import (
+    Factor,
+    LiteralInfo,
+    PrefilterPlan,
+    choose_prefilter,
+    literal_info,
+)
+from repro.analysis.report import (
+    ANALYSIS_SCHEMA_VERSION,
+    PatternReport,
+    RulesetReport,
+    analyze_ast,
+    analyze_pattern,
+    analyze_ruleset,
+    format_pattern_report,
+    format_ruleset_report,
+)
+
+__all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "Factor",
+    "LiteralInfo",
+    "PatternFacts",
+    "PatternReport",
+    "PrefilterPlan",
+    "RulesetReport",
+    "analyze_ast",
+    "analyze_pattern",
+    "analyze_ruleset",
+    "choose_prefilter",
+    "compute_facts",
+    "format_pattern_report",
+    "format_ruleset_report",
+    "literal_info",
+]

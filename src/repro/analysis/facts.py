@@ -1,0 +1,346 @@
+"""Structural pattern facts computed from the AST alone (DESIGN.md §3.9).
+
+Everything in this module is *static*: no subset construction, no D-SFA,
+no scan.  The facts are one linear walk over the AST (``Repeat`` bounds
+are folded arithmetically, never expanded), so analyzing a pattern costs
+microseconds regardless of how explosively it would determinize — which
+is the point: the planner, the span prefilter, and ``repro analyze`` all
+need to *predict* blowup before paying for it.
+
+Soundness contracts (pinned by ``tests/test_analysis.py`` against
+brute-force enumeration of accepted strings):
+
+``nullable``
+    exact: ``ε ∈ L`` ⟺ ``nullable``.
+``matches_nothing``
+    exact: ``L = ∅`` ⟺ ``matches_nothing``.
+``min_len`` / ``max_len``
+    exact for this regular fragment: every accepted string ``w`` has
+    ``min_len ≤ len(w)`` and (when ``max_len`` is not ``None``)
+    ``len(w) ≤ max_len``; both bounds are attained.
+``first_bytes`` / ``last_bytes``
+    sound over-approximations: every non-empty accepted string starts
+    with a byte in ``first_bytes`` and ends with one in ``last_bytes``.
+
+Size predictions are *bounds*, not measurements: ``positions`` is the
+Glushkov position count (the NFA has ``positions + 1`` states), the DFA
+is bounded by ``2^(positions+1)`` (subset construction) and the D-SFA by
+``|D|^|D|`` (paper Theorem 2) — both reported saturated at
+:data:`BOUND_SATURATION` so JSON consumers never meet a 10³-digit int.
+Stride-table arithmetic reuses the exact budget test of
+:func:`repro.automata.stride.build_stride_table` (``states · k^s · 4``
+bytes): the *lower* estimate assumes the minimal DFA is no bigger than
+the NFA's state count, the *upper* uses the subset bound, so "even the
+optimistic size is over budget" is a sound blowup verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.automata.stride import DEFAULT_MAX_TABLE_BYTES, STRIDES
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+)
+from repro.regex.charclass import ByteClassPartition, CharSet
+
+#: Size bounds are clamped here; anything larger is "astronomic" either way.
+BOUND_SATURATION = 10**18
+
+
+def _sat_mul(a: int, b: int) -> int:
+    """Saturating multiply for size bounds."""
+    if a >= BOUND_SATURATION or b >= BOUND_SATURATION:
+        return BOUND_SATURATION
+    return min(a * b, BOUND_SATURATION)
+
+
+def _sat_pow(base: int, exp: int) -> int:
+    """Saturating power (``base, exp ≥ 0``) without building huge ints."""
+    out = 1
+    for _ in range(exp):
+        out = _sat_mul(out, base)
+        if out >= BOUND_SATURATION:
+            return BOUND_SATURATION
+    return out
+
+
+def _add_len(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Length addition where ``None`` means unbounded."""
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _mul_len(a: Optional[int], n: Optional[int]) -> Optional[int]:
+    if n == 0:
+        return 0
+    if a is None or n is None:
+        return None
+    return a * n
+
+
+@dataclass(frozen=True)
+class StridePrediction:
+    """Predicted cost of one precomposed stride table (``k^s`` columns)."""
+
+    stride: int
+    symbols: int                 # k^stride superalphabet width
+    bytes_lower: int             # assuming |DFA| == NFA state count
+    bytes_upper: int             # assuming the 2^m subset bound
+    affordable_lower: bool       # bytes_lower <= budget
+    affordable_upper: bool       # bytes_upper <= budget
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stride": self.stride,
+            "symbols": self.symbols,
+            "bytes_lower": self.bytes_lower,
+            "bytes_upper": self.bytes_upper,
+            "affordable_lower": self.affordable_lower,
+            "affordable_upper": self.affordable_upper,
+        }
+
+
+@dataclass(frozen=True)
+class PatternFacts:
+    """Static facts about one pattern (see module docstring for contracts)."""
+
+    nullable: bool
+    matches_nothing: bool
+    min_len: int
+    max_len: Optional[int]
+    first_bytes: CharSet
+    last_bytes: CharSet
+    positions: int               # Glushkov position count (= NFA size - 1)
+    byte_classes: int            # k over the search-augmented partition
+    alphabet_bytes: int          # distinct bytes the pattern can consume
+    dfa_states_bound: int        # 2^(positions+1), saturated
+    sfa_states_bound: int        # dfa_bound^dfa_bound, saturated
+    stride_predictions: Tuple[StridePrediction, ...]
+    stride_budget: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON shape (schema-checked by the CI smoke)."""
+        return {
+            "nullable": self.nullable,
+            "matches_nothing": self.matches_nothing,
+            "min_len": self.min_len,
+            "max_len": self.max_len,
+            "first_bytes": len(self.first_bytes),
+            "last_bytes": len(self.last_bytes),
+            "positions": self.positions,
+            "byte_classes": self.byte_classes,
+            "alphabet_bytes": self.alphabet_bytes,
+            "dfa_states_bound": self.dfa_states_bound,
+            "sfa_states_bound": self.sfa_states_bound,
+            "stride_predictions": [
+                p.to_dict() for p in self.stride_predictions
+            ],
+            "stride_budget": self.stride_budget,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Structural recursions
+# ---------------------------------------------------------------------------
+
+
+def matches_nothing(node: Node) -> bool:
+    """``L(node) = ∅`` — exact."""
+    if isinstance(node, Never):
+        return True
+    if isinstance(node, (Empty, Literal, Star)):
+        return False  # Star always holds ε
+    if isinstance(node, Concat):
+        return any(matches_nothing(c) for c in node.children)
+    if isinstance(node, Alternation):
+        return all(matches_nothing(c) for c in node.children) \
+            if node.children else True
+    if isinstance(node, Repeat):
+        return node.lo > 0 and matches_nothing(node.child)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def length_bounds(node: Node) -> Tuple[int, Optional[int]]:
+    """``(min_len, max_len)`` of accepted strings; ``None`` = unbounded.
+
+    For an empty language the bounds are vacuous; ``(0, 0)`` is returned
+    so callers can rely on plain ints (gate on :func:`matches_nothing`).
+    """
+    if isinstance(node, (Empty, Never)):
+        return 0, 0
+    if isinstance(node, Literal):
+        return 1, 1
+    if isinstance(node, Concat):
+        lo, hi = 0, 0
+        for c in node.children:
+            clo, chi = length_bounds(c)
+            lo, hi = lo + clo, _add_len(hi, chi)
+        return lo, hi
+    if isinstance(node, Alternation):
+        bounds = [
+            length_bounds(c) for c in node.children if not matches_nothing(c)
+        ]
+        if not bounds:
+            return 0, 0
+        lo = min(b[0] for b in bounds)
+        hi = 0 if all(b[1] == 0 for b in bounds) else (
+            None if any(b[1] is None for b in bounds)
+            else max(b[1] for b in bounds)  # type: ignore[type-var]
+        )
+        return lo, hi
+    if isinstance(node, Star):
+        _, chi = length_bounds(node.child)
+        return 0, 0 if chi == 0 or matches_nothing(node.child) else None
+    if isinstance(node, Repeat):
+        clo, chi = length_bounds(node.child)
+        if node.child.nullable:
+            lo = 0
+        else:
+            lo = clo * node.lo
+        return lo, _mul_len(chi, node.hi)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def first_bytes(node: Node) -> CharSet:
+    """Bytes that can begin a non-empty accepted string (sound over-approx)."""
+    if isinstance(node, (Empty, Never)):
+        return CharSet.empty()
+    if isinstance(node, Literal):
+        return node.charset
+    if isinstance(node, Concat):
+        out = CharSet.empty()
+        for c in node.children:
+            out = out | first_bytes(c)
+            if not c.nullable:
+                break
+        return out
+    if isinstance(node, Alternation):
+        out = CharSet.empty()
+        for c in node.children:
+            out = out | first_bytes(c)
+        return out
+    if isinstance(node, (Star, Repeat)):
+        return first_bytes(node.child)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def last_bytes(node: Node) -> CharSet:
+    """Bytes that can end a non-empty accepted string (sound over-approx)."""
+    if isinstance(node, (Empty, Never)):
+        return CharSet.empty()
+    if isinstance(node, Literal):
+        return node.charset
+    if isinstance(node, Concat):
+        out = CharSet.empty()
+        for c in reversed(node.children):
+            out = out | last_bytes(c)
+            if not c.nullable:
+                break
+        return out
+    if isinstance(node, Alternation):
+        out = CharSet.empty()
+        for c in node.children:
+            out = out | last_bytes(c)
+        return out
+    if isinstance(node, (Star, Repeat)):
+        return last_bytes(node.child)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def position_count(node: Node) -> int:
+    """Glushkov position count with ``Repeat`` folded arithmetically.
+
+    Matches what :func:`repro.regex.ast.expand_repeats` +
+    :func:`repro.automata.nfa.glushkov_nfa` would materialize — ``e{2,4}``
+    contributes ``4 · positions(e)`` — without building the expansion.
+    """
+    if isinstance(node, (Empty, Never)):
+        return 0
+    if isinstance(node, Literal):
+        return 1
+    if isinstance(node, Concat):
+        return sum(position_count(c) for c in node.children)
+    if isinstance(node, Alternation):
+        return sum(position_count(c) for c in node.children)
+    if isinstance(node, Star):
+        return position_count(node.child)
+    if isinstance(node, Repeat):
+        copies = node.lo + 1 if node.hi is None else node.hi
+        return min(copies * position_count(node.child), BOUND_SATURATION)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def compute_facts(
+    node: Node,
+    *,
+    stride_budget: int = DEFAULT_MAX_TABLE_BYTES,
+    partition: Optional[ByteClassPartition] = None,
+) -> PatternFacts:
+    """All static facts for one pattern AST.
+
+    ``partition`` defaults to the search-augmented byte-class partition
+    (pattern charsets + the full alphabet), matching what
+    :class:`~repro.matching.engine.CompiledPattern` compiles over, so the
+    reported ``byte_classes`` is the real automaton table width.
+    """
+    if partition is None:
+        partition = ByteClassPartition(
+            list(node.charsets()) + [CharSet.any_byte()]
+        )
+    k = partition.num_classes
+    positions = position_count(node)
+    dfa_bound = _sat_pow(2, min(positions + 1, 64)) \
+        if positions + 1 <= 64 else BOUND_SATURATION
+    sfa_bound = _sat_pow(dfa_bound, min(dfa_bound, 64)) \
+        if dfa_bound < BOUND_SATURATION else BOUND_SATURATION
+    # NFA state count is an optimistic stand-in for the minimal DFA size;
+    # the subset bound is the pessimistic one.  4 bytes per int32 entry,
+    # exactly build_stride_table's budget arithmetic.
+    states_lower = positions + 1
+    predictions = []
+    for s in STRIDES:
+        symbols = _sat_pow(k, s)
+        lower = _sat_mul(_sat_mul(states_lower, symbols), 4)
+        upper = _sat_mul(_sat_mul(dfa_bound, symbols), 4)
+        predictions.append(StridePrediction(
+            stride=s,
+            symbols=symbols,
+            bytes_lower=lower,
+            bytes_upper=upper,
+            affordable_lower=lower <= stride_budget,
+            affordable_upper=upper <= stride_budget,
+        ))
+    lo, hi = length_bounds(node)
+    return PatternFacts(
+        nullable=node.nullable,
+        matches_nothing=matches_nothing(node),
+        min_len=lo,
+        max_len=hi,
+        first_bytes=first_bytes(node),
+        last_bytes=last_bytes(node),
+        positions=positions,
+        byte_classes=k,
+        alphabet_bytes=_alphabet_bytes(node),
+        dfa_states_bound=dfa_bound,
+        sfa_states_bound=sfa_bound,
+        stride_predictions=tuple(predictions),
+        stride_budget=stride_budget,
+    )
+
+
+def _alphabet_bytes(node: Node) -> int:
+    """Distinct byte values the pattern can consume anywhere."""
+    out = CharSet.empty()
+    for cs in node.charsets():
+        out = out | cs
+    return len(out)

@@ -1,0 +1,490 @@
+"""Required literal factors, Hyperscan-style (DESIGN.md §3.9).
+
+A *claim* is a :class:`Factor` ``(text, min_start, max_start)`` asserting:
+
+    every accepted string ``w`` contains an occurrence of ``text``
+    starting at some offset ``δ`` with ``min_start ≤ δ ≤ max_start``
+    (``max_start = None`` means unbounded above).
+
+Claims are **independent set semantics** — each one stands alone, and
+discarding any subset of claims is always sound.  (The alternative,
+ordered disjoint "factor chains", silently double-claims overlapping
+prefix/suffix material: ``exact = {"aba"}`` would chain prefix ``"aba"``
+*and* suffix ``"aba"`` as two disjoint occurrences, which ``"aba"``
+itself refutes.)
+
+A :class:`LiteralInfo` carries, per AST node:
+
+``nothing`` / ``nullable`` / ``min_len`` / ``max_len``
+    exact language facts (mirroring :mod:`repro.analysis.facts`, computed
+    here independently because the literal composition rules need them
+    in-flight).
+``exact``
+    when the node's language is a *small finite set* of byte strings, the
+    whole language; ``None`` otherwise.  Exactness is what lets a chain
+    of single-byte literals fold into one long required string.
+``prefix`` / ``suffix``
+    required prefix/suffix of every accepted string (possibly ``b""``).
+``factors``
+    interior claims as defined above.
+
+Soundness invariant maintained by every constructor: a nullable node
+never carries a non-empty ``prefix``/``suffix``/factor — the empty string
+contains nothing, so any such claim would be false.  Property tests
+enumerate accepted strings from the minimal DFA and check every claim
+(``tests/test_analysis.py``).
+
+The prefilter consumer (:func:`choose_prefilter`) picks the best claim
+with a *finite* offset window: candidate match starts are then computable
+from raw ``bytes.find`` occurrences, which is what lets the span engine
+skip its exact backward automaton pass (DESIGN.md §3.9.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+)
+
+#: Caps on the exact-language tracking; beyond these a node degrades to
+#: prefix/suffix/factor claims only.  Small on purpose: exactness exists
+#: to fold literal runs, not to enumerate combinatorial languages.
+EXACT_MAX_STRINGS = 8
+EXACT_MAX_LEN = 48
+#: Bounded repetitions larger than this are never expanded exactly.
+REPEAT_EXACT_MAX = 12
+#: Keep at most this many factor claims per node.
+MAX_FACTORS = 12
+#: Prefilter gating: factors shorter than this are too dense to pay off.
+MIN_PREFILTER_LEN = 2
+#: Prefilter gating: reject windows wider than this (candidate ranges
+#: would approach a dense scan again).
+MAX_PREFILTER_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One claim: every accepted string contains ``text`` at an offset in
+    ``[min_start, max_start]`` (``max_start=None`` = unbounded)."""
+
+    text: bytes
+    min_start: int
+    max_start: Optional[int]
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text.decode("latin-1"),
+            "min_start": self.min_start,
+            "max_start": self.max_start,
+        }
+
+
+@dataclass(frozen=True)
+class LiteralInfo:
+    """Literal structure of one node's language (see module docstring)."""
+
+    nothing: bool
+    nullable: bool
+    min_len: int
+    max_len: Optional[int]
+    exact: Optional[FrozenSet[bytes]]
+    prefix: bytes
+    suffix: bytes
+    factors: Tuple[Factor, ...]
+
+    def claims(self) -> Tuple[Factor, ...]:
+        """All claims in Factor form: prefix, suffix, and interior factors.
+
+        The prefix claim is ``(prefix, 0, 0)``; the suffix claim pins the
+        occurrence to ``len(w) - len(suffix)`` which over all ``w`` is the
+        window ``[min_len - |suffix|, max_len - |suffix|]``.
+        """
+        out: List[Factor] = []
+        if self.prefix:
+            out.append(Factor(self.prefix, 0, 0))
+        if self.suffix:
+            hi = None if self.max_len is None \
+                else self.max_len - len(self.suffix)
+            out.append(
+                Factor(self.suffix, self.min_len - len(self.suffix), hi)
+            )
+        out.extend(self.factors)
+        return _prune(out)
+
+
+_NEVER = LiteralInfo(
+    nothing=True, nullable=False, min_len=0, max_len=0,
+    exact=frozenset(), prefix=b"", suffix=b"", factors=(),
+)
+
+
+def _common_prefix(strings: Sequence[bytes]) -> bytes:
+    out = strings[0]
+    for s in strings[1:]:
+        n = 0
+        for a, b in zip(out, s):
+            if a != b:
+                break
+            n += 1
+        out = out[:n]
+        if not out:
+            break
+    return out
+
+
+def _common_suffix(strings: Sequence[bytes]) -> bytes:
+    rev = [s[::-1] for s in strings]
+    return _common_prefix(rev)[::-1]
+
+
+def _add_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _window_rank(f: Factor) -> Tuple[int, int, int]:
+    """Sort key: finite windows first, then narrow, then early."""
+    if f.max_start is None:
+        return (1, 0, f.min_start)
+    return (0, f.max_start - f.min_start, f.min_start)
+
+
+def _prune(factors: Sequence[Factor]) -> Tuple[Factor, ...]:
+    """Normalize a claim list: drop empties, dedupe texts (keeping the
+    most useful window), drop factors subsumed by a superstring factor
+    with a window at least as useful, cap the count.
+
+    Dropping claims is always sound (independent set semantics); merging
+    windows across distinct claims would *not* be.
+    """
+    best = {}
+    for f in factors:
+        if not f.text:
+            continue
+        cur = best.get(f.text)
+        if cur is None or _window_rank(f) < _window_rank(cur):
+            best[f.text] = f
+    ranked = sorted(
+        best.values(), key=lambda f: (-len(f.text), _window_rank(f))
+    )
+    out: List[Factor] = []
+    for f in ranked:
+        subsumed = any(
+            f.text in g.text
+            and (g.max_start is not None or f.max_start is None)
+            for g in out
+        )
+        if not subsumed:
+            out.append(f)
+        if len(out) >= MAX_FACTORS:
+            break
+    return tuple(out)
+
+
+def _from_exact(strings: FrozenSet[bytes]) -> LiteralInfo:
+    """Info for a known-finite language (all facts derived exactly)."""
+    if not strings:
+        return _NEVER
+    lens = [len(s) for s in strings]
+    ordered = sorted(strings)
+    return LiteralInfo(
+        nothing=False,
+        nullable=b"" in strings,
+        min_len=min(lens),
+        max_len=max(lens),
+        exact=strings,
+        prefix=_common_prefix(ordered),
+        suffix=_common_suffix(ordered),
+        factors=(),
+    )
+
+
+def _entail(info: LiteralInfo, text: bytes) -> Optional[Tuple[int, Optional[int]]]:
+    """Does ``info`` guarantee an occurrence of ``text``?  Returns the
+    offset window of the guaranteed occurrence, or ``None``.
+    """
+    if info.exact is not None:
+        offs = []
+        for s in info.exact:
+            i = s.find(text)
+            if i < 0:
+                return None
+            offs.append(i)
+        return (min(offs), max(offs))
+    i = info.prefix.find(text)
+    if i >= 0:
+        return (i, i)
+    i = info.suffix.find(text)
+    if i >= 0:
+        base = info.min_len - len(info.suffix) + i
+        hi = None if info.max_len is None \
+            else info.max_len - len(info.suffix) + i
+        return (base, hi)
+    for g in info.factors:
+        i = g.text.find(text)
+        if i >= 0:
+            hi = None if g.max_start is None else g.max_start + i
+            return (g.min_start + i, hi)
+    return None
+
+
+def _concat2(a: LiteralInfo, b: LiteralInfo) -> LiteralInfo:
+    if a.nothing or b.nothing:
+        return _NEVER
+    if a.exact is not None and b.exact is not None:
+        prod = frozenset(x + y for x in a.exact for y in b.exact)
+        if (
+            len(prod) <= EXACT_MAX_STRINGS
+            and all(len(s) <= EXACT_MAX_LEN for s in prod)
+        ):
+            return _from_exact(prod)
+    prefix = a.prefix
+    if a.exact is not None and len(a.exact) == 1:
+        # A is one known string s: every w starts with s + (B's prefix).
+        (s,) = a.exact
+        prefix = s + b.prefix
+    suffix = b.suffix
+    if b.exact is not None and len(b.exact) == 1:
+        (s,) = b.exact
+        suffix = a.suffix + s
+    factors: List[Factor] = list(a.factors)
+    for f in b.factors:
+        factors.append(Factor(
+            f.text,
+            a.min_len + f.min_start,
+            _add_opt(a.max_len, f.max_start),
+        ))
+    # The boundary claim: w = u·v contains a.suffix + b.prefix starting at
+    # len(u) - |a.suffix|.  This is also how B's prefix claim survives the
+    # concatenation when a.suffix is empty.
+    joint = a.suffix + b.prefix
+    if joint:
+        factors.append(Factor(
+            joint,
+            a.min_len - len(a.suffix),
+            None if a.max_len is None else a.max_len - len(a.suffix),
+        ))
+    return LiteralInfo(
+        nothing=False,
+        nullable=a.nullable and b.nullable,
+        min_len=a.min_len + b.min_len,
+        max_len=_add_opt(a.max_len, b.max_len),
+        exact=None,
+        prefix=prefix,
+        suffix=suffix,
+        factors=_prune(factors),
+    )
+
+
+def _alt(infos: Sequence[LiteralInfo]) -> LiteralInfo:
+    live = [i for i in infos if not i.nothing]
+    if not live:
+        return _NEVER
+    if all(i.exact is not None for i in live):
+        union = frozenset().union(
+            *[i.exact for i in live if i.exact is not None]
+        )
+        if (
+            len(union) <= EXACT_MAX_STRINGS
+            and all(len(s) <= EXACT_MAX_LEN for s in union)
+        ):
+            return _from_exact(union)
+    min_len = min(i.min_len for i in live)
+    maxes = [i.max_len for i in live]
+    max_len = None if any(m is None for m in maxes) \
+        else max(m for m in maxes if m is not None)
+    prefix = _common_prefix([i.prefix for i in live])
+    suffix = _common_suffix([i.suffix for i in live])
+    # A claim survives the union iff *every* branch entails it; the merged
+    # window must cover each branch's occurrence window.
+    factors: List[Factor] = []
+    for f in live[0].claims():
+        lo: int = f.min_start
+        hi: Optional[int] = f.max_start
+        ok = True
+        for other in live[1:]:
+            w = _entail(other, f.text)
+            if w is None:
+                ok = False
+                break
+            lo = min(lo, w[0])
+            hi = None if hi is None or w[1] is None else max(hi, w[1])
+        if ok:
+            factors.append(Factor(f.text, lo, hi))
+    return LiteralInfo(
+        nothing=False,
+        nullable=any(i.nullable for i in live),
+        min_len=min_len,
+        max_len=max_len,
+        exact=None,
+        prefix=prefix,
+        suffix=suffix,
+        factors=_prune(factors),
+    )
+
+
+def _repeat(child: LiteralInfo, lo: int, hi: Optional[int]) -> LiteralInfo:
+    if child.nothing:
+        return _from_exact(frozenset([b""])) if lo == 0 else _NEVER
+    if hi == 0 or child.max_len == 0:
+        # Language ⊆ {ε} and ε is reachable (child not nothing, or lo==0).
+        return _from_exact(frozenset([b""]))
+    if (
+        child.exact is not None
+        and hi is not None
+        and hi <= REPEAT_EXACT_MAX
+    ):
+        lang = _power_language(child.exact, lo, hi)
+        if lang is not None:
+            return _from_exact(lang)
+    if lo == 0:
+        return LiteralInfo(
+            nothing=False, nullable=True, min_len=0,
+            max_len=_mul_opt(child.max_len, hi),
+            exact=None, prefix=b"", suffix=b"", factors=(),
+        )
+    # lo >= 1: the first copy is a child-string starting at offset 0, so
+    # the child's prefix and factor claims hold verbatim; the last copy
+    # ends the string, so the suffix claim holds too.  (A nullable child
+    # carries no claims by the module invariant, so there is no "first
+    # copy might be empty" hole.)
+    return LiteralInfo(
+        nothing=False,
+        nullable=child.nullable,
+        min_len=0 if child.nullable else child.min_len * lo,
+        max_len=_mul_opt(child.max_len, hi),
+        exact=None,
+        prefix=child.prefix,
+        suffix=child.suffix,
+        factors=child.factors,
+    )
+
+
+def _mul_opt(a: Optional[int], n: Optional[int]) -> Optional[int]:
+    if n == 0:
+        return 0
+    if a is None or n is None:
+        return None
+    return a * n
+
+
+def _power_language(
+    strings: FrozenSet[bytes], lo: int, hi: int
+) -> Optional[FrozenSet[bytes]]:
+    """``{s₁·…·s_r : r ∈ [lo, hi], sᵢ ∈ strings}`` or ``None`` past caps."""
+    out = set()
+    layer = {b""}
+    for r in range(hi + 1):
+        if r >= lo:
+            out |= layer
+        if len(out) > EXACT_MAX_STRINGS:
+            return None
+        if r < hi:
+            layer = {x + y for x in layer for y in strings}
+            if (
+                len(layer) > EXACT_MAX_STRINGS
+                or any(len(s) > EXACT_MAX_LEN for s in layer)
+            ):
+                return None
+    return frozenset(out)
+
+
+def literal_info(node: Node) -> LiteralInfo:
+    """Literal structure of ``node``'s language (one AST walk)."""
+    if isinstance(node, Never):
+        return _NEVER
+    if isinstance(node, Empty):
+        return _from_exact(frozenset([b""]))
+    if isinstance(node, Literal):
+        values = list(node.charset)
+        if len(values) <= EXACT_MAX_STRINGS:
+            return _from_exact(frozenset(bytes([v]) for v in values))
+        return LiteralInfo(
+            nothing=False, nullable=False, min_len=1, max_len=1,
+            exact=None, prefix=b"", suffix=b"", factors=(),
+        )
+    if isinstance(node, Concat):
+        out = _from_exact(frozenset([b""]))
+        for c in node.children:
+            out = _concat2(out, literal_info(c))
+            if out.nothing:
+                break
+        return out
+    if isinstance(node, Alternation):
+        return _alt([literal_info(c) for c in node.children])
+    if isinstance(node, Star):
+        return _repeat(literal_info(node.child), 0, None)
+    if isinstance(node, Repeat):
+        return _repeat(literal_info(node.child), node.lo, node.hi)
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Prefilter planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefilterPlan:
+    """A literal-occurrence prefilter the span engine can run.
+
+    Candidate match starts for an occurrence of ``text`` at position
+    ``o`` are ``[o - max_start, o - min_start]`` — a sound superset of
+    true starts because every match places ``text`` at ``start + δ`` for
+    some ``δ`` in the window.
+    """
+
+    text: bytes
+    min_start: int
+    max_start: int  # always finite; == min_start for anchored prefixes
+
+    @property
+    def window(self) -> int:
+        return self.max_start - self.min_start
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text.decode("latin-1"),
+            "min_start": self.min_start,
+            "max_start": self.max_start,
+        }
+
+
+def choose_prefilter(info: LiteralInfo) -> Optional[PrefilterPlan]:
+    """Pick the best prefilter claim, or ``None`` when gating fails.
+
+    Gates (DESIGN.md §3.9.3): the pattern must not be nullable (an empty
+    match starts everywhere — no literal can witness it) and must match
+    something; the claim needs a finite offset window no wider than
+    :data:`MAX_PREFILTER_WINDOW` and at least :data:`MIN_PREFILTER_LEN`
+    bytes of text (single-byte factors fire too densely to win).
+    """
+    if info.nothing or info.nullable:
+        return None
+    best: Optional[PrefilterPlan] = None
+    best_score = None
+    for f in info.claims():
+        if f.max_start is None or len(f.text) < MIN_PREFILTER_LEN:
+            continue
+        if f.max_start - f.min_start > MAX_PREFILTER_WINDOW:
+            continue
+        if f.min_start < 0:  # defensive; claims never go negative
+            continue
+        # Longer text = rarer occurrences; narrower window = fewer
+        # candidate starts per occurrence.  Text length dominates.
+        score = (len(f.text), -(f.max_start - f.min_start), -f.min_start)
+        if best_score is None or score > best_score:
+            best_score = score
+            best = PrefilterPlan(f.text, f.min_start, f.max_start)
+    return best

@@ -1,0 +1,435 @@
+"""Diagnostics: :class:`PatternReport` / :class:`RulesetReport` (§3.9.2).
+
+The report layer turns the raw facts (:mod:`repro.analysis.facts`) and
+literal structure (:mod:`repro.analysis.literals`) into structured,
+stable output for three consumers: the ``repro analyze`` CLI (human and
+``--json``), the service ``analyze`` op, and tests.  Warning codes are
+part of the schema — CI smoke-checks them — so new codes are additive,
+never renamed.
+
+Pattern-level codes:
+
+``matches-nothing`` (error)
+    the language is empty; in any mode the pattern can never fire.
+``matches-empty`` (warning)
+    ``ε ∈ L``: under search semantics the pattern matches at every
+    position of every payload.
+``unstrideable-alphabet`` (warning)
+    even the optimistic (NFA-sized) stride-2 table exceeds the byte
+    budget: ``k`` is too wide for any precomposed stride table.
+``table-blowup`` (info)
+    the subset-construction bound exceeds the engine's DFA state cap, so
+    determinization *may* explode (the bound is pessimistic).
+``no-literal-factor`` (info)
+    no prefilter-eligible literal claim; span extraction cannot skip
+    ahead and will run the full backward pass.
+
+Ruleset-level codes (``rules`` lists the indices involved):
+
+``parse-error-rule`` is **not** a warning: a malformed rule aborts
+analysis with :class:`~repro.errors.RegexSyntaxError` carrying the rule
+index (the CLI contract is exit 2 with a structured message).
+``duplicate-rule`` (warning)
+    two rules have identical normalized ASTs — byte-for-byte the same
+    language and flags.
+``empty-matching-rule`` (warning)
+    a nullable rule under search mode fires on *every* payload.
+``never-matching-rule`` (error)
+    the rule's language is empty.
+``subsumed-rule`` (info)
+    every match of rule *i* contains a match of rule *j* (proved via a
+    required factor of *i* containing a full literal of *j*), so *i*
+    firing implies *j* firing — search mode only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.facts import (
+    PatternFacts,
+    compute_facts,
+)
+from repro.analysis.literals import (
+    LiteralInfo,
+    PrefilterPlan,
+    choose_prefilter,
+    literal_info,
+)
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import Node, expand_repeats
+from repro.regex.parser import parse
+
+#: Bumped on any breaking change to the JSON shapes below.
+ANALYSIS_SCHEMA_VERSION = 1
+
+#: Mirrors repro.matching.engine.DEFAULT_MAX_DFA_STATES without importing
+#: the engine (analysis stays automata-free).
+_DFA_STATE_CAP = 100_000
+
+RuleSpec = Union[str, Tuple[str, bool]]
+
+
+@dataclass(frozen=True)
+class Warning:
+    """One structured diagnostic."""
+
+    code: str
+    severity: str  # "error" | "warning" | "info"
+    message: str
+    rules: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.rules:
+            out["rules"] = list(self.rules)
+        return out
+
+
+@dataclass
+class PatternReport:
+    """Full static analysis of one pattern."""
+
+    pattern: str
+    ignore_case: bool
+    facts: PatternFacts
+    literals: LiteralInfo
+    prefilter: Optional[PrefilterPlan]
+    warnings: List[Warning] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ANALYSIS_SCHEMA_VERSION,
+            "kind": "pattern",
+            "pattern": self.pattern,
+            "ignore_case": self.ignore_case,
+            "facts": self.facts.to_dict(),
+            "literals": {
+                "prefix": self.literals.prefix.decode("latin-1"),
+                "suffix": self.literals.suffix.decode("latin-1"),
+                "exact": (
+                    sorted(s.decode("latin-1") for s in self.literals.exact)
+                    if self.literals.exact is not None else None
+                ),
+                "factors": [f.to_dict() for f in self.literals.claims()],
+            },
+            "prefilter": (
+                self.prefilter.to_dict() if self.prefilter else None
+            ),
+            "warnings": [w.to_dict() for w in self.warnings],
+        }
+
+
+@dataclass
+class RulesetReport:
+    """Per-rule reports plus cross-rule lint findings."""
+
+    mode: str
+    rules: List[PatternReport]
+    warnings: List[Warning] = field(default_factory=list)
+
+    def all_warnings(self) -> List[Warning]:
+        out = list(self.warnings)
+        for i, r in enumerate(self.rules):
+            out.extend(
+                Warning(w.code, w.severity, f"rule {i}: {w.message}", (i,))
+                for w in r.warnings
+            )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ANALYSIS_SCHEMA_VERSION,
+            "kind": "ruleset",
+            "mode": self.mode,
+            "rules": [
+                {**r.to_dict(), "index": i}
+                for i, r in enumerate(self.rules)
+            ],
+            "warnings": [w.to_dict() for w in self.warnings],
+            "summary": {
+                "rules": len(self.rules),
+                "warnings": len(self.all_warnings()),
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Analysis entry points
+# ---------------------------------------------------------------------------
+
+
+def _pattern_warnings(
+    facts: PatternFacts, prefilter: Optional[PrefilterPlan]
+) -> List[Warning]:
+    out: List[Warning] = []
+    if facts.matches_nothing:
+        out.append(Warning(
+            "matches-nothing", "error",
+            "the language is empty: this pattern can never match",
+        ))
+        return out
+    if facts.nullable:
+        out.append(Warning(
+            "matches-empty", "warning",
+            "matches the empty string: under search semantics it fires "
+            "at every position of every input",
+        ))
+    stride2 = facts.stride_predictions[0]
+    if not stride2.affordable_lower:
+        out.append(Warning(
+            "unstrideable-alphabet", "warning",
+            f"{facts.byte_classes} byte classes: even the optimistic "
+            f"stride-2 table ({stride2.bytes_lower:,} bytes) exceeds the "
+            f"{facts.stride_budget:,}-byte budget; stride kernels will "
+            "fall back to single-byte stepping",
+        ))
+    if facts.dfa_states_bound > _DFA_STATE_CAP:
+        out.append(Warning(
+            "table-blowup", "info",
+            f"subset-construction bound {facts.dfa_states_bound:,} states "
+            f"exceeds the engine cap ({_DFA_STATE_CAP:,}); determinization "
+            "may explode (the bound is pessimistic)",
+        ))
+    if prefilter is None:
+        out.append(Warning(
+            "no-literal-factor", "info",
+            "no usable required literal: span extraction cannot skip "
+            "ahead and will run the full backward start pass",
+        ))
+    return out
+
+
+def analyze_pattern(
+    pattern: str,
+    *,
+    ignore_case: bool = False,
+    stride_budget: Optional[int] = None,
+) -> PatternReport:
+    """Statically analyze one pattern (parse errors propagate)."""
+    ast = parse(pattern, ignore_case=ignore_case)
+    return analyze_ast(
+        ast, pattern=pattern, ignore_case=ignore_case,
+        stride_budget=stride_budget,
+    )
+
+
+def analyze_ast(
+    ast: Node,
+    *,
+    pattern: str = "",
+    ignore_case: bool = False,
+    stride_budget: Optional[int] = None,
+) -> PatternReport:
+    """Analyze an already-parsed AST (used by the engine integration)."""
+    kwargs = {} if stride_budget is None else {"stride_budget": stride_budget}
+    facts = compute_facts(ast, **kwargs)
+    lits = literal_info(ast)
+    plan = choose_prefilter(lits)
+    return PatternReport(
+        pattern=pattern,
+        ignore_case=ignore_case,
+        facts=facts,
+        literals=lits,
+        prefilter=plan,
+        warnings=_pattern_warnings(facts, plan),
+    )
+
+
+def _rule_specs(rules: Sequence[RuleSpec], ignore_case: bool):
+    for i, spec in enumerate(rules):
+        if isinstance(spec, str):
+            yield i, spec, ignore_case
+        else:
+            yield i, spec[0], bool(spec[1])
+
+
+def analyze_ruleset(
+    rules: Sequence[RuleSpec],
+    *,
+    ignore_case: bool = False,
+    mode: str = "search",
+    stride_budget: Optional[int] = None,
+) -> RulesetReport:
+    """Analyze and cross-lint a ruleset.
+
+    A rule that fails to parse aborts with
+    :class:`~repro.errors.RegexSyntaxError` whose message names the rule
+    index — the CLI turns that into a structured exit-2 error.
+    """
+    reports: List[PatternReport] = []
+    asts: List[Node] = []
+    for i, source, fold in _rule_specs(rules, ignore_case):
+        try:
+            ast = parse(source, ignore_case=fold)
+        except RegexSyntaxError as e:
+            # str(e) already carries the "(at position ...)" suffix;
+            # re-wrap without position so it is not appended twice.
+            err = RegexSyntaxError(f"rule {i}: {e}")
+            err.pattern, err.position = source, e.position
+            raise err from None
+        asts.append(ast)
+        reports.append(analyze_ast(
+            ast, pattern=source, ignore_case=fold,
+            stride_budget=stride_budget,
+        ))
+    return RulesetReport(
+        mode=mode,
+        rules=reports,
+        warnings=_lint_ruleset(reports, asts, mode),
+    )
+
+
+def _lint_ruleset(
+    reports: Sequence[PatternReport], asts: Sequence[Node], mode: str
+) -> List[Warning]:
+    out: List[Warning] = []
+    # Duplicates: identical normalized ASTs (Repeat bounds expanded, case
+    # folding already baked in by the parser) accept identical languages.
+    seen: Dict[Node, int] = {}
+    for i, ast in enumerate(asts):
+        norm = expand_repeats(ast)
+        j = seen.setdefault(norm, i)
+        if j != i:
+            out.append(Warning(
+                "duplicate-rule", "warning",
+                f"rule {i} ({reports[i].pattern!r}) duplicates rule {j} "
+                f"({reports[j].pattern!r})",
+                (j, i),
+            ))
+    for i, r in enumerate(reports):
+        if r.facts.matches_nothing:
+            out.append(Warning(
+                "never-matching-rule", "error",
+                f"rule {i} ({r.pattern!r}) can never match",
+                (i,),
+            ))
+        elif r.facts.nullable and mode == "search":
+            out.append(Warning(
+                "empty-matching-rule", "warning",
+                f"rule {i} ({r.pattern!r}) matches the empty string: in "
+                "search mode it fires on every payload",
+                (i,),
+            ))
+    if mode == "search":
+        out.extend(_lint_subsumption(reports))
+    return out
+
+
+def _lint_subsumption(reports: Sequence[PatternReport]) -> List[Warning]:
+    """Implication between rules, proved through literals.
+
+    If rule *j*'s language is a known finite set of strings and rule *i*
+    has a required factor containing one of them, then any payload where
+    *i* fires contains a full match of *j* — *i* firing implies *j*
+    firing (search mode).  Sound but deliberately incomplete: only
+    literal-exact rules can be proved implied.
+    """
+    out: List[Warning] = []
+    exact_rules = [
+        (j, r.literals.exact) for j, r in enumerate(reports)
+        if r.literals.exact and not r.facts.nullable
+    ]
+    for i, r in enumerate(reports):
+        claims = r.literals.claims()
+        if not claims or r.facts.matches_nothing:
+            continue
+        for j, lang in exact_rules:
+            if i == j:
+                continue
+            if any(s in f.text for f in claims for s in lang):
+                out.append(Warning(
+                    "subsumed-rule", "info",
+                    f"rule {i} ({r.pattern!r}) firing implies rule {j} "
+                    f"({reports[j].pattern!r}): every match of rule {i} "
+                    f"contains a literal of rule {j}",
+                    (i, j),
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Human rendering
+# ---------------------------------------------------------------------------
+
+
+def _show_bytes(b: bytes) -> str:
+    return repr(b.decode("latin-1"))
+
+
+def _show_len(lo: int, hi: Optional[int]) -> str:
+    return f"[{lo}, {'∞' if hi is None else hi}]"
+
+
+def format_pattern_report(r: PatternReport, *, label: str = "") -> str:
+    f = r.facts
+    lines = [f"pattern{label}: {r.pattern!r}"
+             + (" (ignore-case)" if r.ignore_case else "")]
+    lines.append(
+        f"  language: nullable={'yes' if f.nullable else 'no'} "
+        f"empty={'yes' if f.matches_nothing else 'no'} "
+        f"length={_show_len(f.min_len, f.max_len)}"
+    )
+    lines.append(
+        f"  alphabet: {f.alphabet_bytes} bytes in {f.byte_classes} classes; "
+        f"first/last byte sets {len(f.first_bytes)}/{len(f.last_bytes)}"
+    )
+    lines.append(
+        f"  automata: {f.positions + 1} NFA states, DFA bound "
+        f"{f.dfa_states_bound:,}"
+    )
+    for p in f.stride_predictions:
+        lines.append(
+            f"  stride{p.stride}: {p.bytes_lower:,}..{p.bytes_upper:,} "
+            f"bytes predicted "
+            f"({'fits' if p.affordable_lower else 'over budget'} "
+            "at NFA size)"
+        )
+    if r.literals.exact is not None:
+        shown = sorted(r.literals.exact)[:4]
+        extra = len(r.literals.exact) - len(shown)
+        lines.append(
+            "  exact language: {"
+            + ", ".join(_show_bytes(s) for s in shown)
+            + (f", +{extra} more" if extra else "") + "}"
+        )
+    if r.literals.prefix:
+        lines.append(f"  required prefix: {_show_bytes(r.literals.prefix)}")
+    if r.literals.suffix:
+        lines.append(f"  required suffix: {_show_bytes(r.literals.suffix)}")
+    for fac in r.literals.claims():
+        hi = "∞" if fac.max_start is None else fac.max_start
+        lines.append(
+            f"  required factor: {_show_bytes(fac.text)} @ "
+            f"[{fac.min_start}, {hi}]"
+        )
+    if r.prefilter:
+        lines.append(
+            f"  prefilter: scan for {_show_bytes(r.prefilter.text)}, "
+            f"candidate starts at occurrence - "
+            f"[{r.prefilter.min_start}, {r.prefilter.max_start}]"
+        )
+    else:
+        lines.append("  prefilter: none")
+    for w in r.warnings:
+        lines.append(f"  {w.severity}[{w.code}]: {w.message}")
+    return "\n".join(lines)
+
+
+def format_ruleset_report(r: RulesetReport) -> str:
+    lines = []
+    for i, rule in enumerate(r.rules):
+        lines.append(format_pattern_report(rule, label=f" {i}"))
+    lines.append(f"ruleset: {len(r.rules)} rules, mode={r.mode}")
+    cross = r.warnings
+    if cross:
+        for w in cross:
+            lines.append(f"  {w.severity}[{w.code}]: {w.message}")
+    else:
+        lines.append("  lint: clean")
+    return "\n".join(lines)

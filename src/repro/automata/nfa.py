@@ -27,7 +27,6 @@ from repro.regex.ast import (
     Literal,
     Never,
     Node,
-    Repeat,
     Star,
     expand_repeats,
 )

@@ -1,6 +1,8 @@
 """Command-line interface.
 
     python -m repro sizes  '(ab)*'
+    python -m repro analyze 'ERROR [0-9]+' --json
+    python -m repro analyze --rules-file rules.txt
     python -m repro match  '(ab)*' input.bin --engine lockstep --chunks 8
     python -m repro match  '(ab)*' input.bin --engine sfa --chunks 8 \
         --executor processes --workers 8
@@ -41,6 +43,14 @@ requests.  ``client`` drives it: one-shot ``match``/``scan``/
 union-automaton pass and prints every matching rule; ``--rules-file``
 takes either a pattern file (one regex per line, ``#`` comments) or a
 compiled ``.npz`` ruleset written by ``save --stage ruleset``.
+
+``analyze`` is the static analysis surface (DESIGN.md §3.9): language
+facts, blowup predictions, required literal factors and the derived
+span-engine prefilter plan for one pattern, or per-rule reports plus
+cross-rule lint (duplicates, empty-matching, subsumption) for a ruleset —
+computed from the AST alone, nothing is compiled or scanned.  Exit codes:
+0 = clean, 1 = the report carries warnings or errors (info-level notes do
+not affect the exit code), 2 = parse/usage error.
 
 Exit codes follow grep conventions for ``match``/``grep``/``matchset``:
 0 = matched, 1 = no match, 2 = usage/read/compile error.
@@ -227,6 +237,7 @@ def _grep_scan_file(m, path: str, args: argparse.Namespace):
                   else args.executor),
         num_workers=args.workers,
         kernel=args.kernel if engaged else "python",
+        prefilter=False if args.no_prefilter else None,
     )
     nl = np.flatnonzero(arr == 0x0A)
     # grep line count: a trailing newline terminates the last line rather
@@ -404,6 +415,55 @@ def _cmd_matchset(args: argparse.Namespace) -> int:
     return 0 if hits else 1
 
 
+def _report_dirty(report: dict) -> bool:
+    """Whether a report dict (pattern or ruleset shape) carries any
+    warning- or error-severity finding; info notes stay exit-0."""
+    warnings = list(report.get("warnings", []))
+    for rule in report.get("rules", []):
+        warnings.extend(rule.get("warnings", []))
+    return any(w.get("severity") in ("warning", "error") for w in warnings)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        analyze_pattern,
+        analyze_ruleset,
+        format_pattern_report,
+        format_ruleset_report,
+    )
+
+    if args.rules_file is not None:
+        if args.pattern is not None:
+            raise MatchEngineError(
+                "analyze takes a pattern or --rules-file, not both"
+            )
+        if args.rules_file.endswith(".npz"):
+            # An archive is analyzed through its persisted sources, flags
+            # and mode — analysis itself never needs the compiled tables.
+            mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
+            rules = [(p, bool(f)) for p, f in zip(mps.patterns, mps.rule_flags)]
+            mode = mps.mode
+        else:
+            rules = [(ln, args.ignore_case) for ln in
+                     _read_rule_lines(args.rules_file)]
+            mode = args.mode
+        report = analyze_ruleset(rules, mode=mode)
+        text = format_ruleset_report(report)
+    else:
+        if args.pattern is None:
+            raise MatchEngineError("analyze needs a pattern or --rules-file")
+        report = analyze_pattern(args.pattern, ignore_case=args.ignore_case)
+        text = format_pattern_report(report)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+    return 1 if _report_dirty(payload) else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import MatchService
 
@@ -502,6 +562,15 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
             print(f"{i}:{rules[i][0]}")
         print(f"matched {len(hits)}/{len(rules)} rules")
         return 0 if hits else 1
+    if op == "analyze":
+        if args.rules_file is not None:
+            report = c.analyze(rules=_client_rules(args), mode=args.mode)
+        elif args.pattern is not None:
+            report = c.analyze(args.pattern, ignore_case=args.ignore_case)
+        else:
+            raise MatchEngineError("analyze needs a pattern or --rules-file")
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if _report_dirty(report) else 0
     if op == "stream":
         return _client_stream(c, args)
     raise MatchEngineError(f"unknown client op {op!r}")
@@ -596,6 +665,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.set_defaults(func=_cmd_sizes)
 
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: language facts, blowup prediction, "
+        "literal factors and ruleset lint (nothing is compiled or "
+        "scanned; exit 1 flags warnings)",
+    )
+    p.add_argument("pattern", nargs="?", default=None,
+                   help="regular expression (or use --rules-file)")
+    p.add_argument("-i", "--ignore-case", action="store_true")
+    p.add_argument(
+        "--rules-file", default=None,
+        help="analyze a whole ruleset: a pattern file (one regex per "
+        "line, '#' comments) or a compiled .npz ruleset (analyzed via "
+        "its persisted sources, flags and mode)",
+    )
+    p.add_argument(
+        "--mode", choices=["search", "fullmatch"], default="search",
+        help="ruleset match semantics the lint assumes (pattern files "
+        "only; .npz archives keep their saved mode)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-stable JSON report instead of "
+                   "the human rendering")
+    p.set_defaults(func=_cmd_analyze)
+
     p = sub.add_parser("match", help="whole-input membership test")
     add_common(p, with_input=True)
     p.add_argument("--contains", action="store_true",
@@ -620,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-c", "--count", action="store_true",
                    help="print the number of matching lines per file")
     add_engine_knobs(p)
+    p.add_argument(
+        "--no-prefilter", action="store_true",
+        help="disable the literal-factor skip-ahead (§3.9.3) and always "
+        "run the exact backward start pass; output is identical either "
+        "way",
+    )
     p.add_argument(
         "--parallel-threshold", type=int, default=GREP_EXECUTOR_MIN_BYTES,
         help="file size in bytes below which the chunked scan path "
@@ -727,6 +827,20 @@ def build_parser() -> argparse.ArgumentParser:
         if cop == "finditer":
             cp.add_argument("--limit", type=int, default=None)
         add_client_knobs(cp)
+    cp = csub.add_parser(
+        "analyze",
+        help="server-side static analysis (JSON report; exit 1 flags "
+        "warnings)",
+    )
+    cp.add_argument("pattern", nargs="?", default=None,
+                    help="regular expression (or use --rules-file)")
+    cp.add_argument("-i", "--ignore-case", action="store_true")
+    cp.add_argument("--rules-file", default=None,
+                    help="pattern file or .npz ruleset (sources are "
+                    "shipped; the server analyzes without compiling)")
+    cp.add_argument("--mode", choices=["search", "fullmatch"],
+                    default="search",
+                    help="ruleset match semantics the lint assumes")
     cp = csub.add_parser("multiscan", help="match a whole ruleset remotely")
     cp.add_argument("--rules-file", required=True,
                     help="pattern file or .npz ruleset (sources are "

@@ -228,20 +228,23 @@ class CompiledPattern:
         executor=None,
         num_workers: Optional[int] = None,
         kernel: str = "python",
+        prefilter: Optional[bool] = None,
     ):
         """Iterate the leftmost-longest non-overlapping ``(start, end)``
         spans of the pattern in ``data`` (DESIGN.md §3.7).
 
         ``num_chunks``/``executor``/``num_workers``/``kernel`` parallelize
         the whole-input start pass exactly as in :meth:`fullmatch`; spans
-        are invariant under all of them.  Semantics match ``re.finditer``
-        except that alternation resolves to the *longest* branch (POSIX
-        leftmost-longest) rather than the first.
+        are invariant under all of them.  ``prefilter=False`` disables the
+        literal skip-ahead (§3.9.3); spans are invariant under that too.
+        Semantics match ``re.finditer`` except that alternation resolves
+        to the *longest* branch (POSIX leftmost-longest) rather than the
+        first.
         """
         return iter(
             self.span_engine().spans(
                 data, num_chunks=num_chunks, executor=executor,
-                num_workers=num_workers, kernel=kernel,
+                num_workers=num_workers, kernel=kernel, prefilter=prefilter,
             )
         )
 

@@ -281,6 +281,49 @@ class MultiPatternSet:
         )
         return bool(self._dfa.accept[q])
 
+    def rule_literal(self, rule: int) -> Optional[bytes]:
+        """The longest byte string every match of ``rule`` must contain.
+
+        Computed by the static analyzer (DESIGN.md §3.9) from the rule's
+        raw pattern and cached; ``None`` when the rule carries no required
+        literal (e.g. nullable patterns, pure character classes).  This is
+        the per-rule routing metadata for literal prescreening and —
+        longer term — rule-group sharding: a payload that does not contain
+        the literal cannot match the rule, in either mode.
+        """
+        from repro.analysis.literals import literal_info
+        from repro.regex.parser import parse
+
+        cache = getattr(self, "_rule_literals", None)
+        if cache is None:
+            cache = {}
+            self._rule_literals = cache
+        if rule not in cache:
+            ast = parse(
+                self.patterns[rule], ignore_case=self.rule_flags[rule]
+            )
+            claims = literal_info(ast).claims()
+            cache[rule] = max(
+                (f.text for f in claims), key=len, default=None
+            )
+        return cache[rule]
+
+    def prescreen(self, data: bytes) -> List[int]:
+        """Rule indices *not ruled out* by literal containment.
+
+        A rule whose required literal does not occur in ``data`` cannot
+        match and is dropped; rules without literal metadata always
+        survive.  Sound in both modes — a required factor occurs inside
+        every accepted string, hence inside any matching payload region.
+        """
+        hay = data if hasattr(data, "find") else bytes(data)
+        out = []
+        for r in range(self.num_rules):
+            lit = self.rule_literal(r)
+            if lit is None or hay.find(lit) >= 0:
+                out.append(r)
+        return out
+
     def rule_pattern(self, rule: int) -> "CompiledPattern":
         """The compiled single-pattern engine of one rule (cached).
 
@@ -314,21 +357,28 @@ class MultiPatternSet:
     ) -> List[Tuple[int, int, int]]:
         """Leftmost-longest ``(rule, start, end)`` spans for every rule.
 
-        Two-stage plan (DESIGN.md §3.7): the union automaton *prefilters*
-        the payload with one (chunk-parallel, kernel-accelerated) scan —
-        in search mode, rules that do not match anywhere extract no spans
-        — then each surviving rule runs its own span engine serially.
-        Results are merged in stream order ``(start, end, rule)``.  In
-        ``"fullmatch"`` mode the union verdict is whole-input membership,
-        not occurrence, so every rule is extracted.
+        Three-stage plan (DESIGN.md §3.7/§3.9.3): a literal *prescreen*
+        first drops every rule whose required literal is absent from the
+        payload (and skips the union scan outright when nothing survives);
+        then the union automaton prefilters with one (chunk-parallel,
+        kernel-accelerated) scan — in search mode, rules that do not match
+        anywhere extract no spans — then each surviving rule runs its own
+        span engine serially.  Results are merged in stream order
+        ``(start, end, rule)``.  In ``"fullmatch"`` mode the union verdict
+        is whole-input membership, not occurrence, so every prescreen
+        survivor is extracted.
         """
+        survivors = self.prescreen(data)
+        if not survivors:
+            return []
         if self.mode == "search":
-            hit_rules = sorted(self.matches(
+            hits = self.matches(
                 data, num_chunks, executor=executor, num_workers=num_workers,
                 kernel=kernel,
-            ))
+            )
+            hit_rules: Sequence[int] = sorted(hits.intersection(survivors))
         else:
-            hit_rules = range(self.num_rules)
+            hit_rules = survivors
         out = [
             (r, s, e)
             for r in hit_rules

@@ -9,7 +9,7 @@ then reduced sequentially (``O(p)``) or as a composition tree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

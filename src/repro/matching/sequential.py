@@ -12,7 +12,7 @@ input symbol, a single live state.  Two implementations:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -69,6 +69,11 @@ from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.literals import (
+    PrefilterPlan,
+    choose_prefilter,
+    literal_info,
+)
 from repro.automata.dfa import DFA, minimize, subset_construction
 from repro.automata.nfa import NFA, glushkov_nfa
 from repro.automata.sfa import SFA, correspondence_construction
@@ -146,6 +151,13 @@ class SpanEngine:
         self._bsfa: Optional[SFA] = None
         self._bsfa_failed = False
         self._live: Optional[DFA] = None
+        # Literal-factor prefilter plan (DESIGN.md §3.9.3): when the
+        # analyzer proves a required literal with a finite offset window,
+        # start bits can be over-approximated from raw byte search instead
+        # of the exact backward automaton pass.  ``None`` = ineligible.
+        self.prefilter: Optional[PrefilterPlan] = choose_prefilter(
+            literal_info(pattern.ast)
+        )
         # Dead states of the forward DFA, pre-scaled by the table width for
         # the emission walk's early exit.  After minimization there is at
         # most one; an unminimized DFA may keep several (missing one only
@@ -165,8 +177,16 @@ class SpanEngine:
         num_workers: Optional[int] = None,
         kernel: str = "python",
         limit: Optional[int] = None,
+        prefilter: Optional[bool] = None,
     ) -> List[Span]:
-        """All leftmost-longest non-overlapping ``(start, end)`` spans."""
+        """All leftmost-longest non-overlapping ``(start, end)`` spans.
+
+        ``prefilter`` controls the literal skip-ahead: ``None`` (default)
+        engages it whenever the analyzer produced a plan, ``False`` forces
+        the exact backward start pass (the two are span-identical — the
+        prefilter only over-approximates *candidate* starts; the emission
+        walk rejects the false ones).
+        """
         if num_chunks < 1:
             raise MatchEngineError("num_chunks must be >= 1")
         if kernel not in KERNELS:
@@ -174,8 +194,11 @@ class SpanEngine:
                 f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
             )
         classes = self.partition.translate(data)
-        ex = resolve_executor(executor, num_workers)
-        bits = self.start_bits(classes, num_chunks, ex, kernel)
+        if self.prefilter is not None and prefilter is not False:
+            bits = self.prefilter_bits(data, len(classes))
+        else:
+            ex = resolve_executor(executor, num_workers)
+            bits = self.start_bits(classes, num_chunks, ex, kernel)
         out, _ = self._emit(classes, bits, limit=limit)
         return out
 
@@ -205,6 +228,40 @@ class SpanEngine:
                 bits[:n] = rev_bits[::-1]
                 return bits
         bits[:n] = mask_scan(bdfa.table, bdfa.accept, bdfa.initial, rev)[::-1]
+        return bits
+
+    def prefilter_bits(self, data: Data, n: int) -> np.ndarray:
+        """Over-approximated start bits from literal occurrences (§3.9.3).
+
+        The plan claims every match places ``text`` at ``start + δ`` for
+        some ``δ ∈ [min_start, max_start]``, so the union over occurrences
+        ``o`` of ``[o - max_start, o - min_start]`` is a superset of the
+        true start set.  Feeding a superset into :meth:`_emit` is sound:
+        a false candidate start finds no accepting position and is
+        skipped; leftmost-longest selection and the cursor rule only ever
+        act on *real* matches, which all survive.  No automaton touches
+        the bytes between candidate sites — that is the entire win.
+        """
+        plan = self.prefilter
+        assert plan is not None
+        bits = np.zeros(n + 1, dtype=np.bool_)
+        # bytes/bytearray/mmap expose .find; anything else (rare) copies.
+        hay = data if hasattr(data, "find") else bytes(data)
+        needle = plan.text
+        lo_off, hi_off = plan.min_start, plan.max_start
+        # An occurrence before min_start cannot host a non-negative start.
+        i = hay.find(needle, lo_off)
+        if hi_off == lo_off:
+            anchored: List[int] = []
+            while i >= 0:
+                anchored.append(i - lo_off)
+                i = hay.find(needle, i + 1)
+            if anchored:
+                bits[np.asarray(anchored, dtype=np.int64)] = True
+        else:
+            while i >= 0:
+                bits[max(0, i - hi_off):i - lo_off + 1] = True
+                i = hay.find(needle, i + 1)
         return bits
 
     def alive_bits(self, classes: np.ndarray) -> np.ndarray:
@@ -324,7 +381,9 @@ class SpanEngine:
                     last = i + 1
                 elif f in dead:
                     break
-            if last < 0:  # pragma: no cover - start bits promise a match
+            if last < 0:
+                # Exact start bits promise a match; prefilter bits only
+                # promise a *candidate* — false positives land here.
                 pos = s + 1
                 continue
             out.append((s, last))

@@ -24,7 +24,7 @@ usual Nehalem/Westmere figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -115,12 +115,10 @@ class CacheHierarchy:
 
     def access(self, byte_addr: int) -> float:
         line = byte_addr // self.line_bytes
-        latency = 0.0
         for i, lv in enumerate(self.levels):
             if lv.lookup(line):
                 self.hits[i] += 1
                 return lv.hit_cycles
-            latency = lv.hit_cycles
         self.misses += 1
         return self.memory_cycles
 

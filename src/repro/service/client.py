@@ -103,7 +103,15 @@ class ServiceClient:
         return reply
 
     def _read_message(self) -> Tuple[Dict[str, Any], int]:
-        line = self._rfile.readline(MAX_HEADER_BYTES + 1)
+        try:
+            line = self._rfile.readline(MAX_HEADER_BYTES + 1)
+        except ConnectionError as e:
+            # A hard hangup (RST) must surface the same way a clean EOF
+            # does: the contract is "dead server -> ServiceError", never a
+            # raw socket exception.
+            raise ServiceError(
+                f"server closed the connection: {e}", kind="protocol"
+            ) from None
         if not line:
             raise ServiceError("server closed the connection", kind="protocol")
         if not line.endswith(b"\n"):
@@ -113,7 +121,13 @@ class ServiceClient:
     def _read_exact(self, n: int) -> bytes:
         out = bytearray()
         while len(out) < n:
-            chunk = self._rfile.read(n - len(out))
+            try:
+                chunk = self._rfile.read(n - len(out))
+            except ConnectionError as e:
+                raise ServiceError(
+                    f"server closed the connection mid-payload: {e}",
+                    kind="protocol",
+                ) from None
             if not chunk:
                 raise ServiceError(
                     "server closed the connection mid-payload", kind="protocol"
@@ -157,6 +171,30 @@ class ServiceClient:
                 "compile needs a pattern or rules", kind="bad-request"
             )
         return self.request(header)
+
+    def analyze(
+        self,
+        pattern: Optional[str] = None,
+        *,
+        rules: Optional[Rules] = None,
+        ignore_case: bool = False,
+        mode: str = "search",
+    ) -> Dict[str, Any]:
+        """Server-side static analysis (§3.9); returns the report dict
+        (the same schema ``repro analyze --json`` prints)."""
+        header: Dict[str, Any] = {"op": "analyze", "ignore_case": ignore_case}
+        if rules is not None:
+            header["rules"] = [
+                r if isinstance(r, str) else [r[0], bool(r[1])] for r in rules
+            ]
+            header["mode"] = mode
+        elif pattern is not None:
+            header["pattern"] = pattern
+        else:
+            raise ServiceError(
+                "analyze needs a pattern or rules", kind="bad-request"
+            )
+        return self.request(header)["report"]
 
     def match(
         self,

@@ -22,6 +22,12 @@ pipeline fixed requests over the same socket.  Error kinds:
 - ``"limit"``               — per-connection resource cap (open streams)
 - ``"shutdown"``            — server is draining
 
+Two control-plane replies carry structured analysis (DESIGN.md §3.9):
+``compile`` replies include an ``analysis`` summary (nullability, length
+bounds, DFA bound, prefilter plan, warning codes) next to ``sizes``, and
+the ``analyze`` op returns the full schema-versioned report under
+``report`` without compiling anything.
+
 Both the asyncio server and the blocking client read through the same
 :func:`parse_header` / :func:`encode_message` pair, so the framing cannot
 skew between the two sides.

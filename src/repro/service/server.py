@@ -2,8 +2,12 @@
 
 One long-lived process owns the compiled-artifact cache
 (:class:`~repro.service.cache.ArtifactCache`) and one warm chunk executor,
-and serves ``compile`` / ``match`` / ``scan`` / ``finditer`` /
-``multiscan`` requests plus stateful ``stream`` sessions over TCP.  The
+and serves ``compile`` / ``analyze`` / ``match`` / ``scan`` /
+``finditer`` / ``multiscan`` requests plus stateful ``stream`` sessions
+over TCP.  ``analyze`` runs the §3.9 static analysis (nothing compiled,
+nothing scanned) and ``compile`` replies carry a compact ``analysis``
+summary next to the stage sizes, so a client learns about blowup risk
+and prefilter plans from the op it already calls.  The
 asyncio loop only moves bytes and dispatches; every engine call runs on a
 bounded thread pool (NumPy kernels release the GIL, and the process
 executor's chunk scans run on worker processes), so slow scans never
@@ -43,6 +47,39 @@ from repro.service.protocol import (
 
 #: Per-connection cap on simultaneously open stream sessions.
 MAX_STREAMS_PER_CONNECTION = 64
+
+
+def _pattern_analysis(m) -> Dict[str, Any]:
+    """Compact §3.9 metadata for a single-pattern compile reply.
+
+    Computed from the already-parsed AST — no determinization, no scan —
+    so it rides along on every compile at parse-level cost.
+    """
+    from repro.analysis import analyze_ast
+
+    r = analyze_ast(m.ast, pattern=m.pattern, ignore_case=m.ignore_case)
+    return {
+        "nullable": r.facts.nullable,
+        "min_len": r.facts.min_len,
+        "max_len": r.facts.max_len,
+        "dfa_states_bound": r.facts.dfa_states_bound,
+        "prefilter": r.prefilter.to_dict() if r.prefilter else None,
+        "warnings": [w.code for w in r.warnings],
+    }
+
+
+def _ruleset_analysis(mps) -> Dict[str, Any]:
+    """Compact lint summary for a ruleset compile reply."""
+    from repro.analysis import analyze_ruleset
+
+    r = analyze_ruleset(
+        [(p, bool(f)) for p, f in zip(mps.patterns, mps.rule_flags)],
+        mode=mps.mode,
+    )
+    return {
+        "rules": len(r.rules),
+        "warnings": [w.code for w in r.all_warnings()],
+    }
 
 
 def _error_kind(exc: ReproError) -> str:
@@ -395,7 +432,9 @@ class MatchService:
             )
         return self.cache.get_pattern(pattern, bool(header.get("ignore_case")))
 
-    def _ruleset_of(self, header: Dict[str, Any]):
+    def _rule_sources(self, header: Dict[str, Any]):
+        """Validated ``(sources, flags, mode)`` from a rules header —
+        shared by the compiling ops and the compile-free ``analyze``."""
         rules = header.get("rules")
         if not isinstance(rules, list) or not rules:
             raise ServiceError(
@@ -422,6 +461,10 @@ class MatchService:
         mode = header.get("mode", "search")
         if mode not in ("search", "fullmatch"):
             raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
+        return sources, flags, mode
+
+    def _ruleset_of(self, header: Dict[str, Any]):
+        sources, flags, mode = self._rule_sources(header)
         return self.cache.get_ruleset(sources, flags, mode)
 
     def _knobs(self, header: Dict[str, Any]) -> Tuple[int, str]:
@@ -471,15 +514,45 @@ class MatchService:
             sizes = dict(value.sizes()) if "sfa" in stages else {
                 "rules": value.num_rules, "union_dfa": value.dfa.num_states,
             }
+            analysis = await self._in_thread(lambda: _ruleset_analysis(value))
         else:
             value, hit = await self._in_thread(lambda: self._pattern_of(header))
             sizes = {"min_dfa": value.min_dfa.num_states}
             if "sfa" in stages:
                 sizes["d_sfa"] = value.sfa.num_states
+            analysis = await self._in_thread(lambda: _pattern_analysis(value))
         built = await self._in_thread(
             lambda: self.cache.warm(value, stages, kernel)
         )
-        return {"ok": True, "cached": hit, "built": built, "sizes": sizes}
+        return {
+            "ok": True, "cached": hit, "built": built, "sizes": sizes,
+            "analysis": analysis,
+        }
+
+    async def _op_analyze(self, header, payload, streams, next_stream):
+        """Static §3.9 analysis of a pattern or ruleset: no compilation,
+        no cache interaction, no payload — a pure function of sources."""
+        from repro.analysis import analyze_pattern, analyze_ruleset
+
+        if "rules" in header:
+            sources, flags, mode = self._rule_sources(header)
+
+            def work():
+                report = analyze_ruleset(list(zip(sources, flags)), mode=mode)
+                return {"ok": True, "report": report.to_dict()}
+        else:
+            pattern = header.get("pattern")
+            if not isinstance(pattern, str):
+                raise ServiceError(
+                    "missing or non-string 'pattern' field", kind="bad-request"
+                )
+            fold = bool(header.get("ignore_case"))
+
+            def work():
+                report = analyze_pattern(pattern, ignore_case=fold)
+                return {"ok": True, "report": report.to_dict()}
+
+        return await self._in_thread(work)
 
     async def _op_match(self, header, payload, streams, next_stream):
         data = self._need_payload(payload)
@@ -646,6 +719,7 @@ class MatchService:
         "stats": _op_stats,
         "shutdown": _op_shutdown,
         "compile": _op_compile,
+        "analyze": _op_analyze,
         "match": _op_match,
         "scan": _op_scan,
         "finditer": _op_finditer,
