@@ -14,6 +14,8 @@ Quickstart
 True
 >>> m.fullmatch(b"abababab", engine="lockstep", num_chunks=4)
 True
+>>> m.fullmatch(b"abababab", plan="auto")  # §3.10 cost-model planner
+True
 >>> m.sizes()["d_sfa"]
 6
 
@@ -41,14 +43,30 @@ from repro.errors import (
 from repro.matching.engine import CompiledPattern, compile_pattern
 from repro.matching.multi import MultiPatternSet
 from repro.matching.stream import StreamingMultiSpanMatcher, StreamingSpanMatcher
+from repro.planning import (
+    AUTO,
+    Calibration,
+    CalibrationWarning,
+    Plan,
+    Planner,
+    get_planner,
+    resolve_plan,
+    run_calibration,
+    set_planner,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AUTO",
     "AutomatonError",
+    "Calibration",
+    "CalibrationWarning",
     "CompiledPattern",
     "MatchEngineError",
     "MultiPatternSet",
+    "Plan",
+    "Planner",
     "RegexSyntaxError",
     "ReproError",
     "ServiceError",
@@ -59,4 +77,8 @@ __all__ = [
     "UnsupportedFeatureError",
     "__version__",
     "compile_pattern",
+    "get_planner",
+    "resolve_plan",
+    "run_calibration",
+    "set_planner",
 ]

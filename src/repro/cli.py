@@ -18,6 +18,15 @@
     python -m repro serve --port 7320 --executor processes --cache-size 128
     python -m repro client match '(ab)*' input.bin --port 7320
     python -m repro client stream 'ERROR [0-9]+' server.log --block-size 4096
+    python -m repro calibrate            # persist kernel rates for --plan auto
+    python -m repro plan '(ab)*' --size 2000000 --warm --json
+
+Every scanning command defaults to ``--plan auto``: a cost model
+(DESIGN.md §3.10) picks engine/kernel/chunking from the input size,
+pattern analysis, core count and the rates persisted by ``repro
+calibrate``.  The explicit ``--engine/--chunks/--executor/--kernel``
+knobs still work and always override the plan; ``--plan off`` restores
+the fixed pre-planner defaults.
 
 ``grep`` is span-driven (DESIGN.md §3.7): files are mmapped (zero-copy),
 scanned **whole** with ``finditer``, and line numbers/matching lines are
@@ -146,20 +155,43 @@ def _cmd_sizes(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_match(args: argparse.Namespace) -> int:
-    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
-    data = _read_input(args.input)
+def _plan_and_knobs(args: argparse.Namespace, legacy_chunks: int = 8,
+                    legacy_engine: Optional[str] = None):
+    """Split strategy flags into a ``(plan, knobs)`` pair.
+
+    Under ``--plan auto`` (the default) only flags the user actually
+    passed become knobs — they override the planner (the back-compat
+    pin).  ``--plan off`` restores the exact pre-planner defaults by
+    filling the unset flags with their legacy values.
+    """
+    legacy = getattr(args, "plan", "auto") == "off"
     knobs = dict(
-        engine=args.engine,
         num_chunks=args.chunks,
-        executor=None if args.executor == "serial" else args.executor,
+        executor=args.executor,
         num_workers=args.workers,
         kernel=args.kernel,
     )
+    if hasattr(args, "engine"):
+        knobs["engine"] = args.engine
+    if not legacy:
+        return "auto", knobs
+    if knobs.get("engine") is None and legacy_engine is not None:
+        knobs["engine"] = legacy_engine
+    if knobs["num_chunks"] is None:
+        knobs["num_chunks"] = legacy_chunks
+    if knobs["kernel"] is None:
+        knobs["kernel"] = "python"
+    return None, knobs
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    data = _read_input(args.input)
+    plan, knobs = _plan_and_knobs(args, legacy_engine="lockstep")
     if args.contains:
-        ok = m.contains(data, **knobs)
+        ok = m.contains(data, plan=plan, **knobs)
     else:
-        ok = m.fullmatch(data, **knobs)
+        ok = m.fullmatch(data, plan=plan, **knobs)
     print("match" if ok else "no match")
     return 0 if ok else 1
 
@@ -230,15 +262,19 @@ def _grep_scan_file(m, path: str, args: argparse.Namespace):
     if b"\0" in bytes(memoryview(data)[:GREP_BINARY_SNIFF_BYTES]):
         return None
     engaged = len(arr) >= args.parallel_threshold
-    spans = m.span_engine().spans(
-        data,
-        num_chunks=args.chunks if engaged else 1,
-        executor=(None if args.executor == "serial" or not engaged
-                  else args.executor),
-        num_workers=args.workers,
-        kernel=args.kernel if engaged else "python",
-        prefilter=False if args.no_prefilter else None,
-    )
+    prefilter = False if args.no_prefilter else None
+    if not engaged:
+        # Below the crossover the chunked path cannot win: force the
+        # serial reference scan (and never consult the planner).
+        spans = m.span_engine().spans(
+            data, num_chunks=1, executor=None, num_workers=args.workers,
+            kernel="python", prefilter=prefilter,
+        )
+    else:
+        plan, knobs = _plan_and_knobs(args)
+        spans = m.span_engine().spans(
+            data, plan=plan, prefilter=prefilter, **knobs
+        )
     nl = np.flatnonzero(arr == 0x0A)
     # grep line count: a trailing newline terminates the last line rather
     # than opening an empty one.
@@ -302,7 +338,7 @@ def _cmd_grep(args: argparse.Namespace) -> int:
             return e
 
     def results():
-        if len(files) > 1 and args.executor == "serial":
+        if len(files) > 1 and args.executor in (None, "serial"):
             # Parallel file walker: scan files concurrently, print in walk
             # order.  With a chunk executor engaged the parallelism budget
             # is already spent inside each file, so files go one at a time.
@@ -402,13 +438,8 @@ def _cmd_save(args: argparse.Namespace) -> int:
 def _cmd_matchset(args: argparse.Namespace) -> int:
     mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
     data = _read_input(args.input)
-    hits = mps.matches(
-        data,
-        num_chunks=args.chunks,
-        executor=None if args.executor == "serial" else args.executor,
-        num_workers=args.workers,
-        kernel=args.kernel,
-    )
+    plan, knobs = _plan_and_knobs(args)
+    hits = mps.matches(data, plan=plan, **knobs)
     for i in sorted(hits):
         print(f"{i}:{mps.patterns[i]}")
     print(f"matched {len(hits)}/{mps.num_rules} rules")
@@ -539,7 +570,7 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         mode = "contains" if (op == "scan" or args.contains) else "fullmatch"
         ok = fn(
             args.pattern, data, mode=mode, ignore_case=args.ignore_case,
-            chunks=args.chunks, kernel=args.kernel,
+            chunks=args.chunks, kernel=args.kernel, plan=args.plan,
         )
         print("match" if ok else "no match")
         return 0 if ok else 1
@@ -547,7 +578,8 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         data = bytes(memoryview(_read_input(args.input)))
         spans = c.finditer(
             args.pattern, data, ignore_case=args.ignore_case,
-            chunks=args.chunks, kernel=args.kernel, limit=args.limit,
+            chunks=args.chunks, kernel=args.kernel, plan=args.plan,
+            limit=args.limit,
         )
         for s, e in spans:
             print(f"{s}:{e}:{data[s:e].decode('latin-1')}")
@@ -557,6 +589,7 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         rules = _client_rules(args)
         hits = c.multiscan(
             rules, data, chunks=args.chunks, kernel=args.kernel,
+            plan=args.plan,
         )
         for i in hits:
             print(f"{i}:{rules[i][0]}")
@@ -581,7 +614,7 @@ def _client_stream(c, args: argparse.Namespace) -> int:
     if args.rules_file is not None:
         stream = c.open_stream(
             rules=_client_rules(args), kind="multi",
-            chunks=args.chunks, kernel=args.kernel,
+            chunks=args.chunks, kernel=args.kernel, plan=args.plan,
         )
     else:
         if args.pattern is None:
@@ -610,6 +643,76 @@ def _format_stream_item(kind: str, item) -> str:
     return f"rule {item}"
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Measure this machine's kernel rates and persist them (§3.10).
+
+    The one command that *writes* the calibration file; every planner is
+    a pure reader.  Safe to re-run any time — the file is replaced
+    atomically and running planners pick it up on their next plan.
+    """
+    import json
+
+    from repro.planning.calibration import run_calibration, save_calibration
+
+    cal = run_calibration(
+        sample_bytes=args.sample_bytes,
+        repeat=args.repeat,
+        measure_executors=not args.no_executors,
+    )
+    path = save_calibration(cal)
+    if args.json:
+        print(json.dumps(
+            {"path": str(path), **cal.to_dict()}, indent=2, sort_keys=True
+        ))
+        return 0
+    print(f"wrote calibration to {path}")
+    width = max(len(k) for k in cal.mb_per_s)
+    for k in sorted(cal.mb_per_s):
+        print(f"  {k.ljust(width)}  {cal.mb_per_s[k]:10.2f} MB/s")
+    for k in sorted(cal.dispatch_ms):
+        print(f"  {k.ljust(width)}  {cal.dispatch_ms[k]:10.3f} ms dispatch")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Dry-run the planner: what would ``plan="auto"`` choose and why.
+
+    ``--json`` dumps the plan plus the calibration provenance — CI uses
+    it to assert that a ``repro calibrate`` run is actually being reused
+    (``calibration.source == "measured"``).
+    """
+    import json
+
+    from repro.planning.calibration import calibration_path, get_calibration
+    from repro.planning.planner import get_planner
+
+    m = compile_pattern(args.pattern, ignore_case=args.ignore_case)
+    if args.warm:
+        m.sfa  # build the scan artifacts so the plan is the steady-state one
+        m.span_engine()
+    p = get_planner().plan(args.task, args.size, subject=m)
+    cal = get_calibration()
+    if args.json:
+        print(json.dumps(
+            {
+                "plan": p.to_dict(),
+                "task": args.task,
+                "size": args.size,
+                "calibration": {
+                    "source": cal.source,
+                    "path": str(calibration_path()),
+                    "cpu_count": cal.cpu_count,
+                },
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(p.summary())
+        print(p.reason)
+        print(f"calibration: {cal.source}")
+    return 0
+
+
 def _cmd_ruleset(args: argparse.Namespace) -> int:
     from repro.workloads.snort import generate_ruleset
 
@@ -627,15 +730,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_engine_knobs(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--chunks", type=int, default=8,
-                       help="parallel chunk count (the paper's p)")
+        p.add_argument(
+            "--plan", choices=["auto", "off"], default="auto",
+            help="execution-strategy source: 'auto' (default) picks "
+            "engine/kernel/chunking from the §3.10 cost model (input "
+            "size, pattern analysis, cores, persisted 'repro calibrate' "
+            "rates); 'off' restores the fixed pre-planner defaults. "
+            "Explicit knob flags below always override the plan.",
+        )
+        p.add_argument("--chunks", type=int, default=None,
+                       help="parallel chunk count (the paper's p) "
+                       "(legacy knob; overrides --plan auto)")
         p.add_argument(
             "--executor",
             choices=["serial", "threads", "processes"],
-            default="serial",
+            default=None,
             help="chunk-dispatch backend for the chunked engines; "
             "'processes' runs chunk scans on real cores with "
-            "shared-memory transition tables",
+            "shared-memory transition tables "
+            "(legacy knob; overrides --plan auto)",
         )
         p.add_argument("--workers", type=int, default=None,
                        help="pool size for threads/processes "
@@ -643,10 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--kernel",
             choices=["python", "stride2", "stride4", "vector"],
-            default="python",
+            default=None,
             help="chunk-scan kernel: stride2/stride4 precompose the "
             "table over 2-/4-grams (largest affordable stride under "
-            "the byte budget), vector block-composes mappings in NumPy",
+            "the byte budget), vector block-composes mappings in NumPy "
+            "(legacy knob; overrides --plan auto)",
         )
 
     def add_common(p: argparse.ArgumentParser, with_input: bool = False) -> None:
@@ -657,7 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--engine",
                 choices=["dfa", "speculative", "sfa", "lockstep"],
-                default="lockstep",
+                default=None,
+                help="acceptance engine (legacy knob; overrides --plan "
+                "auto; --plan off defaults to lockstep)",
             )
             add_engine_knobs(p)
 
@@ -801,12 +917,20 @@ def build_parser() -> argparse.ArgumentParser:
     csub = p.add_subparsers(dest="cop", required=True, metavar="op")
 
     def add_client_knobs(cp: argparse.ArgumentParser) -> None:
-        cp.add_argument("--chunks", type=int, default=1,
-                        help="chunk-parallel scan width on the server")
+        cp.add_argument(
+            "--plan", choices=["auto", "off"], default=None,
+            help="ask the server to plan the scan ('auto': its §3.10 "
+            "cost model; 'off'/omitted: the op's legacy defaults)",
+        )
+        cp.add_argument("--chunks", type=int, default=None,
+                        help="chunk-parallel scan width on the server "
+                        "(legacy knob; overrides --plan auto)")
         cp.add_argument(
             "--kernel",
             choices=["python", "stride2", "stride4", "vector"],
-            default="python",
+            default=None,
+            help="server-side scan kernel "
+            "(legacy knob; overrides --plan auto)",
         )
 
     csub.add_parser("ping", help="liveness probe")
@@ -863,6 +987,42 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bytes per feed block")
     add_client_knobs(cp)
     p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this machine's kernel rates and persist them for "
+        "the --plan auto cost model (the only command that writes the "
+        "calibration file)",
+    )
+    p.add_argument("--sample-bytes", type=int, default=1 << 20,
+                   help="synthetic workload size per kernel measurement")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="best-of repetitions per measurement")
+    p.add_argument("--no-executors", action="store_true",
+                   help="skip the thread/process dispatch-overhead probes")
+    p.add_argument("--json", action="store_true",
+                   help="print the written calibration as JSON")
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser(
+        "plan",
+        help="dry-run the --plan auto cost model: print the chosen "
+        "strategy and its rationale without scanning anything",
+    )
+    p.add_argument("pattern", help="regular expression")
+    p.add_argument("-i", "--ignore-case", action="store_true")
+    p.add_argument("--task", default="fullmatch",
+                   choices=["fullmatch", "contains", "spans", "multi",
+                            "stream"],
+                   help="scan kind to plan for")
+    p.add_argument("--size", type=int, default=1 << 20,
+                   help="input length in bytes the plan is for")
+    p.add_argument("--warm", action="store_true",
+                   help="build the pattern's scan artifacts first, so the "
+                   "plan is the steady-state (amortized) one")
+    p.add_argument("--json", action="store_true",
+                   help="dump plan + calibration provenance as JSON")
+    p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("ruleset", help="emit a synthetic SNORT-like ruleset")
     p.add_argument("--rules", type=int, default=20)

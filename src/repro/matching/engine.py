@@ -22,18 +22,23 @@ from repro.automata.dfa import DFA, minimize, subset_construction
 from repro.automata.lazy import LazyDFA, LazySFA
 from repro.automata.nfa import NFA, glushkov_nfa
 from repro.automata.sfa import SFA, correspondence_construction
-from repro.errors import MatchEngineError
+from repro.errors import MatchEngineError, StateExplosionError
 from repro.matching.lockstep import lockstep_run
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.matching.sequential import SequentialDFAMatcher
 from repro.matching.speculative import speculative_run
-from repro.parallel.executor import resolve_executor
+from repro.parallel.executor import ChunkExecutor
+from repro.planning.plan import Plan, PlanArg, resolve_plan
 from repro.regex.ast import Concat, Literal, Node, Star
 from repro.regex.charclass import ByteClassPartition, CharSet
 from repro.regex.parser import parse
 
 DEFAULT_MAX_DFA_STATES = 100_000
 DEFAULT_MAX_SFA_STATES = 2_000_000
+
+#: Legacy default strategy of :meth:`CompiledPattern.contains` (pre-planner
+#: behaviour when ``plan=None`` and no knobs are passed).
+_CONTAINS_DEFAULTS = Plan(engine="lockstep", num_chunks=8)
 
 
 class CompiledPattern:
@@ -71,6 +76,7 @@ class CompiledPattern:
         self._nsfa: Optional[SFA] = None
         self._search: Optional["CompiledPattern"] = None
         self._spans = None  # SpanEngine, built on first find/finditer
+        self._facts = None  # PatternFacts, built on first facts()/auto plan
 
     # -- pipeline stages -------------------------------------------------
     @property
@@ -120,6 +126,15 @@ class CompiledPattern:
         """A fresh on-the-fly D-SFA over the minimal DFA."""
         return LazySFA(self.min_dfa)
 
+    def facts(self):
+        """Static analysis facts of the pattern (cached; the planner's
+        pattern-structure input — DESIGN.md §3.9/§3.10)."""
+        if self._facts is None:
+            from repro.analysis.facts import compute_facts
+
+            self._facts = compute_facts(self.ast, partition=self.partition)
+        return self._facts
+
     # -- matching -----------------------------------------------------------
     def translate(self, data: Union[bytes, bytearray, memoryview]) -> np.ndarray:
         """Byte→class translation of an input (vectorized, zero-copy)."""
@@ -129,80 +144,132 @@ class CompiledPattern:
         self,
         data: Union[bytes, bytearray, memoryview],
         *,
-        engine: str = "dfa",
-        num_chunks: int = 1,
-        reduction: str = "sequential",
+        plan: PlanArg = None,
+        engine: Optional[str] = None,
+        num_chunks: Optional[int] = None,
+        reduction: Optional[str] = None,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
     ) -> bool:
         """Whole-input membership test ``data ∈ L(pattern)``.
 
-        ``engine`` ∈ {"dfa", "speculative", "sfa", "lockstep"}; ``dfa`` is
-        Algorithm 2, ``speculative`` Algorithm 3, ``sfa`` Algorithm 5 and
-        ``lockstep`` its vectorized form.  ``num_chunks`` is the paper's
-        thread count ``p``.
+        ``plan`` selects the whole execution strategy at once: ``None``
+        (the legacy default — Algorithm 2 on the minimal DFA), ``"auto"``
+        (the §3.10 cost model picks engine/kernel/chunking from input
+        length, pattern facts, core count and calibration), or an explicit
+        :class:`~repro.planning.plan.Plan`.
 
-        ``executor`` picks the chunk-dispatch backend for the chunked
-        engines (``"sfa"``/``"speculative"``): ``None`` (serial), a backend
-        name in {"serial", "threads", "processes"} — resolved to a warm
-        process-wide pool of ``num_workers`` workers — or any
-        :class:`~repro.parallel.executor.ChunkExecutor` instance.  The
-        single-scan engines (``"dfa"``, ``"lockstep"``) ignore it.
+        The legacy knobs remain accepted and, when passed explicitly,
+        override the corresponding plan field (back-compat pin):
 
-        ``kernel`` ∈ {"python", "stride2", "stride4", "vector"} picks the
-        chunk-scan kernel (DESIGN.md §3.5) for the ``speculative``, ``sfa``
-        and ``lockstep`` engines; the stride kernels precompose the
-        transition table over 2-/4-grams (budget-permitting) so each
-        lookup consumes several symbols.  ``"dfa"`` ignores it (Algorithm 2
-        is the paper's scalar baseline).
+        * ``engine`` ∈ {"dfa", "speculative", "sfa", "lockstep"} — ``dfa``
+          is Algorithm 2, ``speculative`` Algorithm 3, ``sfa`` Algorithm 5
+          and ``lockstep`` its vectorized form; ``num_chunks`` is the
+          paper's thread count ``p``;
+        * ``executor`` — chunk-dispatch backend for the chunked engines
+          (``"sfa"``/``"speculative"``): ``None`` (serial), a backend name
+          in {"serial", "threads", "processes"} — resolved to a warm
+          process-wide pool of ``num_workers`` workers — or any
+          :class:`~repro.parallel.executor.ChunkExecutor` instance.  The
+          single-scan engines (``"dfa"``, ``"lockstep"``) ignore it;
+        * ``kernel`` ∈ {"python", "stride2", "stride4", "vector"} — the
+          chunk-scan kernel (DESIGN.md §3.5) for the ``speculative``,
+          ``sfa`` and ``lockstep`` engines; the stride kernels precompose
+          the transition table over 2-/4-grams (budget-permitting) so each
+          lookup consumes several symbols.  ``"dfa"`` ignores it
+          (Algorithm 2 is the paper's scalar baseline).
+
+        Results are plan-invariant: every resolution scans the same
+        automata and returns the same verdict.
         """
         classes = self.translate(data)
-        if engine == "dfa":
+        p = resolve_plan(
+            plan, "fullmatch", len(classes), subject=self,
+            engine=engine, num_chunks=num_chunks, reduction=reduction,
+            executor=executor, num_workers=num_workers, kernel=kernel,
+        )
+        return self._run_plan(
+            p, classes,
+            executor if isinstance(executor, ChunkExecutor) else None,
+        )
+
+    def _run_plan(
+        self,
+        p: Plan,
+        classes: np.ndarray,
+        ex_instance: Optional[ChunkExecutor] = None,
+    ) -> bool:
+        """Execute a resolved acceptance plan over translated input.
+
+        ``ex_instance`` carries a caller-supplied executor *object* (plans
+        only hold backend names).  Plans the cost model chose itself fall
+        back to the serial DFA walk if the D-SFA construction blows its
+        state budget — an auto plan must never fail where the python
+        baseline succeeds.
+        """
+        try:
+            if p.engine == "dfa":
+                return bool(
+                    self.min_dfa.accept[
+                        SequentialDFAMatcher(self.min_dfa).run_classes(classes)
+                    ]
+                )
+            # Resolve lazily: the single-scan engines must not spin up a pool.
+            if p.engine == "speculative":
+                return speculative_run(
+                    self.min_dfa, classes, p.num_chunks, p.reduction,
+                    ex_instance or p.resolve_executor(), p.kernel,
+                ).accepted
+            if p.engine == "sfa":
+                return parallel_sfa_run(
+                    self.sfa, classes, p.num_chunks, p.reduction,
+                    ex_instance or p.resolve_executor(), p.kernel,
+                ).accepted
+            if p.engine == "lockstep":
+                return lockstep_run(
+                    self.sfa, classes, p.num_chunks, p.kernel
+                ).accepted
+        except StateExplosionError:
+            if p.source != "auto":
+                raise
             return bool(
                 self.min_dfa.accept[
                     SequentialDFAMatcher(self.min_dfa).run_classes(classes)
                 ]
             )
-        # Resolve lazily: the single-scan engines must not spin up a pool.
-        if engine == "speculative":
-            return speculative_run(
-                self.min_dfa, classes, num_chunks, reduction,
-                resolve_executor(executor, num_workers), kernel,
-            ).accepted
-        if engine == "sfa":
-            return parallel_sfa_run(
-                self.sfa, classes, num_chunks, reduction,
-                resolve_executor(executor, num_workers), kernel,
-            ).accepted
-        if engine == "lockstep":
-            return lockstep_run(self.sfa, classes, num_chunks, kernel).accepted
-        raise MatchEngineError(f"unknown engine {engine!r}")
+        raise MatchEngineError(f"unknown engine {p.engine!r}")
 
     def contains(
         self,
         data: Union[bytes, bytearray, memoryview],
         *,
-        engine: str = "lockstep",
-        num_chunks: int = 8,
+        plan: PlanArg = None,
+        engine: Optional[str] = None,
+        num_chunks: Optional[int] = None,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
     ) -> bool:
         """Substring-search semantics: does any substring match?
 
         Implemented as membership in ``Σ* · L · Σ*`` (the IDS use case —
         SNORT rules are matched against packet payloads this way).  The
-        ``executor``/``num_workers``/``kernel`` knobs are forwarded to
-        :meth:`fullmatch`.
+        plan/knob semantics match :meth:`fullmatch`; the legacy default is
+        the lockstep engine with 8 chunks, and auto plans are costed
+        against the containment automaton (the one actually scanned).
         """
-        return self.search_pattern().fullmatch(
-            data,
-            engine=engine,
-            num_chunks=num_chunks,
-            executor=executor,
-            num_workers=num_workers,
-            kernel=kernel,
+        sp = self.search_pattern()
+        classes = sp.translate(data)
+        p = resolve_plan(
+            plan, "contains", len(classes), subject=sp,
+            defaults=_CONTAINS_DEFAULTS,
+            engine=engine, num_chunks=num_chunks,
+            executor=executor, num_workers=num_workers, kernel=kernel,
+        )
+        return sp._run_plan(
+            p, classes,
+            executor if isinstance(executor, ChunkExecutor) else None,
         )
 
     def search_pattern(self) -> "CompiledPattern":
@@ -224,26 +291,28 @@ class CompiledPattern:
         self,
         data: Union[bytes, bytearray, memoryview],
         *,
-        num_chunks: int = 1,
+        plan: PlanArg = None,
+        num_chunks: Optional[int] = None,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
         prefilter: Optional[bool] = None,
     ):
         """Iterate the leftmost-longest non-overlapping ``(start, end)``
         spans of the pattern in ``data`` (DESIGN.md §3.7).
 
-        ``num_chunks``/``executor``/``num_workers``/``kernel`` parallelize
-        the whole-input start pass exactly as in :meth:`fullmatch`; spans
-        are invariant under all of them.  ``prefilter=False`` disables the
-        literal skip-ahead (§3.9.3); spans are invariant under that too.
-        Semantics match ``re.finditer`` except that alternation resolves
-        to the *longest* branch (POSIX leftmost-longest) rather than the
-        first.
+        ``plan`` resolves exactly as in :meth:`fullmatch`; the legacy
+        knobs ``num_chunks``/``executor``/``num_workers``/``kernel``
+        parallelize the whole-input start pass and override the plan when
+        passed.  Spans are invariant under all of them.
+        ``prefilter=False`` disables the literal skip-ahead (§3.9.3);
+        spans are invariant under that too.  Semantics match
+        ``re.finditer`` except that alternation resolves to the *longest*
+        branch (POSIX leftmost-longest) rather than the first.
         """
         return iter(
             self.span_engine().spans(
-                data, num_chunks=num_chunks, executor=executor,
+                data, plan=plan, num_chunks=num_chunks, executor=executor,
                 num_workers=num_workers, kernel=kernel, prefilter=prefilter,
             )
         )
@@ -312,6 +381,7 @@ class _SearchPattern(CompiledPattern):
         self._sfa = None
         self._nsfa = None
         self._spans = None
+        self._facts = None
         self._search = self  # searching a search pattern is idempotent
 
 

@@ -40,12 +40,9 @@ from repro.errors import MatchEngineError, StateExplosionError
 from repro.matching.lockstep import lockstep_run
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.parallel.chunking import clamp_chunks
-from repro.parallel.executor import (
-    EXECUTOR_NAMES,
-    ChunkExecutor,
-    resolve_executor,
-)
-from repro.parallel.scan import KERNELS, scan_block
+from repro.parallel.executor import ChunkExecutor
+from repro.parallel.scan import scan_block
+from repro.planning.plan import Plan, PlanArg, resolve_plan
 from repro.regex.ast import Concat, Literal, Star
 from repro.regex.charclass import ByteClassPartition, CharSet
 from repro.regex.parser import parse
@@ -59,6 +56,10 @@ DEFAULT_STRIDE_BUDGET = 32 << 20
 
 #: A rule is a plain regex source, or a ``(pattern, ignore_case)`` pair.
 Rule = Union[str, Tuple[str, bool]]
+
+#: Legacy default strategy of the ruleset scan entry points: one serial
+#: chunk over the union DFA (pre-planner behaviour with no knobs).
+_MULTI_DEFAULTS = Plan(engine="lockstep", num_chunks=1)
 
 
 def _normalize_rules(
@@ -238,48 +239,77 @@ class MultiPatternSet:
         }
 
     # -- matching ------------------------------------------------------------
+    def _resolve(
+        self,
+        plan: PlanArg,
+        n: int,
+        num_chunks: Optional[int],
+        executor,
+        num_workers: Optional[int],
+        kernel: Optional[str],
+    ) -> Tuple[Plan, Optional[ChunkExecutor]]:
+        """One boundary conversion for every scan entry point: fold the
+        legacy knobs into a :class:`Plan`, keeping a caller-supplied
+        executor *instance* alongside (plans hold backend names only)."""
+        ex_instance = executor if isinstance(executor, ChunkExecutor) else None
+        p = resolve_plan(
+            plan, "multi", n, subject=self,
+            defaults=_MULTI_DEFAULTS,
+            num_chunks=num_chunks,
+            executor=None if ex_instance is not None else executor,
+            num_workers=num_workers, kernel=kernel,
+        )
+        return p, ex_instance
+
     def matches(
         self,
         data: bytes,
-        num_chunks: int = 1,
+        num_chunks: Optional[int] = None,
         *,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
     ) -> Set[int]:
         """Indices of all rules matching ``data``.
 
-        ``num_chunks > 1`` runs Algorithm 5 on the union D-SFA — lockstep
-        (vectorized) when no executor is given, or per-chunk scans
-        dispatched through ``executor`` (``"serial"``/``"threads"``/
-        ``"processes"`` or a :class:`~repro.parallel.executor.ChunkExecutor`
-        instance; the process backend publishes the union table over
-        shared memory once).  ``kernel`` picks the scan kernel; serial
-        scans use the largest affordable precomposed stride table of the
-        union DFA.  The result is chunking- and backend-invariant.
+        ``plan`` resolves the scan strategy (``None`` = serial legacy
+        default, ``"auto"`` = cost model, explicit
+        :class:`~repro.planning.plan.Plan`); explicit legacy knobs
+        override it.  ``num_chunks > 1`` runs Algorithm 5 on the union
+        D-SFA — lockstep (vectorized) when no executor is given, or
+        per-chunk scans dispatched through ``executor`` (``"serial"``/
+        ``"threads"``/``"processes"`` or a
+        :class:`~repro.parallel.executor.ChunkExecutor` instance; the
+        process backend publishes the union table over shared memory
+        once).  ``kernel`` picks the scan kernel; serial scans use the
+        largest affordable precomposed stride table of the union DFA.
+        The result is chunking- and backend-invariant.
         """
-        q = self._final_origin_state(
-            self.partition.translate(data), num_chunks, executor, num_workers,
-            kernel,
+        classes = self.partition.translate(data)
+        p, ex = self._resolve(
+            plan, len(classes), num_chunks, executor, num_workers, kernel
         )
+        q = self._final_origin_state(classes, p, ex)
         return set(self.rule_sets[q])
 
     def matches_any(
         self,
         data: bytes,
-        num_chunks: int = 1,
+        num_chunks: Optional[int] = None,
         *,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
     ) -> bool:
         """Does any rule match?  (cheapest verdict; same knobs as
         :meth:`matches`)"""
-        q = self._final_origin_state(
-            self.partition.translate(data), num_chunks, executor, num_workers,
-            kernel,
+        classes = self.partition.translate(data)
+        p, ex = self._resolve(
+            plan, len(classes), num_chunks, executor, num_workers, kernel
         )
-        return bool(self._dfa.accept[q])
+        return bool(self._dfa.accept[self._final_origin_state(classes, p, ex)])
 
     def rule_literal(self, rule: int) -> Optional[bytes]:
         """The longest byte string every match of ``rule`` must contain.
@@ -349,11 +379,12 @@ class MultiPatternSet:
     def finditer(
         self,
         data: bytes,
-        num_chunks: int = 1,
+        num_chunks: Optional[int] = None,
         *,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
     ) -> List[Tuple[int, int, int]]:
         """Leftmost-longest ``(rule, start, end)`` spans for every rule.
 
@@ -374,7 +405,7 @@ class MultiPatternSet:
         if self.mode == "search":
             hits = self.matches(
                 data, num_chunks, executor=executor, num_workers=num_workers,
-                kernel=kernel,
+                kernel=kernel, plan=plan,
             )
             hit_rules: Sequence[int] = sorted(hits.intersection(survivors))
         else:
@@ -390,11 +421,12 @@ class MultiPatternSet:
     def scan_chunked(
         self,
         data: bytes,
-        num_chunks: int,
+        num_chunks: Optional[int] = None,
         *,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
     ) -> Set[int]:
         """Algorithm 5 with explicit per-chunk scans (thread-shaped).
 
@@ -406,9 +438,12 @@ class MultiPatternSet:
         ``matches(data, num_chunks)`` for every backend and kernel.
         """
         classes = self.partition.translate(data)
+        p, ex = self._resolve(
+            plan, len(classes), num_chunks, executor, num_workers, kernel
+        )
         res = parallel_sfa_run(
-            self.sfa, classes, num_chunks, "sequential",
-            resolve_executor(executor, num_workers), kernel,
+            self.sfa, classes, p.num_chunks, p.reduction,
+            ex or p.resolve_executor(), p.kernel,
             stride_budget=self.stride_budget,
         )
         return set(self.rule_sets[res.final_states[0]])
@@ -417,39 +452,23 @@ class MultiPatternSet:
     def _final_origin_state(
         self,
         classes: np.ndarray,
-        num_chunks: int,
-        executor,
-        num_workers: Optional[int],
-        kernel: str,
+        plan: Plan,
+        ex_instance: Optional[ChunkExecutor] = None,
     ) -> int:
-        """Union-DFA state reached on ``classes`` under any scan plan."""
-        if kernel not in KERNELS:
-            raise MatchEngineError(
-                f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
-            )
-        # Validate the executor argument up front (without spinning up a
-        # pool), so a misconfigured value fails on every input length —
-        # not only once the payload is long enough to skip the p==1 path.
-        if isinstance(executor, str):
-            if executor not in EXECUTOR_NAMES:
-                raise MatchEngineError(
-                    f"unknown executor {executor!r} "
-                    f"(choose from {', '.join(EXECUTOR_NAMES)})"
-                )
-        elif executor is not None and not isinstance(executor, ChunkExecutor):
-            raise MatchEngineError(f"not an executor: {executor!r}")
-        p = clamp_chunks(len(classes), num_chunks)
+        """Union-DFA state reached on ``classes`` under a resolved plan."""
+        p = clamp_chunks(len(classes), plan.num_chunks)
         if p == 1:
             # One chunk gains nothing from a pool, and the serial DFA walk
             # avoids building the (much larger) union D-SFA entirely.
-            return self._serial_scan(classes, kernel)
-        ex = resolve_executor(executor, num_workers)
+            return self._serial_scan(classes, plan.kernel)
+        ex = ex_instance or plan.resolve_executor()
         if ex is None:
             return lockstep_run(
-                self.sfa, classes, p, kernel, stride_budget=self.stride_budget
+                self.sfa, classes, p, plan.kernel,
+                stride_budget=self.stride_budget,
             ).final_states[0]
         res = parallel_sfa_run(
-            self.sfa, classes, p, "sequential", ex, kernel,
+            self.sfa, classes, p, plan.reduction, ex, plan.kernel,
             stride_budget=self.stride_budget,
         )
         return res.final_states[0]

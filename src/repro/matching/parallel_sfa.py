@@ -25,7 +25,12 @@ from repro.parallel.reduction import (
     tree_reduction_transformations,
 )
 from repro.parallel.scan import KERNELS, sfa_scan
+from repro.planning.plan import Plan, resolve_plan
 from repro.regex.charclass import pack_stride
+
+#: Legacy defaults of a bare ``parallel_sfa_run`` call: one chunk,
+#: sequential reduction, per-byte python kernel.
+_RUN_DEFAULTS = Plan(engine="sfa")
 
 
 def sfa_chunk_scan(table: np.ndarray, initial: int, classes: np.ndarray) -> int:
@@ -52,13 +57,19 @@ class ParallelSFARunResult:
 def parallel_sfa_run(
     sfa: SFA,
     classes: np.ndarray,
-    num_chunks: int,
-    reduction: str = "sequential",
+    num_chunks: Optional[int] = None,
+    reduction: Optional[str] = None,
     executor: Optional[ChunkExecutor] = None,
-    kernel: str = "python",
+    kernel: Optional[str] = None,
     stride_budget: Optional[int] = None,
+    plan=None,
 ) -> ParallelSFARunResult:
     """Full Algorithm 5.
+
+    ``plan`` bundles the strategy knobs (``"auto"`` asks the §3.10 cost
+    model, costed against the SFA being scanned); explicitly-passed
+    legacy knobs override it, and with no plan the legacy defaults apply
+    (one chunk, sequential reduction, python kernel).
 
     ``reduction`` ∈ {"sequential", "tree"}; ``executor`` controls how chunk
     scans are dispatched — serial by default, a thread pool for the paper's
@@ -75,13 +86,16 @@ def parallel_sfa_run(
     ``num_chunks`` is clamped to the symbol count so no empty chunk is
     ever dispatched.
     """
-    if num_chunks < 1:
-        raise MatchEngineError("num_chunks must be >= 1")
-    if kernel not in KERNELS:
-        raise MatchEngineError(
-            f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
-        )
-    executor = executor or SerialExecutor()
+    ex_instance = executor if isinstance(executor, ChunkExecutor) else None
+    p = resolve_plan(
+        plan, "fullmatch", len(classes), subject=sfa,
+        defaults=_RUN_DEFAULTS,
+        num_chunks=num_chunks, reduction=reduction,
+        executor=None if ex_instance is not None else executor,
+        kernel=kernel,
+    )
+    num_chunks, reduction, kernel = p.num_chunks, p.reduction, p.kernel
+    executor = ex_instance or p.resolve_executor() or SerialExecutor()
     st = None
     if kernel in ("stride2", "stride4"):
         st = best_stride_table(

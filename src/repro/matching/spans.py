@@ -78,11 +78,10 @@ from repro.automata.dfa import DFA, minimize, subset_construction
 from repro.automata.nfa import NFA, glushkov_nfa
 from repro.automata.sfa import SFA, correspondence_construction
 from repro.automata.stride import best_stride_table
-from repro.errors import MatchEngineError, StateExplosionError
+from repro.errors import StateExplosionError
 from repro.parallel.chunking import clamp_chunks, split_balanced
-from repro.parallel.executor import SerialExecutor, resolve_executor
+from repro.parallel.executor import ChunkExecutor, SerialExecutor
 from repro.parallel.scan import (
-    KERNELS,
     _accept_flat,
     _scaled_flat,
     mask_scan,
@@ -172,33 +171,42 @@ class SpanEngine:
         self,
         data: Data,
         *,
-        num_chunks: int = 1,
+        plan=None,
+        num_chunks: Optional[int] = None,
         executor=None,
         num_workers: Optional[int] = None,
-        kernel: str = "python",
+        kernel: Optional[str] = None,
         limit: Optional[int] = None,
         prefilter: Optional[bool] = None,
     ) -> List[Span]:
         """All leftmost-longest non-overlapping ``(start, end)`` spans.
 
-        ``prefilter`` controls the literal skip-ahead: ``None`` (default)
-        engages it whenever the analyzer produced a plan, ``False`` forces
-        the exact backward start pass (the two are span-identical — the
-        prefilter only over-approximates *candidate* starts; the emission
-        walk rejects the false ones).
+        ``plan`` resolves as everywhere else (``None`` = the legacy serial
+        defaults, ``"auto"`` = the §3.10 cost model, or an explicit
+        :class:`~repro.planning.plan.Plan`); explicitly-passed legacy
+        knobs override the plan.  ``prefilter`` controls the literal
+        skip-ahead: ``None`` (default) engages it whenever the analyzer
+        produced a plan, ``False`` forces the exact backward start pass
+        (the two are span-identical — the prefilter only over-approximates
+        *candidate* starts; the emission walk rejects the false ones).
         """
-        if num_chunks < 1:
-            raise MatchEngineError("num_chunks must be >= 1")
-        if kernel not in KERNELS:
-            raise MatchEngineError(
-                f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
-            )
+        from repro.planning.plan import resolve_plan
+
+        p = resolve_plan(
+            plan, "spans", len(data), subject=self.pattern,
+            num_chunks=num_chunks, executor=executor,
+            num_workers=num_workers, kernel=kernel, prefilter=prefilter,
+        )
         classes = self.partition.translate(data)
-        if self.prefilter is not None and prefilter is not False:
+        if self.prefilter is not None and p.prefilter is not False:
             bits = self.prefilter_bits(data, len(classes))
         else:
-            ex = resolve_executor(executor, num_workers)
-            bits = self.start_bits(classes, num_chunks, ex, kernel)
+            ex = (
+                executor
+                if isinstance(executor, ChunkExecutor)
+                else p.resolve_executor()
+            )
+            bits = self.start_bits(classes, p.num_chunks, ex, p.kernel)
         out, _ = self._emit(classes, bits, limit=limit)
         return out
 

@@ -33,14 +33,15 @@ Five cursor flavours:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Set, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from repro.automata.sfa import SFA
 from repro.errors import MatchEngineError
 from repro.matching.lockstep import lockstep_run
-from repro.parallel.scan import KERNELS, scan_block
+from repro.parallel.scan import scan_block
+from repro.planning.plan import Plan, PlanArg, resolve_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.matching.multi import MultiPatternSet
@@ -51,11 +52,16 @@ Block = Union[bytes, bytearray, memoryview]
 class StreamMatcher:
     """Online membership cursor over a fixed SFA."""
 
-    def __init__(self, sfa: SFA, kernel: str = "python"):
-        if kernel not in KERNELS:
-            raise MatchEngineError(f"unknown kernel {kernel!r}")
+    def __init__(
+        self, sfa: SFA, kernel: Optional[str] = None, plan: PlanArg = None,
+    ):
+        p = resolve_plan(
+            plan, "stream", -1, subject=sfa,
+            defaults=Plan(engine="sfa"), kernel=kernel,
+        )
         self.sfa = sfa
-        self.kernel = kernel
+        self.kernel = p.kernel
+        self.plan = p
         self.state = sfa.initial
         self._consumed = 0
 
@@ -95,14 +101,22 @@ class ParallelStreamMatcher:
     the reachable mappings are closed under composition.
     """
 
-    def __init__(self, sfa: SFA, num_chunks: int = 8, kernel: str = "python"):
-        if num_chunks < 1:
-            raise MatchEngineError("num_chunks must be >= 1")
-        if kernel not in KERNELS:
-            raise MatchEngineError(f"unknown kernel {kernel!r}")
+    def __init__(
+        self,
+        sfa: SFA,
+        num_chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
+    ):
+        p = resolve_plan(
+            plan, "stream", -1, subject=sfa,
+            defaults=Plan(engine="lockstep", num_chunks=8),
+            num_chunks=num_chunks, kernel=kernel,
+        )
         self.sfa = sfa
-        self.num_chunks = num_chunks
-        self.kernel = kernel
+        self.num_chunks = p.num_chunks
+        self.kernel = p.kernel
+        self.plan = p
         self.state = sfa.initial
         self._consumed = 0
 
@@ -171,7 +185,7 @@ class StreamingSpanMatcher:
     semantics, not a leak.
     """
 
-    def __init__(self, pattern):
+    def __init__(self, pattern, plan: PlanArg = None):
         from repro.matching.engine import CompiledPattern
 
         if not isinstance(pattern, CompiledPattern):
@@ -180,6 +194,11 @@ class StreamingSpanMatcher:
                 f"got {pattern!r}"
             )
         self.engine = pattern.span_engine()
+        # span streaming reuses the offline span cost model ("spans"): the
+        # lockstep stride kernels of the "stream" task don't apply to the
+        # reversed-DFA start pass.
+        self.plan = resolve_plan(plan, "spans", -1, subject=pattern)
+        self._ex = self.plan.resolve_executor()
         self._buf = bytearray()
         self._base = 0  # global stream offset of _buf[0]
         self._done = False
@@ -199,7 +218,9 @@ class StreamingSpanMatcher:
             raise MatchEngineError("stream already finished")
         self._buf += block
         classes = self.engine.partition.translate(self._buf)
-        bits = self.engine.start_bits(classes)
+        bits = self.engine.start_bits(
+            classes, self.plan.num_chunks, self._ex, self.plan.kernel
+        )
         alive = self.engine.alive_bits(classes)
         spans, hold = self.engine._emit(classes, bits, alive=alive)
         if hold is None:
@@ -215,7 +236,9 @@ class StreamingSpanMatcher:
             return []
         self._done = True
         classes = self.engine.partition.translate(self._buf)
-        bits = self.engine.start_bits(classes)
+        bits = self.engine.start_bits(
+            classes, self.plan.num_chunks, self._ex, self.plan.kernel
+        )
         spans, _ = self.engine._emit(classes, bits)
         out = [(s + self._base, e + self._base) for s, e in spans]
         self._base += len(self._buf)
@@ -242,10 +265,10 @@ class StreamingMultiSpanMatcher:
     (one union-automaton state, rule-count-independent).
     """
 
-    def __init__(self, ruleset: "MultiPatternSet"):
+    def __init__(self, ruleset: "MultiPatternSet", plan: PlanArg = None):
         self.ruleset = ruleset
         self._cursors = [
-            StreamingSpanMatcher(ruleset.rule_pattern(r))
+            StreamingSpanMatcher(ruleset.rule_pattern(r), plan=plan)
             for r in range(ruleset.num_rules)
         ]
 
@@ -301,17 +324,20 @@ class StreamingMultiMatcher:
     def __init__(
         self,
         ruleset: "MultiPatternSet",
-        num_chunks: int = 1,
-        kernel: str = "python",
+        num_chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanArg = None,
     ):
-        if num_chunks < 1:
-            raise MatchEngineError("num_chunks must be >= 1")
-        if kernel not in KERNELS:
-            raise MatchEngineError(f"unknown kernel {kernel!r}")
+        p = resolve_plan(
+            plan, "stream", -1, subject=ruleset,
+            defaults=Plan(engine="lockstep", num_chunks=1),
+            num_chunks=num_chunks, kernel=kernel,
+        )
         self.ruleset = ruleset
-        self.num_chunks = num_chunks
-        self.kernel = kernel
-        self._automaton = ruleset.dfa if num_chunks == 1 else ruleset.sfa
+        self.num_chunks = p.num_chunks
+        self.kernel = p.kernel
+        self.plan = p
+        self._automaton = ruleset.dfa if self.num_chunks == 1 else ruleset.sfa
         self.state = self._automaton.initial
         self._consumed = 0
         self._matched: Set[int] = set()  # reported by feed() so far

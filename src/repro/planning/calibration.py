@@ -1,0 +1,332 @@
+"""Persisted micro-calibration for the planner's cost model.
+
+The cost model needs absolute rates — "how many MB/s does the stride-4
+kernel scan *on this machine*" — to compare candidate plans.  Those rates
+come from three sources, in priority order:
+
+1. a calibration file written by a one-time ``repro calibrate`` run,
+   stored alongside the artifact cache (``$REPRO_CALIBRATION``, else
+   ``$XDG_CACHE_HOME/repro/calibration.json``, else
+   ``~/.cache/repro/calibration.json``);
+2. if that file is missing, corrupt, or stale (schema/CPU-count mismatch,
+   or older than :data:`MAX_AGE_SECONDS`), the baked-in
+   :data:`DEFAULT_CALIBRATION` — relative kernel speeds measured on the
+   reference container and recorded in BENCH_results.json history.
+
+Only ``repro calibrate`` ever **writes** the file; the planner is a pure
+reader and never creates cache files as a side effect of a match call
+(tiny inputs do not even ``stat`` the path — see
+:meth:`~repro.planning.planner.Planner.plan`).  A corrupt or stale file
+downgrades to the defaults with a :class:`CalibrationWarning`, never an
+exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Bump when the JSON shape or the meaning of a measurement changes.
+CALIBRATION_VERSION = 1
+
+#: A calibration older than this is considered stale and ignored.
+MAX_AGE_SECONDS = 30 * 24 * 3600
+
+
+class CalibrationWarning(UserWarning):
+    """A calibration file could not be used (corrupt/stale/unreadable)."""
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured single-stream rates and dispatch overheads.
+
+    ``mb_per_s`` keys are ``<scan>_<kernel>`` rate names (missing keys
+    fall back to :data:`DEFAULT_CALIBRATION`'s value via :meth:`rate`);
+    ``dispatch_ms`` is the per-call overhead of handing chunks to an
+    executor backend (pool submit + result collection; for processes
+    also the shared-memory publish of the payload).
+    """
+
+    version: int = CALIBRATION_VERSION
+    cpu_count: int = 1
+    created: float = 0.0
+    source: str = "default"  # "default" | "measured"
+    mb_per_s: Dict[str, float] = field(default_factory=dict)
+    dispatch_ms: Dict[str, float] = field(default_factory=dict)
+
+    def rate(self, key: str) -> float:
+        """MB/s for a rate key, falling back to the baked-in default."""
+        v = self.mb_per_s.get(key)
+        if v is None or v <= 0:
+            v = DEFAULT_CALIBRATION.mb_per_s.get(key, 10.0)
+        return float(v)
+
+    def dispatch_s(self, executor: Optional[str]) -> float:
+        """Per-call dispatch overhead in seconds for an executor backend."""
+        if executor in (None, "serial"):
+            return 0.0
+        ms = self.dispatch_ms.get(executor)
+        if ms is None or ms < 0:
+            ms = DEFAULT_CALIBRATION.dispatch_ms.get(executor, 1.0)
+        return float(ms) / 1e3
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+#: Reference-container rates (BENCH_results.json history, PR 4–6): the
+#: stride-4 SFA scan sustains ~150 MB/s against ~54 MB/s for the python
+#: per-byte loop; the vector kernel is a 15× *slowdown* on acceptance
+#: scans (0.067×) but ~35× on speculative transform scans; the lockstep
+#: all-states fold crawls at ~2.6 MB/s.
+DEFAULT_CALIBRATION = Calibration(
+    version=CALIBRATION_VERSION,
+    cpu_count=os.cpu_count() or 1,
+    created=0.0,
+    source="default",
+    mb_per_s={
+        "dfa_python": 30.0,
+        "sfa_python": 54.0,
+        "sfa_stride2": 95.0,
+        "sfa_stride4": 149.0,
+        "sfa_vector": 3.6,
+        "lockstep": 2.6,
+        "transform_python": 2.0,
+        "transform_vector": 70.0,
+        "spans_python": 25.0,
+    },
+    dispatch_ms={"threads": 0.2, "processes": 2.2},
+)
+
+
+def calibration_path() -> Path:
+    """Resolve where the persisted calibration lives (may not exist)."""
+    env = os.environ.get("REPRO_CALIBRATION")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "calibration.json"
+
+
+def save_calibration(cal: Calibration, path: Optional[Path] = None) -> Path:
+    """Write a calibration file (``repro calibrate`` is the only caller)."""
+    path = Path(path) if path is not None else calibration_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(cal.to_dict(), indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    invalidate_calibration()
+    return path
+
+
+def load_calibration(path: Optional[Path] = None) -> Optional[Calibration]:
+    """Read and validate a calibration file.
+
+    Returns ``None`` — after a :class:`CalibrationWarning` — when the file
+    is missing, unparsable, or stale.  Never raises on bad content: a
+    broken cache file must not take down a grep.
+    """
+    path = Path(path) if path is not None else calibration_path()
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as e:
+        warnings.warn(
+            f"ignoring unreadable calibration {path}: {e}", CalibrationWarning,
+            stacklevel=2,
+        )
+        return None
+    try:
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("not a JSON object")
+        cal = Calibration(
+            version=int(payload["version"]),
+            cpu_count=int(payload["cpu_count"]),
+            created=float(payload["created"]),
+            source=str(payload.get("source", "measured")),
+            mb_per_s={
+                str(k): float(v) for k, v in dict(payload["mb_per_s"]).items()
+            },
+            dispatch_ms={
+                str(k): float(v)
+                for k, v in dict(payload.get("dispatch_ms", {})).items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        warnings.warn(
+            f"ignoring corrupt calibration {path}: {e}", CalibrationWarning,
+            stacklevel=2,
+        )
+        return None
+    stale = _staleness(cal)
+    if stale:
+        warnings.warn(
+            f"ignoring stale calibration {path}: {stale}", CalibrationWarning,
+            stacklevel=2,
+        )
+        return None
+    return cal
+
+
+def _staleness(cal: Calibration) -> Optional[str]:
+    if cal.version != CALIBRATION_VERSION:
+        return f"schema v{cal.version}, expected v{CALIBRATION_VERSION}"
+    cores = os.cpu_count() or 1
+    if cal.cpu_count != cores:
+        return f"measured on {cal.cpu_count} cores, running on {cores}"
+    age = time.time() - cal.created
+    if age > MAX_AGE_SECONDS:
+        return f"measured {age / 86400:.0f} days ago"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Planner-side memoized access with hit/miss accounting
+# ---------------------------------------------------------------------------
+
+# (resolved path, file mtime or None) -> Calibration used for it.  One
+# entry: grep/serve always consult the same resolved path.
+_CACHE: Dict[str, object] = {}
+_STATS = {"hits": 0, "misses": 0, "loads": 0}
+
+
+def get_calibration() -> Calibration:
+    """The calibration the planner should use right now.
+
+    Memoizes on the file's mtime so a fresh ``repro calibrate`` run is
+    picked up without restarting, while steady-state planning costs one
+    ``stat`` — not a JSON parse — per plan.  Counts a *hit* when a
+    persisted calibration backs the answer and a *miss* when falling back
+    to :data:`DEFAULT_CALIBRATION` (surfaced by the service ``stats`` op).
+    """
+    path = calibration_path()
+    try:
+        mtime = path.stat().st_mtime_ns
+    except OSError:
+        mtime = None
+    key = f"{path}@{mtime}"
+    cal = _CACHE.get(key)
+    if cal is None:
+        _STATS["loads"] += 1
+        cal = (load_calibration(path) if mtime is not None else None) \
+            or DEFAULT_CALIBRATION
+        _CACHE.clear()
+        _CACHE[key] = cal
+    if cal.source == "default":
+        _STATS["misses"] += 1
+    else:
+        _STATS["hits"] += 1
+    return cal  # type: ignore[return-value]
+
+
+def calibration_stats() -> Dict[str, int]:
+    """Hit/miss/load counters for the memoized planner-side access."""
+    return dict(_STATS)
+
+
+def invalidate_calibration() -> None:
+    """Drop the memoized calibration (tests; after ``save_calibration``)."""
+    _CACHE.clear()
+
+
+def reset_calibration_stats() -> None:
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+# ---------------------------------------------------------------------------
+# Measurement (``repro calibrate``)
+# ---------------------------------------------------------------------------
+
+def run_calibration(
+    sample_bytes: int = 1 << 20, repeat: int = 2, measure_executors: bool = True
+) -> Calibration:
+    """Measure this machine's kernel rates on a synthetic workload.
+
+    Uses the Fig. 8 ``r_n`` pattern family (``(a|b)*a(a|b)^4``) so every
+    kernel — including stride-4's 2-class superalphabet table — is
+    exercised on an automaton of realistic shape.  The vector and
+    lockstep rates are measured on a smaller slice (they are 15–20×
+    slower on acceptance scans; that *is* the number we are measuring,
+    no need to pay for it at full length).
+    """
+    import numpy as np
+
+    from repro.bench.harness import measure_throughput, time_callable
+    from repro.matching.engine import compile_pattern
+    from repro.matching.lockstep import lockstep_run
+    from repro.matching.parallel_sfa import parallel_sfa_run
+    from repro.matching.speculative import speculative_run
+
+    pattern = compile_pattern("(a|b)*a(a|b){4}")
+    rng = np.random.default_rng(20130913)
+    data = rng.choice([ord("a"), ord("b")], size=sample_bytes).astype(np.uint8)
+    data = data.tobytes()
+    classes = pattern.partition.translate(data)
+    small = classes[: max(1, sample_bytes // 16)]
+    sfa, dfa = pattern.sfa, pattern.min_dfa
+
+    rates: Dict[str, float] = {}
+    rates["dfa_python"] = measure_throughput(
+        lambda: pattern.fullmatch(data, engine="dfa"), sample_bytes, repeat
+    )
+    for kernel in ("python", "stride2", "stride4"):
+        rates[f"sfa_{kernel}"] = measure_throughput(
+            lambda k=kernel: parallel_sfa_run(sfa, classes, 1, kernel=k),
+            sample_bytes, repeat,
+        )
+    rates["sfa_vector"] = measure_throughput(
+        lambda: parallel_sfa_run(sfa, small, 1, kernel="vector"),
+        len(small), repeat,
+    )
+    rates["lockstep"] = measure_throughput(
+        lambda: lockstep_run(sfa, small, 8), len(small), repeat
+    )
+    rates["transform_python"] = measure_throughput(
+        lambda: speculative_run(dfa, small, 2, kernel="python"),
+        len(small), repeat,
+    )
+    rates["transform_vector"] = measure_throughput(
+        lambda: speculative_run(dfa, classes, 2, kernel="vector"),
+        sample_bytes, repeat,
+    )
+    rates["spans_python"] = measure_throughput(
+        lambda: pattern.count(data), sample_bytes, repeat
+    )
+
+    dispatch: Dict[str, float] = {}
+    if measure_executors:
+        from repro.parallel.executor import get_shared_executor
+
+        tiny = classes[:1024]
+        serial_s = time_callable(
+            lambda: parallel_sfa_run(sfa, tiny, 2), repeat + 1
+        )
+        for name in ("threads", "processes"):
+            ex = get_shared_executor(name)
+            try:
+                total = time_callable(
+                    lambda e=ex: parallel_sfa_run(sfa, tiny, 2, executor=e),
+                    repeat + 1,
+                )
+                dispatch[name] = max(0.0, (total - serial_s) * 1e3)
+            except Exception:
+                dispatch[name] = DEFAULT_CALIBRATION.dispatch_ms.get(name, 1.0)
+
+    return Calibration(
+        version=CALIBRATION_VERSION,
+        cpu_count=os.cpu_count() or 1,
+        created=time.time(),
+        source="measured",
+        mb_per_s={k: round(v, 3) for k, v in rates.items()},
+        dispatch_ms={k: round(v, 4) for k, v in dispatch.items()},
+    )

@@ -30,6 +30,31 @@ from repro.service.protocol import (
 
 Rules = Sequence[Union[str, Tuple[str, bool], List]]
 
+#: ``plan=`` argument accepted by the scan ops: ``None`` (server legacy
+#: defaults), ``"auto"`` (server-side §3.10 cost model), ``"off"``, or a
+#: plan dict (``Plan.to_dict()`` shape).
+PlanField = Union[None, str, Dict[str, Any]]
+
+
+def _knob_fields(
+    header: Dict[str, Any],
+    chunks: Optional[int],
+    kernel: Optional[str],
+    plan: PlanField,
+) -> Dict[str, Any]:
+    """Attach only the explicitly-chosen strategy fields.
+
+    Absent knobs are *omitted* (not defaulted) so the server can tell
+    "caller chose 1 chunk" from "caller left it to the plan".
+    """
+    if chunks is not None:
+        header["chunks"] = chunks
+    if kernel is not None:
+        header["kernel"] = kernel
+    if plan is not None:
+        header["plan"] = plan
+    return header
+
 
 class ServiceClient:
     """One blocking connection to a :class:`~repro.service.server.MatchService`."""
@@ -203,14 +228,18 @@ class ServiceClient:
         *,
         mode: str = "fullmatch",
         ignore_case: bool = False,
-        chunks: int = 1,
-        kernel: str = "python",
+        chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanField = None,
     ) -> bool:
         return bool(self.request(
-            {
-                "op": "match", "pattern": pattern, "mode": mode,
-                "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
-            },
+            _knob_fields(
+                {
+                    "op": "match", "pattern": pattern, "mode": mode,
+                    "ignore_case": ignore_case,
+                },
+                chunks, kernel, plan,
+            ),
             data,
         )["match"])
 
@@ -221,14 +250,18 @@ class ServiceClient:
         *,
         mode: str = "contains",
         ignore_case: bool = False,
-        chunks: int = 8,
-        kernel: str = "python",
+        chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanField = None,
     ) -> bool:
         return bool(self.request(
-            {
-                "op": "scan", "pattern": pattern, "mode": mode,
-                "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
-            },
+            _knob_fields(
+                {
+                    "op": "scan", "pattern": pattern, "mode": mode,
+                    "ignore_case": ignore_case,
+                },
+                chunks, kernel, plan,
+            ),
             data,
         )["match"])
 
@@ -238,14 +271,18 @@ class ServiceClient:
         data: bytes,
         *,
         ignore_case: bool = False,
-        chunks: int = 1,
-        kernel: str = "python",
+        chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanField = None,
         limit: Optional[int] = None,
     ) -> List[Tuple[int, int]]:
-        header: Dict[str, Any] = {
-            "op": "finditer", "pattern": pattern,
-            "ignore_case": ignore_case, "chunks": chunks, "kernel": kernel,
-        }
+        header = _knob_fields(
+            {
+                "op": "finditer", "pattern": pattern,
+                "ignore_case": ignore_case,
+            },
+            chunks, kernel, plan,
+        )
         if limit is not None:
             header["limit"] = limit
         reply = self.request(header, data)
@@ -258,19 +295,22 @@ class ServiceClient:
         *,
         mode: str = "search",
         ignore_case: bool = False,
-        chunks: int = 1,
-        kernel: str = "python",
+        chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanField = None,
     ) -> List[int]:
         reply = self.request(
-            {
-                "op": "multiscan",
-                "rules": [
-                    r if isinstance(r, str) else [r[0], bool(r[1])]
-                    for r in rules
-                ],
-                "mode": mode, "ignore_case": ignore_case,
-                "chunks": chunks, "kernel": kernel,
-            },
+            _knob_fields(
+                {
+                    "op": "multiscan",
+                    "rules": [
+                        r if isinstance(r, str) else [r[0], bool(r[1])]
+                        for r in rules
+                    ],
+                    "mode": mode, "ignore_case": ignore_case,
+                },
+                chunks, kernel, plan,
+            ),
             data,
         )
         return [int(r) for r in reply["rules"]]
@@ -283,16 +323,19 @@ class ServiceClient:
         kind: Optional[str] = None,
         ignore_case: bool = False,
         mode: str = "search",
-        chunks: int = 1,
-        kernel: str = "python",
+        chunks: Optional[int] = None,
+        kernel: Optional[str] = None,
+        plan: PlanField = None,
     ) -> "ClientStream":
         """Open a stateful stream session; see :class:`ClientStream`."""
         if kind is None:
             kind = "spans" if pattern is not None else "multi"
-        header: Dict[str, Any] = {
-            "op": "stream_open", "kind": kind, "ignore_case": ignore_case,
-            "chunks": chunks, "kernel": kernel,
-        }
+        header = _knob_fields(
+            {
+                "op": "stream_open", "kind": kind, "ignore_case": ignore_case,
+            },
+            chunks, kernel, plan,
+        )
         if pattern is not None:
             header["pattern"] = pattern
         if rules is not None:

@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import RegexSyntaxError, ReproError, ServiceError
+from repro.planning.plan import Plan, resolve_plan
 from repro.service.cache import ArtifactCache
 from repro.service.protocol import (
     DEFAULT_MAX_PAYLOAD,
@@ -188,6 +189,9 @@ class MatchService:
             "connections": 0, "requests": 0, "errors": 0,
             "bytes_in": 0, "bytes_out": 0,
         }
+        #: plan-summary -> times a scan ran under it (the ``stats`` op's
+        #: plan distribution).
+        self.plan_counts: Dict[str, int] = {}
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -467,25 +471,52 @@ class MatchService:
         sources, flags, mode = self._rule_sources(header)
         return self.cache.get_ruleset(sources, flags, mode)
 
-    def _knobs(self, header: Dict[str, Any]) -> Tuple[int, str]:
-        chunks = header.get("chunks", 1)
-        kernel = header.get("kernel", "python")
-        if not isinstance(chunks, int) or chunks < 1:
+    def _knobs(
+        self, header: Dict[str, Any]
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Explicitly-sent legacy knobs (``None`` when the field is absent,
+        so a request-level plan keeps deciding them)."""
+        chunks = header.get("chunks")
+        kernel = header.get("kernel")
+        if chunks is not None and (not isinstance(chunks, int) or chunks < 1):
             raise ServiceError(
                 f"'chunks' must be a positive int, got {chunks!r}",
                 kind="bad-request",
             )
-        if not isinstance(kernel, str):
+        if kernel is not None and not isinstance(kernel, str):
             raise ServiceError(
                 f"'kernel' must be a string, got {kernel!r}", kind="bad-request"
             )
         return chunks, kernel
+
+    def _plan_arg(self, header: Dict[str, Any]):
+        """The request's ``plan`` field: ``"auto"``, a plan object (a
+        :meth:`~repro.planning.plan.Plan.to_dict` dump), or ``None`` /
+        ``"off"`` for the op's legacy defaults."""
+        plan = header.get("plan")
+        if plan in (None, "off", False):
+            return None
+        if plan == "auto" or isinstance(plan, dict):
+            return plan
+        raise ServiceError(
+            f"'plan' must be 'auto', 'off' or a plan object, got {plan!r}",
+            kind="bad-request",
+        )
+
+    def _note_plan(self, plan: Plan) -> str:
+        """Count one scan under ``plan`` and return its reply summary."""
+        s = plan.summary()
+        self.plan_counts[s] = self.plan_counts.get(s, 0) + 1
+        return s
 
     # -- ops -------------------------------------------------------------
     async def _op_ping(self, header, payload, streams, next_stream):
         return {"ok": True, "pong": True}
 
     async def _op_stats(self, header, payload, streams, next_stream):
+        from repro.planning.calibration import calibration_stats
+        from repro.planning.planner import planner_stats
+
         return {
             "ok": True,
             "cache": self.cache.stats(),
@@ -494,6 +525,11 @@ class MatchService:
             "executor": self.executor_name or "none",
             "open_streams": len(streams),
             "max_payload": self.max_payload,
+            "plans": {
+                "distribution": dict(self.plan_counts),
+                "calibration": calibration_stats(),
+                **planner_stats(),
+            },
         }
 
     async def _op_shutdown(self, header, payload, streams, next_stream):
@@ -515,18 +551,27 @@ class MatchService:
                 "rules": value.num_rules, "union_dfa": value.dfa.num_states,
             }
             analysis = await self._in_thread(lambda: _ruleset_analysis(value))
+            task = "multi"
         else:
             value, hit = await self._in_thread(lambda: self._pattern_of(header))
             sizes = {"min_dfa": value.min_dfa.num_states}
             if "sfa" in stages:
                 sizes["d_sfa"] = value.sfa.num_states
             analysis = await self._in_thread(lambda: _pattern_analysis(value))
+            task = "fullmatch"
         built = await self._in_thread(
-            lambda: self.cache.warm(value, stages, kernel)
+            lambda: self.cache.warm(value, stages, kernel or "python")
+        )
+        # What the planner would now run for a nominal 1 MiB scan of this
+        # (warmed) artifact — the §3.10 counterpart of the analysis block.
+        plan = await self._in_thread(
+            lambda: resolve_plan(
+                self._plan_arg(header) or "auto", task, 1 << 20, subject=value
+            )
         )
         return {
             "ok": True, "cached": hit, "built": built, "sizes": sizes,
-            "analysis": analysis,
+            "analysis": analysis, "plan": plan.to_dict(),
         }
 
     async def _op_analyze(self, header, payload, streams, next_stream):
@@ -560,17 +605,29 @@ class MatchService:
         if mode not in ("fullmatch", "contains"):
             raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
         chunks, kernel = self._knobs(header)
+        plan = self._plan_arg(header)
+        task = "fullmatch" if mode == "fullmatch" else "contains"
 
         def work():
             m, hit = self._pattern_of(header)
+            if plan is None:
+                c = 1 if chunks is None else chunks
+                p = resolve_plan(
+                    None, task, len(data), subject=m,
+                    engine="lockstep" if c > 1 else "dfa",
+                    num_chunks=c, kernel=kernel or "python",
+                )
+            else:
+                p = resolve_plan(
+                    plan, task, len(data), subject=m,
+                    num_chunks=chunks, kernel=kernel,
+                )
             fn = m.fullmatch if mode == "fullmatch" else m.contains
-            matched = fn(
-                data,
-                engine="lockstep" if chunks > 1 else "dfa",
-                num_chunks=chunks,
-                kernel=kernel,
-            )
-            return {"ok": True, "match": bool(matched), "cached": hit}
+            matched = fn(data, plan=p)
+            return {
+                "ok": True, "match": bool(matched), "cached": hit,
+                "plan": self._note_plan(p),
+            }
 
         return await self._in_thread(work)
 
@@ -581,22 +638,31 @@ class MatchService:
         if mode not in ("fullmatch", "contains"):
             raise ServiceError(f"unknown mode {mode!r}", kind="bad-request")
         chunks, kernel = self._knobs(header)
-        chunks = max(2, chunks)
+        plan = self._plan_arg(header)
+        task = "fullmatch" if mode == "fullmatch" else "contains"
 
         def work():
             m, hit = self._pattern_of(header)
+            if plan is None:
+                c = max(2, 1 if chunks is None else chunks)
+                p = resolve_plan(
+                    None, task, len(data), subject=m, engine="sfa",
+                    num_chunks=c, executor=self._executor,
+                    kernel=kernel or "python",
+                )
+            else:
+                p = resolve_plan(
+                    plan, task, len(data), subject=m,
+                    num_chunks=chunks, executor=self._executor,
+                    kernel=kernel,
+                )
             fn = m.fullmatch if mode == "fullmatch" else m.contains
-            matched = fn(
-                data,
-                engine="sfa",
-                num_chunks=chunks,
-                executor=self._executor,
-                kernel=kernel,
-            )
+            matched = fn(data, plan=p, executor=self._executor)
             return {
                 "ok": True, "match": bool(matched), "cached": hit,
-                "chunks": chunks,
+                "chunks": p.num_chunks,
                 "executor": self.executor_name or "lockstep",
+                "plan": self._note_plan(p),
             }
 
         return await self._in_thread(work)
@@ -611,14 +677,27 @@ class MatchService:
                 kind="bad-request",
             )
 
+        plan = self._plan_arg(header)
+
         def work():
             m, hit = self._pattern_of(header)
+            if plan is None:
+                p = resolve_plan(
+                    None, "spans", len(data), subject=m,
+                    num_chunks=1 if chunks is None else chunks,
+                    executor=self._executor, kernel=kernel or "python",
+                )
+            else:
+                p = resolve_plan(
+                    plan, "spans", len(data), subject=m,
+                    num_chunks=chunks, executor=self._executor, kernel=kernel,
+                )
             spans = m.span_engine().spans(
-                data, num_chunks=chunks, executor=self._executor,
-                kernel=kernel, limit=limit,
+                data, plan=p, executor=self._executor, limit=limit,
             )
             return {
                 "ok": True, "spans": [[s, e] for s, e in spans], "cached": hit,
+                "plan": self._note_plan(p),
             }
 
         return await self._in_thread(work)
@@ -627,16 +706,29 @@ class MatchService:
         data = self._need_payload(payload)
         chunks, kernel = self._knobs(header)
 
+        plan = self._plan_arg(header)
+
         def work():
             mps, hit = self._ruleset_of(header)
-            hits = mps.matches(
-                data, chunks, executor=self._executor, kernel=kernel
-            )
+            if plan is None:
+                p = resolve_plan(
+                    None, "multi", len(data), subject=mps,
+                    defaults=Plan(engine="lockstep"),
+                    num_chunks=1 if chunks is None else chunks,
+                    executor=self._executor, kernel=kernel or "python",
+                )
+            else:
+                p = resolve_plan(
+                    plan, "multi", len(data), subject=mps,
+                    num_chunks=chunks, executor=self._executor, kernel=kernel,
+                )
+            hits = mps.matches(data, plan=p, executor=self._executor)
             return {
                 "ok": True,
                 "rules": sorted(int(r) for r in hits),
                 "num_rules": mps.num_rules,
                 "cached": hit,
+                "plan": self._note_plan(p),
             }
 
         return await self._in_thread(work)
@@ -655,20 +747,25 @@ class MatchService:
             )
         kind = header.get("kind", "spans")
         chunks, kernel = self._knobs(header)
+        plan = self._plan_arg(header)
 
         def work():
             if kind == "spans":
                 m, _ = self._pattern_of(header)
-                return _StreamSession(kind, StreamingSpanMatcher(m))
+                return _StreamSession(kind, StreamingSpanMatcher(m, plan=plan))
             if kind == "multi":
                 mps, _ = self._ruleset_of(header)
                 return _StreamSession(
                     kind,
-                    StreamingMultiMatcher(mps, num_chunks=chunks, kernel=kernel),
+                    StreamingMultiMatcher(
+                        mps, num_chunks=chunks, kernel=kernel, plan=plan
+                    ),
                 )
             if kind == "multispans":
                 mps, _ = self._ruleset_of(header)
-                return _StreamSession(kind, StreamingMultiSpanMatcher(mps))
+                return _StreamSession(
+                    kind, StreamingMultiSpanMatcher(mps, plan=plan)
+                )
             raise ServiceError(
                 f"unknown stream kind {kind!r} "
                 "(choose from spans, multi, multispans)",
