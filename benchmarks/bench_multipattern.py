@@ -146,6 +146,114 @@ def test_kernel_executor_series(benchmark):
     )
 
 
+def test_rule_count_scaling_series(benchmark):
+    """Extension — backend scaling to 100/1000-rule rulesets (§3.11).
+
+    The eager union cross-product explodes long before real IDS scale
+    (~a dozen random rules already exceed 200k states), so the scaling
+    series runs on the lazy backend: compile seconds and warm-scan MB/s
+    as the rule count grows 5 → 100 → 1000.  Acceptance bars (recorded
+    in BENCH_results.json): the 1000-rule lazy compile stays under 10 s
+    while eager with a shared reduced budget raises StateExplosionError;
+    the 1000-rule warm scan holds ≥ 1/3 of the 5-rule lazy throughput
+    (the on-the-fly walk's per-symbol cost is rule-count-independent
+    once the hot region is materialized); and ``backend="auto"`` picks a
+    non-exploding backend with no user knobs and agrees bit-for-bit.
+    """
+    import time
+
+    from repro.errors import StateExplosionError
+    from repro.workloads.snort import generate_ruleset
+
+    payload = random_text(PAYLOAD_BYTES, seed=11, alphabet=b"abcdefg /.=+0123")
+    mb = PAYLOAD_BYTES / 1e6
+    shared_budget = 2_000  # states; eager must fail *fast* to be a bar
+
+    rows = []
+    series = {}
+    for n in (5, 100, 1000):
+        rules = list(generate_ruleset(n, seed=2940).patterns)
+        t0 = time.perf_counter()
+        mps = MultiPatternSet(rules, backend="lazy")
+        t_compile = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        verdict = mps.matches(payload)
+        t_cold = time.perf_counter() - t0
+        t_warm = time_callable(lambda: mps.matches(payload), repeat=2)
+        series[n] = {
+            "compile": t_compile, "warm": t_warm, "verdict": verdict,
+            "rules": rules,
+        }
+        rows.append(BenchRecord(f"lazy {n} rules", {
+            "compile s": t_compile,
+            "cold scan s": t_cold,
+            "warm MB/s": mb / t_warm,
+            "states": mps.num_materialized,
+        }))
+        emit_json("bench_multipattern_scale", f"lazy_{n}_rules",
+                  mb_per_s=mb / t_warm, compile_seconds=t_compile,
+                  num_materialized=mps.num_materialized)
+
+    # Bar 1: 1000-rule lazy compile < 10 s.
+    shape_check("1000-rule lazy compile < 10 s",
+                series[1000]["compile"] < 10.0,
+                f"{series[1000]['compile']:.2f}s")
+
+    # Bar 2: the same ruleset with the same (reduced, shared) budget
+    # explodes eagerly — the lazy backend is what makes it servable.
+    t0 = time.perf_counter()
+    try:
+        MultiPatternSet(series[1000]["rules"], max_dfa_states=shared_budget)
+        exploded = False
+    except StateExplosionError:
+        exploded = True
+    t_eager = time.perf_counter() - t0
+    rows.append(BenchRecord("eager 1000 rules (budget 2k)", {
+        "compile s": t_eager, "cold scan s": None, "warm MB/s": None,
+        "states": None,
+    }))
+    emit_json("bench_multipattern_scale", "eager_1000_rules_explodes",
+              exploded=exploded, compile_seconds=t_eager,
+              state_budget=shared_budget)
+    shape_check("eager union explodes at 1000 rules", exploded,
+                f"budget {shared_budget}, {t_eager:.2f}s to fail")
+
+    # Bar 3: warm throughput within 3x of the 5-rule series.
+    ratio = series[5]["warm"] and series[1000]["warm"] / series[5]["warm"]
+    shape_check(
+        "1000-rule warm scan within 3x of 5-rule throughput",
+        series[1000]["warm"] <= 3.0 * series[5]["warm"],
+        f"{ratio:.2f}x slower",
+    )
+
+    # Bar 4: backend="auto" never raises and agrees bit-for-bit.
+    t0 = time.perf_counter()
+    auto = MultiPatternSet(series[1000]["rules"], backend="auto")
+    t_auto = time.perf_counter() - t0
+    assert auto.matches(payload) == series[1000]["verdict"]
+    emit_json("bench_multipattern_scale", "auto_1000_rules",
+              backend=auto.backend, compile_seconds=t_auto,
+              groups=auto.group_count)
+    shape_check("auto picks a non-exploding backend at 1000 rules",
+                auto.backend in ("lazy", "sharded"), auto.backend)
+
+    emit(
+        format_table(
+            f"Extension — lazy-backend rule-count scaling, "
+            f"{PAYLOAD_BYTES//1000} KB payload",
+            ["compile s", "cold scan s", "warm MB/s", "states"],
+            rows,
+            note=f"auto resolved to backend={auto.backend!r} "
+            f"({auto.group_count} groups); eager budget {shared_budget} "
+            "states shared across the explosion leg.",
+        )
+    )
+    mps1000 = MultiPatternSet(series[1000]["rules"], backend="lazy")
+    mps1000.matches(payload)  # warm before the pedantic rounds
+    benchmark.pedantic(lambda: mps1000.matches(payload),
+                       rounds=3, iterations=1)
+
+
 def test_chunk_invariance_of_rule_sets(benchmark):
     mps = MultiPatternSet(RULES, mode="search")
     payload = (b"x" * 999 + b"attack42 " + b"y" * 500 + b"GET /admin " +

@@ -316,9 +316,49 @@ def _lint_ruleset(
                 "search mode it fires on every payload",
                 (i,),
             ))
+    out.extend(_lint_union_blowup(reports))
     if mode == "search":
         out.extend(_lint_subsumption(reports))
     return out
+
+
+#: Mirrors repro.matching.multi's default eager union budget without
+#: importing the engine (analysis stays automata-free).
+_UNION_STATE_CAP = 200_000
+
+
+def _lint_union_blowup(reports: Sequence[PatternReport]) -> List[Warning]:
+    """Predict whether the eager union automaton fits its state budget.
+
+    The union subset-construction state is a *tuple* of per-rule subsets,
+    so the union DFA (and a fortiori the union D-SFA over it) is bounded
+    by the product of the per-rule ``dfa_states_bound`` facts (§3.9) —
+    saturated arithmetic, like the facts themselves.  When the bound
+    exceeds the eager budget, compiling the ruleset with the default
+    backend *may* raise ``StateExplosionError``; the lint points at the
+    lazy and sharded backends (DESIGN.md §3.11) before anyone trips over
+    it at compile time.  Severity ``info``: a large ruleset is not a
+    defect, it just needs the right backend.
+    """
+    from repro.analysis.facts import _sat_mul
+
+    bound = 1
+    for r in reports:
+        bound = _sat_mul(bound, max(1, r.facts.dfa_states_bound))
+        if bound > _UNION_STATE_CAP:
+            break
+    if bound <= _UNION_STATE_CAP:
+        return []
+    total_pos = sum(r.facts.positions for r in reports)
+    return [Warning(
+        "union-state-blowup", "info",
+        f"predicted union DFA/D-SFA bound exceeds the eager state budget "
+        f"({_UNION_STATE_CAP:,} states; {len(reports)} rules, "
+        f"{total_pos:,} total positions): eager compilation may raise "
+        f"StateExplosionError — use backend=lazy (on-the-fly "
+        f"determinization) or backend=sharded (rule groups), or "
+        f"backend=auto to pick one",
+    )]
 
 
 def _lint_subsumption(reports: Sequence[PatternReport]) -> List[Warning]:

@@ -11,6 +11,13 @@ The central objects of the reproduction:
   states are mappings over the original automaton's states.
 """
 
+from repro.automata.backend import (
+    AutomatonBackend,
+    BACKEND_NAMES,
+    DEFAULT_EAGER_STATE_BUDGET,
+    DEFAULT_LAZY_STATE_BUDGET,
+    is_lazy,
+)
 from repro.automata.dfa import DFA, minimize, subset_construction
 from repro.automata.dot import to_dot
 from repro.automata.mapping import Correspondence, Transformation
@@ -18,21 +25,27 @@ from repro.automata.nfa import NFA, glushkov_nfa, thompson_nfa
 from repro.automata.serialize import load_dfa, load_sfa, save_dfa, save_sfa
 from repro.automata.sfa import SFA, correspondence_construction
 from repro.automata.stride import StrideTable, build_stride_table
-from repro.automata.lazy import LazyDFA, LazySFA
+from repro.automata.lazy import LazyDFA, LazySFA, LazyUnionDFA
 from repro.automata import ops
 
 __all__ = [
+    "AutomatonBackend",
+    "BACKEND_NAMES",
+    "DEFAULT_EAGER_STATE_BUDGET",
+    "DEFAULT_LAZY_STATE_BUDGET",
     "DFA",
     "NFA",
     "SFA",
     "Correspondence",
     "LazyDFA",
     "LazySFA",
+    "LazyUnionDFA",
     "StrideTable",
     "Transformation",
     "build_stride_table",
     "correspondence_construction",
     "glushkov_nfa",
+    "is_lazy",
     "load_dfa",
     "load_sfa",
     "minimize",

@@ -1,0 +1,78 @@
+"""The automaton *backend* abstraction (DESIGN.md §3.11).
+
+Every scan engine in this package ultimately asks one question of an
+automaton: "given a state and a symbol class, what is the next state?"
+Historically the answer was hard-coded as a dense-table access
+(``table[q, c]``), which welds every engine to *eagerly materialized*
+automata.  This module names the minimal query surface as a protocol so
+"how the transitions are obtained" becomes a backend choice:
+
+* ``"eager"`` — the transition table is fully built at compile time
+  (:class:`~repro.automata.dfa.DFA`, :class:`~repro.automata.sfa.SFA`).
+  Every kernel applies (stride precomposition, vectorized gathers,
+  shared-memory publication) because the table is a plain dense array.
+* ``"lazy"`` — states and transitions are materialized on first use
+  (:class:`~repro.automata.lazy.LazyDFA`, ``LazySFA``,
+  ``LazyUnionDFA``), the paper's §V-A escape hatch for constructions
+  that explode.  Only the scalar walk applies until the automaton is
+  :meth:`frozen <repro.automata.lazy.LazyDFA.freeze>` into an eager one.
+
+Engines that accept either kind dispatch on this protocol instead of
+reaching for ``.table`` directly; :func:`is_lazy` is the one-line probe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+#: Backend names accepted by the compile-time ``backend=`` knobs.  The
+#: ruleset-level knob adds ``"sharded"`` (rule-group decomposition) and
+#: ``"auto"`` (planner cost model) on top of the two automaton kinds.
+BACKEND_NAMES = ("auto", "eager", "lazy", "sharded")
+
+#: Default budget for eager determinization (union subset construction);
+#: exceeding it raises :class:`~repro.errors.StateExplosionError`.
+DEFAULT_EAGER_STATE_BUDGET = 200_000
+
+#: Default budget for lazily materialized states.  Far more generous than
+#: the eager budget: lazy materialization is bounded by the *scanned text*
+#: (≤ n+1 states after n symbols), not the worst-case cross-product, so
+#: this is an OOM backstop rather than a feasibility bound.
+DEFAULT_LAZY_STATE_BUDGET = 1_000_000
+
+
+@runtime_checkable
+class AutomatonBackend(Protocol):
+    """The minimal transition-query surface every scan engine needs.
+
+    Satisfied structurally by the eager :class:`~repro.automata.dfa.DFA` /
+    :class:`~repro.automata.sfa.SFA` and by the lazy automata in
+    :mod:`repro.automata.lazy`; nothing here implies a materialized table.
+    """
+
+    initial: int
+
+    @property
+    def num_classes(self) -> int: ...
+
+    @property
+    def num_materialized(self) -> int:
+        """States created so far (for an eager automaton: all of them)."""
+        ...
+
+    def step(self, state: int, cls: int) -> int: ...
+
+    def run_classes(
+        self, classes: Iterable[int], start: Optional[int] = None
+    ) -> int: ...
+
+
+def is_lazy(automaton) -> bool:
+    """Whether ``automaton`` materializes transitions on demand.
+
+    Lazy automata advertise themselves with a ``lazy_backend`` marker
+    attribute; eager table automata have none.  Engines use this to skip
+    table-only accelerations (stride precomposition, vector gathers,
+    shared-memory publication) that presume a dense array.
+    """
+    return bool(getattr(automaton, "lazy_backend", False))

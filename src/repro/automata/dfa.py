@@ -71,6 +71,12 @@ class DFA:
         """``|D|`` — the number of states."""
         return self.num_states
 
+    @property
+    def num_materialized(self) -> int:
+        """States created so far — for an eager DFA, all of them (the
+        :class:`~repro.automata.backend.AutomatonBackend` view)."""
+        return self.num_states
+
     def table_bytes(self, expanded: bool = False) -> int:
         """Transition-table memory footprint in bytes.
 

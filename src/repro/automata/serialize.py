@@ -211,7 +211,26 @@ def save_ruleset(
     (``None``): include it only when already built — the D-SFA ``maps``
     payload is ``|S|·|D|`` ints, so for large union automata shipping the
     DFA and rebuilding the D-SFA lazily on load is the cheaper trade.
+
+    The archive format is eager by definition (it *is* the materialized
+    tables), so a lazy or sharded ruleset (DESIGN.md §3.11) is frozen
+    first — the warm reachable closure is completed and serialized as an
+    eager set.  When the closure exceeds the eager state budget the set
+    cannot be represented on disk and an :class:`AutomatonError` naming
+    the backend is raised; the in-memory set is left usable.
     """
+    backend = getattr(ruleset, "backend", "eager")
+    if backend != "eager":
+        from repro.errors import StateExplosionError
+
+        try:
+            ruleset.freeze()
+        except StateExplosionError as e:
+            raise AutomatonError(
+                f"cannot serialize a backend={backend!r} ruleset: freezing "
+                f"its automaton exceeded the eager state budget ({e}); "
+                f"raise max_dfa_states or keep the set in memory"
+            ) from e
     dfa = ruleset.dfa
     if dfa.partition is None:  # pragma: no cover - multi always has one
         raise AutomatonError("ruleset DFA has no byte-class partition")

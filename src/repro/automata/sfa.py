@@ -86,6 +86,12 @@ class SFA:
         return self.num_states
 
     @property
+    def num_materialized(self) -> int:
+        """States created so far — for an eager SFA, all of them (the
+        :class:`~repro.automata.backend.AutomatonBackend` view)."""
+        return self.num_states
+
+    @property
     def origin_size(self) -> int:
         """Number of states of the original automaton."""
         return self.maps.shape[1]

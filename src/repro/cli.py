@@ -123,8 +123,14 @@ def _read_rule_lines(rules_file: str) -> List[str]:
     return rules
 
 
-def _load_ruleset_arg(rules_file: str, ignore_case: bool):
-    """A scan-ready MultiPatternSet from a pattern file or ``.npz`` archive."""
+def _load_ruleset_arg(rules_file: str, ignore_case: bool,
+                      backend: str = "eager"):
+    """A scan-ready MultiPatternSet from a pattern file or ``.npz`` archive.
+
+    ``backend`` selects the union-automaton backend (DESIGN.md §3.11) for
+    pattern files; archives hold materialized tables and are eager by
+    construction, so the flag does not apply to them.
+    """
     from repro.matching.multi import MultiPatternSet
 
     if rules_file.endswith(".npz"):
@@ -139,7 +145,9 @@ def _load_ruleset_arg(rules_file: str, ignore_case: bool):
             raise MatchEngineError(
                 f"{rules_file} is not a ruleset archive: {e}"
             ) from None
-    return MultiPatternSet(_read_rule_lines(rules_file), ignore_case=ignore_case)
+    return MultiPatternSet(
+        _read_rule_lines(rules_file), ignore_case=ignore_case, backend=backend
+    )
 
 
 def _cmd_sizes(args: argparse.Namespace) -> int:
@@ -409,7 +417,12 @@ def _cmd_save(args: argparse.Namespace) -> int:
                 "--stage ruleset takes its rules from --rules-file; "
                 "drop the pattern argument"
             )
-        mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
+        mps = _load_ruleset_arg(
+            args.rules_file, args.ignore_case,
+            backend=getattr(args, "backend", "eager"),
+        )
+        # A lazy/sharded set is frozen by save_ruleset itself (archives
+        # are eager tables); afterwards mps.dfa is always materialized.
         save_ruleset(mps, args.output)
         print(
             f"wrote ruleset ({mps.num_rules} rules, union DFA "
@@ -436,7 +449,10 @@ def _cmd_save(args: argparse.Namespace) -> int:
 
 
 def _cmd_matchset(args: argparse.Namespace) -> int:
-    mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
+    mps = _load_ruleset_arg(
+        args.rules_file, args.ignore_case,
+        backend=getattr(args, "backend", "auto"),
+    )
     data = _read_input(args.input)
     plan, knobs = _plan_and_knobs(args)
     hits = mps.matches(data, plan=plan, **knobs)
@@ -589,7 +605,7 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         rules = _client_rules(args)
         hits = c.multiscan(
             rules, data, chunks=args.chunks, kernel=args.kernel,
-            plan=args.plan,
+            plan=args.plan, backend=getattr(args, "backend", None),
         )
         for i in hits:
             print(f"{i}:{rules[i][0]}")
@@ -866,6 +882,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="rule sources for --stage ruleset: a pattern file (one regex "
         "per line, '#' comments) or an existing .npz ruleset",
     )
+    p.add_argument(
+        "--backend", choices=["auto", "eager", "lazy", "sharded"],
+        default="eager",
+        help="compile backend for --stage ruleset (archives are eager "
+        "tables, so lazy/sharded sets are frozen before writing; a set "
+        "whose closure exceeds the state budget cannot be saved)",
+    )
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_save)
 
@@ -883,6 +906,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-i", "--ignore-case", action="store_true",
                    help="apply ASCII case folding to every rule "
                    "(pattern files only; archives keep their flags)")
+    p.add_argument(
+        "--backend", choices=["auto", "eager", "lazy", "sharded"],
+        default="auto",
+        help="union-automaton backend (DESIGN.md §3.11): 'eager' builds "
+        "the full cross-product up front (may exceed the state budget on "
+        "large rulesets), 'lazy' determinizes on the fly, 'sharded' "
+        "compiles rule groups with literal routing; 'auto' (default) "
+        "lets the planner pick and never explodes where lazy can serve",
+    )
     add_engine_knobs(p)
     p.set_defaults(func=_cmd_matchset)
 
@@ -971,6 +1003,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "shipped; the server compiles and caches)")
     cp.add_argument("input", help="input file, or - for stdin")
     cp.add_argument("-i", "--ignore-case", action="store_true")
+    cp.add_argument(
+        "--backend", choices=["auto", "eager", "lazy", "sharded"],
+        default=None,
+        help="server-side union-automaton backend "
+        "(omitted: the server's default, 'auto')",
+    )
     add_client_knobs(cp)
     cp = csub.add_parser(
         "stream",

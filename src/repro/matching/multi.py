@@ -17,6 +17,27 @@ state yields the full matched-rule set, independent of the chunking
 (Theorem 3 applies verbatim — acceptance is any function of the final
 state).
 
+**Backends** (DESIGN.md §3.11): *how the union transitions are obtained*
+is a compile-time choice, because the eager cross-product explodes for
+real rulesets (a dozen random IDS rules already exceed 200k states):
+
+* ``"eager"`` (default) — the historical behaviour: full union subset
+  construction up front; every kernel, executor and the D-SFA apply.
+* ``"lazy"`` — a :class:`~repro.automata.lazy.LazyUnionDFA` materializes
+  union states on first use (paper §V-A); compiles in O(rules), scans
+  any ruleset size, and :meth:`MultiPatternSet.freeze` converts a warmed
+  set to the eager backend when the reachable state set turns out small.
+* ``"sharded"`` — rules are partitioned into groups, each compiled to
+  its own (eager where affordable, else lazy) sub-automaton; scans
+  translate the payload once, drop groups whose rules are all ruled out
+  by the shared literal prefilter (:mod:`repro.analysis.literals`), scan
+  the surviving groups — optionally fanned out on a chunk executor —
+  and union the matched-rule sets.
+* ``"auto"`` — the planner's cost model picks one of the above from the
+  §3.9 Glushkov position counts, and *never* raises
+  :class:`~repro.errors.StateExplosionError` where lazy can serve (an
+  exploding eager attempt falls back to lazy).
+
 The scan paths have feature parity with :class:`CompiledPattern`
 (DESIGN.md §3.6): ``executor=`` dispatches chunk scans on the serial /
 thread / process backends (union tables ride the content-addressed
@@ -33,10 +54,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.automata.backend import BACKEND_NAMES, DEFAULT_LAZY_STATE_BUDGET
 from repro.automata.dfa import DFA
+from repro.automata.lazy import LazyUnionDFA
 from repro.automata.nfa import NFA, glushkov_nfa
 from repro.automata.sfa import SFA, correspondence_construction
-from repro.errors import MatchEngineError, StateExplosionError
+from repro.errors import AutomatonError, MatchEngineError, StateExplosionError
 from repro.matching.lockstep import lockstep_run
 from repro.matching.parallel_sfa import parallel_sfa_run
 from repro.parallel.chunking import clamp_chunks
@@ -53,6 +76,23 @@ from repro.util.bitset import iter_bits
 #: more states and byte classes (``|Q|·k²`` grows fast), and one
 #: precomposed table is amortized over every payload the ruleset scans.
 DEFAULT_STRIDE_BUDGET = 32 << 20
+
+#: State budget for the *probing* eager constructions the auto/sharded
+#: backends attempt before falling back to lazy.  Low enough that a
+#: doomed cross-product fails in well under a second, high enough that
+#: every eager-feasible ruleset seen in practice fits.
+EAGER_PROBE_STATES = 20_000
+
+#: Default Glushkov-position budget per rule group of the sharded
+#: backend (≈ 8–10 IDS rules per group).
+DEFAULT_GROUP_POSITIONS = 192
+
+#: Only probe a group's *eager* construction when its summed position
+#: count stays below this; bigger groups go straight to lazy.  Failing
+#: probes cost real time (the budget must be exhausted state by state),
+#: so at ~100 groups per 1000-rule set a mispredicted probe per group
+#: would dominate compile time.
+GROUP_EAGER_POSITIONS = 128
 
 #: A rule is a plain regex source, or a ``(pattern, ignore_case)`` pair.
 Rule = Union[str, Tuple[str, bool]]
@@ -101,6 +141,39 @@ def _normalize_rules(
     return sources, per_rule
 
 
+class _RuleGroup:
+    """One shard of a sharded ruleset: a sub-automaton over a rule slice.
+
+    ``rules`` are the *global* rule indices; the automaton's own rule sets
+    are group-local and translated back on every scan.
+    """
+
+    __slots__ = ("rules", "automaton", "rule_sets", "lazy")
+
+    def __init__(self, rules, automaton, rule_sets, lazy: bool):
+        self.rules = rules
+        self.automaton = automaton
+        self.rule_sets = rule_sets
+        self.lazy = lazy
+
+    @property
+    def num_materialized(self) -> int:
+        return self.automaton.num_materialized
+
+    def final_state(self, classes, kernel: str, stride_budget: int,
+                    start: Optional[int] = None) -> int:
+        if self.lazy:
+            return self.automaton.run_classes(classes, start=start)
+        q = self.automaton.initial if start is None else start
+        return scan_block(self.automaton, q, classes, kernel, stride_budget)
+
+    def global_rules(self, state: int) -> Tuple[int, ...]:
+        return tuple(self.rules[i] for i in self.rule_sets[state])
+
+    def matched_rules(self, classes, kernel: str, stride_budget: int) -> Tuple[int, ...]:
+        return self.global_rules(self.final_state(classes, kernel, stride_budget))
+
+
 class MultiPatternSet:
     """A set of regexes compiled into one scan automaton.
 
@@ -116,9 +189,10 @@ class MultiPatternSet:
     ignore_case:
         ruleset-wide case folding, OR-ed with any per-rule flag.
     max_dfa_states:
-        budget for the union subset construction (the cross-product of
+        budget for *eager* union subset construction (the cross-product of
         rule automata can blow up; callers see
-        :class:`~repro.errors.StateExplosionError`, not an OOM).
+        :class:`~repro.errors.StateExplosionError`, not an OOM).  Also the
+        budget :meth:`freeze` applies when converting a lazy set.
     flags:
         optional per-rule ignore-case flags (same length as ``patterns``),
         OR-ed with the tuple form and ``ignore_case``.
@@ -126,6 +200,17 @@ class MultiPatternSet:
         byte cap for the union automaton's precomposed stride tables
         (scans pick the largest affordable stride under it); ``None``
         means the multi default of :data:`DEFAULT_STRIDE_BUDGET`.
+    backend:
+        one of :data:`~repro.automata.backend.BACKEND_NAMES` — how union
+        transitions are obtained (see the module docstring).  The default
+        ``"eager"`` is bit-for-bit the historical behaviour; ``"auto"``
+        asks the planner and never explodes where lazy can serve.
+    max_lazy_states:
+        materialization budget (OOM backstop) for the lazy backends;
+        ``None`` = :data:`~repro.automata.backend.DEFAULT_LAZY_STATE_BUDGET`.
+    group_positions:
+        sharded backend only: Glushkov-position budget per rule group
+        (``None`` = :data:`DEFAULT_GROUP_POSITIONS`).
     """
 
     def __init__(
@@ -138,16 +223,31 @@ class MultiPatternSet:
         *,
         flags: Optional[Sequence[bool]] = None,
         stride_budget: Optional[int] = None,
+        backend: str = "eager",
+        max_lazy_states: Optional[int] = None,
+        group_positions: Optional[int] = None,
     ):
         if mode not in ("search", "fullmatch"):
             raise MatchEngineError(f"unknown mode {mode!r}")
         if not patterns:
             raise MatchEngineError("need at least one pattern")
+        if backend not in BACKEND_NAMES:
+            raise MatchEngineError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(BACKEND_NAMES)})"
+            )
         self.patterns, self.rule_flags = _normalize_rules(
             patterns, ignore_case, flags
         )
         self.mode = mode
+        self.max_dfa_states = max_dfa_states
         self.max_sfa_states = max_sfa_states
+        self.max_lazy_states = (
+            DEFAULT_LAZY_STATE_BUDGET if max_lazy_states is None else max_lazy_states
+        )
+        self.group_positions = (
+            DEFAULT_GROUP_POSITIONS if group_positions is None else group_positions
+        )
         self.stride_budget = (
             DEFAULT_STRIDE_BUDGET if stride_budget is None else stride_budget
         )
@@ -166,10 +266,84 @@ class MultiPatternSet:
         self._nfas: Optional[List[NFA]] = [
             glushkov_nfa(a, self.partition) for a in asts
         ]
-        self._dfa, self.rule_sets = _union_subset_construction(
-            self._nfas, self.partition, max_dfa_states
-        )
+        self._dfa: Optional[DFA] = None
         self._sfa: Optional[SFA] = None
+        self._union: Optional[LazyUnionDFA] = None
+        self._groups: Optional[List[_RuleGroup]] = None
+        self.rule_sets: Optional[List[Tuple[int, ...]]] = None
+        self._backend = self._compile(backend)
+
+    def _compile(self, backend: str) -> str:
+        """Build the requested backend's automata; returns the resolved
+        backend name (``"auto"`` resolves to what was actually built)."""
+        resolved = backend
+        if backend == "auto":
+            from repro.planning.planner import get_planner
+
+            resolved = get_planner().choose_backend(
+                [nfa.num_states for nfa in self._nfas], self.max_dfa_states
+            )
+        if resolved == "eager":
+            # Under "auto" the eager attempt runs with a probe budget so a
+            # mispredicted cross-product fails fast and falls back to lazy
+            # instead of raising — the "auto never explodes" contract.
+            budget = (
+                min(self.max_dfa_states, EAGER_PROBE_STATES)
+                if backend == "auto" else self.max_dfa_states
+            )
+            try:
+                self._dfa, self.rule_sets = _union_subset_construction(
+                    self._nfas, self.partition, budget
+                )
+                return "eager"
+            except StateExplosionError:
+                if backend != "auto":
+                    raise
+                resolved = "lazy"
+        if resolved == "sharded":
+            self._groups = self._build_groups()
+            return "sharded"
+        self._union = LazyUnionDFA(
+            self._nfas, self.partition, self.mode, self.max_lazy_states
+        )
+        self.rule_sets = self._union.rule_sets
+        return "lazy"
+
+    def _build_groups(self) -> List[_RuleGroup]:
+        """Partition rules into position-budgeted groups and compile each:
+        eager when the probe-budgeted subset construction fits, lazy
+        otherwise ("each below the eager budget, lazy where still too
+        big")."""
+        groups: List[_RuleGroup] = []
+        n = len(self._nfas)
+        budget = max(1, self.group_positions)
+        probe = min(self.max_dfa_states, EAGER_PROBE_STATES)
+        start = 0
+        while start < n:
+            end = start + 1
+            total = self._nfas[start].num_states
+            while end < n and total + self._nfas[end].num_states <= budget:
+                total += self._nfas[end].num_states
+                end += 1
+            rules = tuple(range(start, end))
+            sub = [self._nfas[i] for i in rules]
+            group = None
+            if total <= GROUP_EAGER_POSITIONS:
+                try:
+                    dfa, rsets = _union_subset_construction(
+                        sub, self.partition, probe
+                    )
+                    group = _RuleGroup(rules, dfa, rsets, False)
+                except StateExplosionError:
+                    pass
+            if group is None:
+                union = LazyUnionDFA(
+                    sub, self.partition, self.mode, self.max_lazy_states
+                )
+                group = _RuleGroup(rules, union, union.rule_sets, True)
+            groups.append(group)
+            start = end
+        return groups
 
     @classmethod
     def from_components(
@@ -189,7 +363,9 @@ class MultiPatternSet:
 
         This is the :func:`repro.automata.serialize.load_ruleset` entry
         point; components are trusted to be mutually consistent (the
-        loader validates them against the archive invariants).
+        loader validates them against the archive invariants).  Persisted
+        tables are eager by definition, so the result always has
+        ``backend == "eager"``.
         """
         if mode not in ("search", "fullmatch"):
             raise MatchEngineError(f"unknown mode {mode!r}")
@@ -201,7 +377,10 @@ class MultiPatternSet:
         obj.patterns = [str(p) for p in patterns]
         obj.rule_flags = [bool(f) for f in flags]
         obj.mode = mode
+        obj.max_dfa_states = 200_000
         obj.max_sfa_states = max_sfa_states
+        obj.max_lazy_states = DEFAULT_LAZY_STATE_BUDGET
+        obj.group_positions = DEFAULT_GROUP_POSITIONS
         obj.stride_budget = (
             DEFAULT_STRIDE_BUDGET if stride_budget is None else stride_budget
         )
@@ -210,6 +389,9 @@ class MultiPatternSet:
         obj._dfa = dfa
         obj.rule_sets = [tuple(int(r) for r in rules) for rules in rule_sets]
         obj._sfa = sfa
+        obj._union = None
+        obj._groups = None
+        obj._backend = "eager"
         return obj
 
     # -- properties --------------------------------------------------------
@@ -218,20 +400,88 @@ class MultiPatternSet:
         return len(self.patterns)
 
     @property
+    def backend(self) -> str:
+        """The resolved backend: ``"eager"``, ``"lazy"`` or ``"sharded"``
+        (``"auto"`` resolves at construction and is never stored)."""
+        return self._backend
+
+    @property
     def dfa(self) -> DFA:
-        """The union DFA (accepting = at least one rule matches)."""
+        """The union DFA (accepting = at least one rule matches).
+
+        Only the eager backend materializes it; :meth:`freeze` converts a
+        lazy/sharded set when the eager tables are genuinely needed.
+        """
+        if self._dfa is None:
+            raise AutomatonError(
+                f"backend={self._backend!r} has no eager union DFA; "
+                f"freeze() converts a warmed set to the eager backend"
+            )
         return self._dfa
 
     @property
     def sfa(self) -> SFA:
-        """The D-SFA over the union DFA (built lazily)."""
+        """The D-SFA over the union DFA (built lazily; eager backend only)."""
         if self._sfa is None:
             self._sfa = correspondence_construction(
-                self._dfa, max_states=self.max_sfa_states
+                self.dfa, max_states=self.max_sfa_states
             )
         return self._sfa
 
+    @property
+    def num_materialized(self) -> int:
+        """Union states materialized so far (all of them when eager)."""
+        if self._backend == "lazy":
+            return self._union.num_materialized
+        if self._backend == "sharded":
+            return sum(g.num_materialized for g in self._groups)
+        return self._dfa.num_states
+
+    @property
+    def group_count(self) -> int:
+        """Number of rule groups (0 unless sharded)."""
+        return len(self._groups) if self._groups is not None else 0
+
+    def freeze(self) -> "MultiPatternSet":
+        """Convert this set to the eager backend in place (no-op if it
+        already is) and return it.
+
+        For a lazy set this completes the closure of the states the scans
+        warmed up; for a sharded set it runs the full union subset
+        construction.  Both are budgeted by ``max_dfa_states`` and raise
+        :class:`~repro.errors.StateExplosionError` when the language
+        genuinely exceeds it — the caller keeps the unfrozen set.
+        """
+        if self._backend == "eager":
+            return self
+        if self._backend == "lazy":
+            dfa, rule_sets = self._union.freeze(self.max_dfa_states)
+            self._dfa = dfa
+            self.rule_sets = list(rule_sets)
+            self._union = None
+        else:  # sharded: regroup into one eager union
+            if self._nfas is None:  # pragma: no cover - sharded always has NFAs
+                raise AutomatonError("sharded set lost its construction NFAs")
+            self._dfa, self.rule_sets = _union_subset_construction(
+                self._nfas, self.partition, self.max_dfa_states
+            )
+            self._groups = None
+        self._backend = "eager"
+        return self
+
     def sizes(self) -> Dict[str, int]:
+        if self._backend == "lazy":
+            return {
+                "rules": self.num_rules,
+                "union_dfa_materialized": self._union.num_materialized,
+            }
+        if self._backend == "sharded":
+            return {
+                "rules": self.num_rules,
+                "groups": len(self._groups),
+                "group_states": sum(g.num_materialized for g in self._groups),
+                "lazy_groups": sum(1 for g in self._groups if g.lazy),
+            }
         return {
             "rules": self.num_rules,
             "union_dfa": self._dfa.num_states,
@@ -284,12 +534,17 @@ class MultiPatternSet:
         process backend publishes the union table over shared memory
         once).  ``kernel`` picks the scan kernel; serial scans use the
         largest affordable precomposed stride table of the union DFA.
-        The result is chunking- and backend-invariant.
+        The result is chunking- and backend-invariant — the lazy backend
+        walks its on-the-fly automaton (chunking folds sequentially), the
+        sharded backend scans only the groups the literal prefilter
+        cannot rule out and unions their verdicts.
         """
         classes = self.partition.translate(data)
         p, ex = self._resolve(
             plan, len(classes), num_chunks, executor, num_workers, kernel
         )
+        if self._backend == "sharded":
+            return self._sharded_matches(data, classes, p, ex)
         q = self._final_origin_state(classes, p, ex)
         return set(self.rule_sets[q])
 
@@ -309,7 +564,14 @@ class MultiPatternSet:
         p, ex = self._resolve(
             plan, len(classes), num_chunks, executor, num_workers, kernel
         )
-        return bool(self._dfa.accept[self._final_origin_state(classes, p, ex)])
+        if self._backend == "sharded":
+            return bool(
+                self._sharded_matches(data, classes, p, ex, any_only=True)
+            )
+        q = self._final_origin_state(classes, p, ex)
+        if self._backend == "lazy":
+            return self._union.accept[q]
+        return bool(self._dfa.accept[q])
 
     def rule_literal(self, rule: int) -> Optional[bytes]:
         """The longest byte string every match of ``rule`` must contain.
@@ -317,8 +579,8 @@ class MultiPatternSet:
         Computed by the static analyzer (DESIGN.md §3.9) from the rule's
         raw pattern and cached; ``None`` when the rule carries no required
         literal (e.g. nullable patterns, pure character classes).  This is
-        the per-rule routing metadata for literal prescreening and —
-        longer term — rule-group sharding: a payload that does not contain
+        the per-rule routing metadata for literal prescreening and the
+        sharded backend's group routing: a payload that does not contain
         the literal cannot match the rule, in either mode.
         """
         from repro.analysis.literals import literal_info
@@ -435,12 +697,20 @@ class MultiPatternSet:
         process backend sends shared-memory references instead of tables.
         ``num_chunks`` is clamped to the symbol count — ``p > n`` never
         dispatches an empty chunk.  Equivalent to
-        ``matches(data, num_chunks)`` for every backend and kernel.
+        ``matches(data, num_chunks)`` for every backend and kernel; the
+        lazy backend folds the chunks sequentially (its automaton has no
+        mapping payloads to compose), the sharded backend delegates to the
+        group scan.
         """
         classes = self.partition.translate(data)
         p, ex = self._resolve(
             plan, len(classes), num_chunks, executor, num_workers, kernel
         )
+        if self._backend == "sharded":
+            return self._sharded_matches(data, classes, p, ex)
+        if self._backend == "lazy":
+            q = self._lazy_chunk_carry(classes, p.num_chunks)
+            return set(self.rule_sets[q])
         res = parallel_sfa_run(
             self.sfa, classes, p.num_chunks, p.reduction,
             ex or p.resolve_executor(), p.kernel,
@@ -455,7 +725,13 @@ class MultiPatternSet:
         plan: Plan,
         ex_instance: Optional[ChunkExecutor] = None,
     ) -> int:
-        """Union-DFA state reached on ``classes`` under a resolved plan."""
+        """Union-automaton state reached on ``classes`` under a resolved
+        plan (eager and lazy backends; sharded has no single state)."""
+        if self._backend == "lazy":
+            # On-the-fly walk: chunking and kernels don't apply (there is
+            # no materialized table to stride or to hand a pool), and the
+            # final state is blocking-invariant by definition.
+            return self._union.run_classes(classes)
         p = clamp_chunks(len(classes), plan.num_chunks)
         if p == 1:
             # One chunk gains nothing from a pool, and the serial DFA walk
@@ -485,10 +761,63 @@ class MultiPatternSet:
             self._dfa, self._dfa.initial, classes, kernel, self.stride_budget
         )
 
+    def _lazy_chunk_carry(self, classes: np.ndarray, num_chunks: int) -> int:
+        """Chunked scan on the lazy union: per-chunk walks carrying the
+        state across boundaries (Algorithm 5's blocking, sequential fold)."""
+        p = clamp_chunks(len(classes), num_chunks)
+        if p <= 1:
+            return self._union.run_classes(classes)
+        q = self._union.initial
+        for chunk in np.array_split(np.asarray(classes), p):
+            q = self._union.run_classes(chunk, start=q)
+        return q
+
+    def _sharded_matches(
+        self,
+        data: bytes,
+        classes: np.ndarray,
+        plan: Plan,
+        ex_instance: Optional[ChunkExecutor],
+        any_only: bool = False,
+    ) -> Set[int]:
+        """Scan the groups the literal prefilter cannot rule out; union
+        their matched-rule sets (optionally short-circuiting)."""
+        survivors = set(self.prescreen(data))
+        live = [
+            g for g in self._groups
+            if any(r in survivors for r in g.rules)
+        ]
+        kernel, budget = plan.kernel, self.stride_budget
+
+        def scan_group(g: _RuleGroup) -> Tuple[int, ...]:
+            return g.matched_rules(classes, kernel, budget)
+
+        if any_only:
+            for g in live:
+                hit = scan_group(g)
+                if hit:
+                    return set(hit)
+            return set()
+        ex = ex_instance or plan.resolve_executor()
+        if ex is None:
+            results = [scan_group(g) for g in live]
+        else:
+            results = ex.map(scan_group, live)
+        out: Set[int] = set()
+        for r in results:
+            out.update(r)
+        return out
+
     def __repr__(self) -> str:
+        if self._backend == "sharded":
+            detail = f"groups={len(self._groups)}"
+        elif self._backend == "lazy":
+            detail = f"union_dfa_materialized={self._union.num_materialized}"
+        else:
+            detail = f"union_dfa={self._dfa.num_states}"
         return (
             f"MultiPatternSet(rules={self.num_rules}, mode={self.mode!r}, "
-            f"union_dfa={self._dfa.num_states})"
+            f"backend={self._backend!r}, {detail})"
         )
 
 

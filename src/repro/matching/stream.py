@@ -337,8 +337,32 @@ class StreamingMultiMatcher:
         self.num_chunks = p.num_chunks
         self.kernel = p.kernel
         self.plan = p
-        self._automaton = ruleset.dfa if self.num_chunks == 1 else ruleset.sfa
-        self.state = self._automaton.initial
+        self._backend = getattr(ruleset, "backend", "eager")
+        self._group_states: Optional[List[int]] = None
+        if self._backend == "lazy":
+            # On-the-fly union (DESIGN.md §3.11): the cursor walks the
+            # lazy automaton directly, materializing states as the stream
+            # reaches them.  There is no mapping payload to ⊙-fold, so
+            # blocks are consumed sequentially regardless of num_chunks.
+            self._automaton = ruleset._union
+            self.num_chunks = 1
+        elif self._backend == "sharded":
+            # One running state per rule group; each block advances every
+            # group's cursor.  (The literal prefilter cannot route here —
+            # a literal may straddle block boundaries the prescreen never
+            # sees whole.)
+            self._automaton = None
+            self.num_chunks = 1
+            self._group_states = [
+                g.automaton.initial for g in ruleset._groups
+            ]
+        else:
+            self._automaton = (
+                ruleset.dfa if self.num_chunks == 1 else ruleset.sfa
+            )
+        self.state = (
+            self._automaton.initial if self._automaton is not None else 0
+        )
         self._consumed = 0
         self._matched: Set[int] = set()  # reported by feed() so far
 
@@ -350,7 +374,19 @@ class StreamingMultiMatcher:
         """Consume one block; returns the rules newly matched by it."""
         classes = self.ruleset.partition.translate(block)
         if len(classes):
-            if self.num_chunks > 1:
+            if self._backend == "sharded":
+                budget = self.ruleset.stride_budget
+                self._group_states = [
+                    g.final_state(classes, self.kernel, budget, start=q)
+                    for g, q in zip(
+                        self.ruleset._groups, self._group_states
+                    )
+                ]
+            elif self._backend == "lazy":
+                self.state = self._automaton.run_classes(
+                    classes, start=self.state
+                )
+            elif self.num_chunks > 1:
                 self.state = _fold_block_parallel(
                     self._automaton, self.state, classes, self.num_chunks,
                     self.kernel, self.ruleset.stride_budget,
@@ -382,8 +418,13 @@ class StreamingMultiMatcher:
 
     def rules(self) -> Set[int]:
         """Rules matching the consumed input (the ruleset's mode applies)."""
+        if self._backend == "sharded":
+            out: Set[int] = set()
+            for g, q in zip(self.ruleset._groups, self._group_states):
+                out.update(g.global_rules(q))
+            return out
         if self.num_chunks == 1:
-            q = self.state  # the running state IS a union-DFA state
+            q = self.state  # the running state IS a union-automaton state
         else:
             sfa = self._automaton
             q = sfa.apply_mapping(self.state, sfa.origin_initial)
@@ -401,7 +442,12 @@ class StreamingMultiMatcher:
         return bool(self.matched_rules())
 
     def reset(self) -> "StreamingMultiMatcher":
-        self.state = self._automaton.initial
+        if self._backend == "sharded":
+            self._group_states = [
+                g.automaton.initial for g in self.ruleset._groups
+            ]
+        else:
+            self.state = self._automaton.initial
         self._consumed = 0
         self._matched = set()
         return self

@@ -58,6 +58,17 @@ STRIDE_BUILD_ENTRIES_PER_S = 3e6
 #: when the subject has not built its SFA yet.
 SFA_BUILD_S = 0.05
 
+#: Rulesets whose total Glushkov position count (§3.9: the NFA state
+#: count is positions + 1, so this is the exact product-automaton
+#: dimensionality) stays below this are compiled eagerly outright — the
+#: cross-product has always fit the budget at this size in practice.
+AUTO_EAGER_POSITIONS = 384
+
+#: Above this total position count the cross-product is hopeless even as
+#: a probe and per-group literal routing starts paying for itself, so
+#: ``backend="auto"`` prefers sharding over one monolithic lazy union.
+AUTO_SHARDED_POSITIONS = 1536
+
 
 def _built(obj, attr: str):
     """A lazily-built pipeline stage, or ``None`` — without building it."""
@@ -131,6 +142,29 @@ class Planner:
             reason=f"n={n}: {best.summary()} est {best_t * 1e3:.2f}ms "
             f"over {len(candidates)} candidates ({self.cpu_count} cores)",
         )
+
+    def choose_backend(
+        self, rule_nfa_states: List[int], max_dfa_states: int
+    ) -> str:
+        """Pick a union-automaton backend for a ruleset (DESIGN.md §3.11).
+
+        Decides from the §3.9 state-bound facts alone — per-rule Glushkov
+        NFA sizes, available before any subset construction: the union
+        DFA's state count is bounded by the product of the per-rule subset
+        lattices, and in practice explodes once the summed position count
+        leaves the few-hundred range (a dozen random IDS rules already
+        exceed 200k eager states).  Returns ``"eager"``, ``"lazy"`` or
+        ``"sharded"``; the eager verdict is a *prediction*, so
+        ``MultiPatternSet`` still probes it with a reduced budget and
+        falls back to lazy on :class:`~repro.errors.StateExplosionError`
+        — ``backend="auto"`` never raises where lazy can serve.
+        """
+        total = sum(int(s) for s in rule_nfa_states)
+        if total <= min(AUTO_EAGER_POSITIONS, max_dfa_states):
+            return "eager"
+        if total > AUTO_SHARDED_POSITIONS:
+            return "sharded"
+        return "lazy"
 
     # -- candidate generation --------------------------------------------
     def _serial_plan(self, task: str, reason: str) -> Plan:
@@ -219,6 +253,16 @@ class Planner:
         self, task: str, n: int, subject, cal: Calibration, strides: List[int]
     ) -> List[Tuple[float, Plan]]:
         mb = n / 1e6
+        backend = getattr(subject, "backend", "eager") if subject is not None else "eager"
+        if backend not in (None, "eager"):
+            # Lazy/sharded union automata have no materialized table to
+            # stride or to lockstep over; the scan entry points walk them
+            # directly, so the only honest plan is the serial baseline.
+            return [(
+                mb / cal.rate("sfa_python"),
+                Plan(engine="lockstep", kernel="python", num_chunks=1,
+                     reason=f"backend={backend!r}: direct automaton walk"),
+            )]
         out: List[Tuple[float, Plan]] = [
             (
                 mb / cal.rate("sfa_python"),

@@ -43,7 +43,8 @@ def pattern_key(pattern: str, ignore_case: bool = False) -> str:
 
 
 def ruleset_key(
-    rules: Sequence[str], flags: Sequence[bool], mode: str
+    rules: Sequence[str], flags: Sequence[bool], mode: str,
+    backend: str = "eager",
 ) -> str:
     """Stable digest of a ruleset cache entry (order-sensitive: rule
     indices are part of the observable result).
@@ -52,10 +53,18 @@ def ruleset_key(
     contain any byte (including NUL), so separator-based framing would
     let distinct rulesets collide on one digest — and a collision here
     silently serves the wrong compiled ruleset.
+
+    ``backend`` is part of the key: the same rules compiled eager vs lazy
+    vs sharded are different objects (different automata, different
+    observable sizes/stats), and a request for one must not be served the
+    other.  The legacy default keeps pre-backend digests stable.
     """
     h = hashlib.sha1()
     h.update(b"ruleset\0")
     h.update(mode.encode())
+    if backend != "eager":  # legacy digests unchanged for the default
+        h.update(b"\0backend\0")
+        h.update(backend.encode())
     for pat, flag in zip(rules, flags):
         raw = pat.encode("utf-8", "surrogatepass")
         h.update(b"i" if flag else b"-")
@@ -119,21 +128,34 @@ class ArtifactCache:
         rules: Sequence[str],
         flags: Optional[Sequence[bool]] = None,
         mode: str = "search",
+        backend: str = "eager",
     ):
-        """``(MultiPatternSet, cache_hit)`` for a list of rule sources."""
+        """``(MultiPatternSet, cache_hit)`` for a list of rule sources.
+
+        ``backend`` selects the union-automaton backend (DESIGN.md §3.11)
+        and is part of the cache key; ``"auto"`` resolves at compile time,
+        so two auto requests share the entry whatever it resolved to.
+        """
+        from repro.automata.backend import BACKEND_NAMES
         from repro.matching.multi import MultiPatternSet
 
+        if backend not in BACKEND_NAMES:
+            raise ServiceError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(BACKEND_NAMES)})",
+                kind="bad-request",
+            )
         rules = [str(r) for r in rules]
         flags = [bool(f) for f in flags] if flags is not None else [False] * len(rules)
         if len(flags) != len(rules):
             raise ServiceError(
                 f"{len(flags)} flags for {len(rules)} rules", kind="bad-request"
             )
-        key = ruleset_key(rules, flags, mode)
+        key = ruleset_key(rules, flags, mode, backend)
         return self._get(
             key,
             lambda: MultiPatternSet(
-                list(zip(rules, flags)), mode=mode
+                list(zip(rules, flags)), mode=mode, backend=backend
             ),
         )
 
@@ -196,6 +218,15 @@ class ArtifactCache:
             mark = (stage, kernel)
             if entry is not None and mark in entry.warmed:
                 continue
+            if (
+                not isinstance(value, CompiledPattern)
+                and getattr(value, "backend", "eager") != "eager"
+            ):
+                # Lazy/sharded rulesets have no eager union DFA, D-SFA or
+                # stride tables to force-build — their states materialize
+                # as scans touch them.  Skipping (rather than erroring)
+                # keeps warm requests backend-agnostic.
+                continue
             if stage == "dfa":
                 automaton = value.min_dfa if isinstance(value, CompiledPattern) else value.dfa
             elif stage == "sfa":
@@ -226,9 +257,23 @@ class ArtifactCache:
         return None
 
     # -- reporting -------------------------------------------------------
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            rulesets = []
+            for entry in self._entries.values():
+                v = entry.value
+                backend = getattr(v, "backend", None)
+                if backend is None or not hasattr(v, "num_materialized"):
+                    continue  # single-pattern entries
+                rulesets.append({
+                    "key": entry.key[:12],
+                    "backend": backend,
+                    "rules": v.num_rules,
+                    "num_materialized": int(v.num_materialized),
+                    "groups": int(v.group_count),
+                    "compile_seconds": round(entry.compile_seconds, 6),
+                })
+            out: Dict[str, object] = {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
@@ -236,6 +281,9 @@ class ArtifactCache:
                 "evictions": self.evictions,
                 "compile_seconds": round(self.compile_seconds, 6),
             }
+            if rulesets:
+                out["rulesets"] = rulesets
+            return out
 
     def clear(self) -> None:
         with self._lock:

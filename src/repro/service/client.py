@@ -179,6 +179,7 @@ class ServiceClient:
         stages: Sequence[str] = ("sfa",),
         kernel: str = "python",
         mode: str = "search",
+        backend: Optional[str] = None,
     ) -> Dict[str, Any]:
         header: Dict[str, Any] = {
             "op": "compile", "ignore_case": ignore_case,
@@ -189,6 +190,8 @@ class ServiceClient:
                 r if isinstance(r, str) else [r[0], bool(r[1])] for r in rules
             ]
             header["mode"] = mode
+            if backend is not None:
+                header["backend"] = backend
         elif pattern is not None:
             header["pattern"] = pattern
         else:
@@ -298,19 +301,20 @@ class ServiceClient:
         chunks: Optional[int] = None,
         kernel: Optional[str] = None,
         plan: PlanField = None,
+        backend: Optional[str] = None,
     ) -> List[int]:
+        header: Dict[str, Any] = {
+            "op": "multiscan",
+            "rules": [
+                r if isinstance(r, str) else [r[0], bool(r[1])]
+                for r in rules
+            ],
+            "mode": mode, "ignore_case": ignore_case,
+        }
+        if backend is not None:
+            header["backend"] = backend
         reply = self.request(
-            _knob_fields(
-                {
-                    "op": "multiscan",
-                    "rules": [
-                        r if isinstance(r, str) else [r[0], bool(r[1])]
-                        for r in rules
-                    ],
-                    "mode": mode, "ignore_case": ignore_case,
-                },
-                chunks, kernel, plan,
-            ),
+            _knob_fields(header, chunks, kernel, plan),
             data,
         )
         return [int(r) for r in reply["rules"]]
@@ -326,6 +330,7 @@ class ServiceClient:
         chunks: Optional[int] = None,
         kernel: Optional[str] = None,
         plan: PlanField = None,
+        backend: Optional[str] = None,
     ) -> "ClientStream":
         """Open a stateful stream session; see :class:`ClientStream`."""
         if kind is None:
@@ -343,6 +348,8 @@ class ServiceClient:
                 r if isinstance(r, str) else [r[0], bool(r[1])] for r in rules
             ]
             header["mode"] = mode
+            if backend is not None:
+                header["backend"] = backend
         reply = self.request(header)
         return ClientStream(self, int(reply["stream"]), kind)
 

@@ -469,7 +469,27 @@ class MatchService:
 
     def _ruleset_of(self, header: Dict[str, Any]):
         sources, flags, mode = self._rule_sources(header)
-        return self.cache.get_ruleset(sources, flags, mode)
+        backend = self._backend_arg(header)
+        return self.cache.get_ruleset(sources, flags, mode, backend)
+
+    def _backend_arg(self, header: Dict[str, Any]) -> str:
+        """The request's union-automaton backend (DESIGN.md §3.11).
+
+        Defaults to ``"auto"``: the planner picks eager for small
+        rulesets (identical results to the pre-backend service) and a
+        non-exploding backend for large ones, so a ruleset that used to
+        die with ``StateExplosionError`` now just compiles.
+        """
+        from repro.automata.backend import BACKEND_NAMES
+
+        backend = header.get("backend", "auto")
+        if backend not in BACKEND_NAMES:
+            raise ServiceError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(BACKEND_NAMES)})",
+                kind="bad-request",
+            )
+        return backend
 
     def _knobs(
         self, header: Dict[str, Any]
@@ -545,11 +565,19 @@ class MatchService:
         if not isinstance(stages, list):
             raise ServiceError("'stages' must be a list", kind="bad-request")
         _, kernel = self._knobs(header)
+        backend = None
         if "rules" in header:
             value, hit = await self._in_thread(lambda: self._ruleset_of(header))
-            sizes = dict(value.sizes()) if "sfa" in stages else {
-                "rules": value.num_rules, "union_dfa": value.dfa.num_states,
-            }
+            backend = value.backend
+            if backend != "eager":
+                sizes = dict(value.sizes())  # lazy-safe: no union D-SFA
+            elif "sfa" in stages:
+                sizes = dict(value.sizes())
+            else:
+                sizes = {
+                    "rules": value.num_rules,
+                    "union_dfa": value.dfa.num_states,
+                }
             analysis = await self._in_thread(lambda: _ruleset_analysis(value))
             task = "multi"
         else:
@@ -569,10 +597,13 @@ class MatchService:
                 self._plan_arg(header) or "auto", task, 1 << 20, subject=value
             )
         )
-        return {
+        reply = {
             "ok": True, "cached": hit, "built": built, "sizes": sizes,
             "analysis": analysis, "plan": plan.to_dict(),
         }
+        if backend is not None:
+            reply["backend"] = backend
+        return reply
 
     async def _op_analyze(self, header, payload, streams, next_stream):
         """Static §3.9 analysis of a pattern or ruleset: no compilation,
@@ -728,6 +759,7 @@ class MatchService:
                 "rules": sorted(int(r) for r in hits),
                 "num_rules": mps.num_rules,
                 "cached": hit,
+                "backend": mps.backend,
                 "plan": self._note_plan(p),
             }
 

@@ -604,3 +604,55 @@ class TestServiceConcurrency:
             c2.match("zfj[0-9]{2}", b"zfj43")
             stats = c2.stats()["cache"]
         assert stats["hits"] >= 1  # second connection hit the first's entry
+
+
+class TestServiceBackends:
+    """The union-backend knob over the wire (DESIGN.md §3.11)."""
+
+    def test_multiscan_backend_knob_is_result_invariant(self, server):
+        data = b"pad abc pad a42b pad GET /index"
+        want = sorted(MultiPatternSet(RULES).matches(data))
+        with server.client() as c:
+            assert c.multiscan(RULES, data, backend="eager") == want
+            assert c.multiscan(RULES, data, backend="lazy") == want
+            assert c.multiscan(RULES, data, backend="sharded") == want
+            assert c.multiscan(RULES, data) == want  # default: auto
+
+    def test_bad_backend_is_a_structured_error(self, server):
+        with server.client() as c:
+            err = c.request(
+                {"op": "multiscan", "rules": RULES, "backend": "magic"},
+                b"x", check=False,
+            )
+            assert err["ok"] is False
+            assert err["error"]["kind"] == "bad-request"
+            assert "magic" in err["error"]["message"]
+
+    def test_stats_report_ruleset_backends(self, server):
+        with server.client() as c:
+            c.multiscan(RULES, b"abc", backend="lazy")
+            entries = c.stats()["cache"]["rulesets"]
+            assert any(
+                e["backend"] == "lazy" and e["num_materialized"] >= 1
+                for e in entries
+            )
+
+    def test_compile_reply_names_the_backend(self, server):
+        with server.client() as c:
+            r = c.compile(rules=RULES, stages=["dfa"], backend="lazy")
+            assert r["backend"] == "lazy"
+            assert r["sizes"]["union_dfa_materialized"] >= 1
+            assert r["built"] == []  # nothing eager to warm
+            # and the analyze op's report carries the blowup lint field
+            report = c.analyze(rules=RULES)
+            assert "warnings" in report
+
+    def test_stream_multi_backend_knob(self, server):
+        data = b"pad abc pad a42b pad GET /index"
+        want = sorted(MultiPatternSet(RULES).matches(data))
+        with server.client() as c:
+            with c.open_stream(rules=RULES, backend="lazy") as st:
+                got = sorted(
+                    set(st.feed(data[:10]) + st.feed(data[10:]) + st.finish())
+                )
+            assert got == want
