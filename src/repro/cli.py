@@ -224,10 +224,15 @@ def _grep_walk(paths: List[str]) -> "tuple[list[str], list[str], bool]":
     non-regular paths are kept (grep reads an explicit FIFO argument).
     The list is deduplicated by ``os.path.realpath`` keeping first
     occurrence, so one file reachable under two names is scanned (and
-    counted) once.  Returns ``(files, missing, recursed)``.
+    counted) once.  Directories are deduplicated the same way: a tree
+    named both directly and through a symlink is *walked* once, not
+    merely de-duplicated file by file, and the visited set doubles as
+    loop protection against cyclic links.  Returns
+    ``(files, missing, recursed)``.
     """
     files: List[str] = []
     seen: set = set()
+    visited_dirs: set = set()
     missing: List[str] = []
     recursed = False
 
@@ -243,7 +248,14 @@ def _grep_walk(paths: List[str]) -> "tuple[list[str], list[str], bool]":
                 files.append(p)
         elif os.path.isdir(p):
             recursed = True
+            if os.path.realpath(p) in visited_dirs:
+                continue  # same tree under another name: already walked
             for root, dirs, names in os.walk(p):
+                real_root = os.path.realpath(root)
+                if real_root in visited_dirs:
+                    dirs[:] = []  # cyclic or repeated subtree: prune
+                    continue
+                visited_dirs.add(real_root)
                 dirs.sort()
                 for name in sorted(names):
                     full = os.path.join(root, name)
@@ -511,23 +523,54 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if _report_dirty(payload) else 0
 
 
+def _parse_ruleset_args(entries) -> dict:
+    """``--ruleset NAME=PATH`` pairs into a name->path mapping."""
+    rulesets = {}
+    for entry in entries or []:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            raise MatchEngineError(
+                f"--ruleset takes NAME=PATH, got {entry!r}"
+            )
+        if name in rulesets:
+            raise MatchEngineError(f"duplicate ruleset name {name!r}")
+        rulesets[name] = path
+    return rulesets
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import MatchService
 
-    svc = MatchService(
-        host=args.host,
-        port=args.port,
+    rulesets = _parse_ruleset_args(args.ruleset)
+    options = dict(
         cache_size=args.cache_size,
         executor=None if args.executor == "serial" else args.executor,
-        num_workers=args.workers,
+        num_workers=args.executor_workers,
         max_payload=args.max_payload,
         allow_shutdown=not args.no_remote_shutdown,
+        rulesets=rulesets or None,
     )
+
+    if args.workers > 1:
+        from repro.service.prefork import PreforkServer
+
+        srv = PreforkServer(
+            args.host, args.port, args.workers,
+            mode=args.prefork_mode, **options,
+        )
+        srv.start()
+        # Printed *after* every worker is accepting, so scripts can wait
+        # for the line (and learn the real port under --port 0).
+        print(f"repro serve: listening on {args.host}:{srv.port} "
+              f"(workers={args.workers}, mode={srv.mode}, "
+              f"executor={args.executor}, cache={args.cache_size})",
+              flush=True)
+        return srv.supervise()
+
+    svc = MatchService(host=args.host, port=args.port, **options)
 
     async def main() -> None:
         await svc.start()
-        # Printed *after* bind so scripts can wait for the line (and learn
-        # the real port when --port 0 asked the OS to pick one).
         print(f"repro serve: listening on {svc.host}:{svc.port} "
               f"(executor={svc.executor_name or 'none'}, "
               f"cache={svc.cache.capacity})", flush=True)
@@ -580,6 +623,16 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         c.shutdown()
         print("server stopping")
         return 0
+    if op == "reload":
+        reply = c.reload()
+        loaded = reply.get("rulesets", {})
+        print(f"reloaded {len(loaded)} ruleset(s) at version "
+              f"{reply.get('version')}")
+        for name in sorted(loaded):
+            info = loaded[name]
+            print(f"  {name}: {info.get('rules')} rules "
+                  f"from {info.get('path')}")
+        return 0
     if op in ("match", "scan"):
         data = bytes(memoryview(_read_input(args.input)))
         fn = c.match if op == "match" else c.scan
@@ -602,6 +655,23 @@ def _run_client_op(c, args: argparse.Namespace) -> int:
         return 0 if spans else 1
     if op == "multiscan":
         data = bytes(memoryview(_read_input(args.input)))
+        if args.ruleset is not None:
+            if args.rules_file is not None:
+                raise MatchEngineError(
+                    "choose --rules-file or --ruleset, not both"
+                )
+            hits = c.multiscan(
+                data=data, ruleset=args.ruleset, chunks=args.chunks,
+                kernel=args.kernel, plan=args.plan,
+            )
+            for i in hits:
+                print(f"{i}:<{args.ruleset}>")
+            print(f"matched {len(hits)} rules in ruleset {args.ruleset!r}")
+            return 0 if hits else 1
+        if args.rules_file is None:
+            raise MatchEngineError(
+                "multiscan needs --rules-file or --ruleset"
+            )
         rules = _client_rules(args)
         hits = c.multiscan(
             rules, data, chunks=args.chunks, kernel=args.kernel,
@@ -934,8 +1004,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared warm chunk-executor pool for chunked requests "
         "(lifetime tied to the server; drained on shutdown)",
     )
-    p.add_argument("--workers", type=int, default=None,
-                   help="pool size for the shared executor")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-fork service workers sharing the port via SO_REUSEPORT "
+        "(1 = single-process; each worker runs its own event loop and "
+        "publishes metrics to the shared stats board)",
+    )
+    p.add_argument("--executor-workers", type=int, default=None,
+                   help="pool size for each worker's shared chunk executor")
+    p.add_argument(
+        "--prefork-mode", choices=["reuseport", "fdpass"], default=None,
+        help="connection sharding for --workers > 1: kernel SO_REUSEPORT "
+        "balancing, or master-accept + fd passing (default: auto)",
+    )
+    p.add_argument(
+        "--ruleset", action="append", metavar="NAME=PATH", default=None,
+        help="named hot-reloadable ruleset from a pattern file "
+        "(repeatable; clients scan it by name and the 'reload' op "
+        "re-reads every file without dropping connections)",
+    )
     p.add_argument("--max-payload", type=int, default=DEFAULT_MAX_PAYLOAD,
                    help="per-request payload cap in bytes")
     p.add_argument("--no-remote-shutdown", action="store_true",
@@ -966,8 +1053,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     csub.add_parser("ping", help="liveness probe")
-    csub.add_parser("stats", help="cache/counter snapshot as JSON")
+    csub.add_parser("stats", help="cache/counter/latency snapshot as JSON "
+                    "(per-worker + aggregate under --workers > 1)")
     csub.add_parser("shutdown", help="ask the server to drain and exit")
+    csub.add_parser("reload", help="hot-reload the server's named "
+                    "rulesets from their files (no dropped connections)")
     for cop, chelp in (
         ("match", "whole-input membership test"),
         ("scan", "chunk-parallel containment scan"),
@@ -998,9 +1088,12 @@ def build_parser() -> argparse.ArgumentParser:
                     default="search",
                     help="ruleset match semantics the lint assumes")
     cp = csub.add_parser("multiscan", help="match a whole ruleset remotely")
-    cp.add_argument("--rules-file", required=True,
+    cp.add_argument("--rules-file", default=None,
                     help="pattern file or .npz ruleset (sources are "
                     "shipped; the server compiles and caches)")
+    cp.add_argument("--ruleset", default=None,
+                    help="server-side named ruleset (--ruleset NAME=PATH "
+                    "at serve time; nothing is shipped)")
     cp.add_argument("input", help="input file, or - for stdin")
     cp.add_argument("-i", "--ignore-case", action="store_true")
     cp.add_argument(

@@ -144,6 +144,124 @@ class ThreadExecutor(ChunkExecutor):
 
 
 # ---------------------------------------------------------------------------
+# Cross-process segment directory (pre-fork cache sharing, DESIGN.md §3.12)
+# ---------------------------------------------------------------------------
+
+
+class SegmentDirectory:
+    """Cross-process registry of published table segments.
+
+    The pre-fork service master creates one directory before forking its
+    workers; every worker's :class:`ProcessExecutor` consults it under a
+    shared lock, so a transition table compiled by one worker is copied
+    into shared memory exactly once and *attached* (never re-published)
+    by the rest.  The mapping ``{content key -> ShmRef}`` itself lives in
+    one fixed shared-memory segment as a length-prefixed pickle — no
+    broker process, readable by any forked child.
+
+    Ownership: a segment registered here belongs to the directory.
+    Worker executors close their mappings but never unlink registered
+    names; the master unlinks every registered segment (and the
+    directory segment itself) via ``close(unlink_segments=True)`` at
+    teardown.
+    """
+
+    #: Fixed size of the pickled-mapping segment.  128 entries of
+    #: (sha1 hex, shape, dtype) tuples pickle to a few KiB; 64 KiB is
+    #: room to spare, and :meth:`register` degrades to "caller keeps
+    #: local ownership" rather than raising when full.
+    BYTES = 1 << 16
+
+    def __init__(self, max_entries: int = 128):
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        self.max_entries = max_entries
+        ctx = multiprocessing
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        self._lock = ctx.Lock()
+        self._seg = shared_memory.SharedMemory(
+            create=True, size=self.BYTES,
+            name=f"repro_dir_{secrets.token_hex(8)}",
+        )
+        self._store({})
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    def _store(self, table: Dict[Any, ShmRef]) -> bool:
+        blob = pickle.dumps(table, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) + 8 > self.BYTES:
+            return False
+        buf = self._seg.buf
+        buf[0:8] = len(blob).to_bytes(8, "big")
+        buf[8:8 + len(blob)] = blob
+        return True
+
+    def _load(self) -> Dict[Any, ShmRef]:
+        buf = self._seg.buf
+        n = int.from_bytes(bytes(buf[0:8]), "big")
+        if n == 0:
+            return {}
+        return pickle.loads(bytes(buf[8:8 + n]))
+
+    def lookup(self, key) -> Optional[ShmRef]:
+        """The registered ref for ``key``, or None."""
+        with self._lock:
+            return self._load().get(key)
+
+    def register(self, key, ref: ShmRef) -> Tuple[ShmRef, bool]:
+        """Record ``ref`` under ``key``; first writer wins.
+
+        Returns ``(winning ref, directory_owns)``.  When another process
+        registered first, the caller gets *its* ref back and should
+        discard the duplicate segment it just made.  ``directory_owns``
+        is False when the directory is full — the caller then keeps
+        local ownership (unlink-at-close) as if unshared.
+        """
+        with self._lock:
+            table = self._load()
+            cur = table.get(key)
+            if cur is not None:
+                return cur, True
+            if len(table) >= self.max_entries:
+                return ref, False
+            table[key] = ref
+            if not self._store(table):
+                return ref, False
+            return ref, True
+
+    def registered_names(self) -> List[str]:
+        with self._lock:
+            return [ref[0] for ref in self._load().values()]
+
+    def close(self, unlink_segments: bool = False) -> None:
+        from multiprocessing import shared_memory
+
+        if unlink_segments:
+            for name in self.registered_names():
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                    seg.close()
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+                except OSError:  # pragma: no cover
+                    pass
+        try:
+            self._seg.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        if unlink_segments:
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+# ---------------------------------------------------------------------------
 # Process backend
 # ---------------------------------------------------------------------------
 
@@ -261,6 +379,7 @@ class ProcessExecutor(ChunkExecutor):
         num_workers: Optional[int] = None,
         fresh_workers: bool = False,
         start_method: Optional[str] = None,
+        directory: Optional[SegmentDirectory] = None,
     ):
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -268,6 +387,13 @@ class ProcessExecutor(ChunkExecutor):
             raise MatchEngineError("need at least one worker")
         self.num_workers = num_workers
         self.fresh_workers = fresh_workers
+        #: Optional cross-process SegmentDirectory: pre-fork service
+        #: workers share one, so equal tables are published once across
+        #: the whole worker fleet, not once per process.
+        self._directory = directory
+        #: Segment names owned by the directory, not this executor —
+        #: closed locally but never unlinked here.
+        self._directory_names: set = set()
         # One executor may be shared by many caller threads (the match
         # service dispatches handler threads onto a single warm pool), so
         # publication bookkeeping and pool creation are serialized; the
@@ -351,7 +477,37 @@ class ProcessExecutor(ChunkExecutor):
         if ref is not None:
             self._remember_id(source, ref, key)
             return self._published[key], ref
+        if self._directory is not None:
+            # Another pre-fork worker may have published this table
+            # already — attach its segment instead of copying again.
+            dref = self._directory.lookup(key)
+            if dref is not None:
+                seg = self._attach_segment(dref)
+                if seg is not None:
+                    self._directory_names.add(dref[0])
+                    return self._admit(key, seg, dref, source)
         seg, ref = self._make_segment(arr)
+        if self._directory is not None:
+            win, dir_owns = self._directory.register(key, ref)
+            if win != ref:
+                # Lost the publish race: discard our duplicate, attach
+                # the winner's segment.
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                alt = self._attach_segment(win)
+                if alt is not None:
+                    seg, ref = alt, win
+                    self._directory_names.add(ref[0])
+                else:  # winner vanished mid-race; fall back to local
+                    seg, ref = self._make_segment(arr)
+            elif dir_owns:
+                self._directory_names.add(ref[0])
+        return self._admit(key, seg, ref, source)
+
+    def _admit(self, key, seg, ref: ShmRef, source: np.ndarray):
         while len(self._published) >= self.max_tables:
             # FIFO eviction keeps a long-lived executor's /dev/shm
             # footprint bounded; an evicted table is republished (under
@@ -359,15 +515,31 @@ class ProcessExecutor(ChunkExecutor):
             old_key = next(iter(self._published))
             old_seg = self._published.pop(old_key)
             self._refs.pop(old_key, None)
-            old_seg.close()
-            try:
-                old_seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+            self._release_segment(old_seg)
         self._published[key] = seg
         self._refs[key] = ref
         self._remember_id(source, ref, key)
         return seg, ref
+
+    def _release_segment(self, seg) -> None:
+        """Close a published segment; unlink only the ones we own."""
+        name = seg.name
+        seg.close()
+        if name in self._directory_names:
+            return  # the directory master unlinks at teardown
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    @staticmethod
+    def _attach_segment(ref: ShmRef):
+        from multiprocessing import shared_memory
+
+        try:
+            return shared_memory.SharedMemory(name=ref[0])
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            return None
 
     def _remember_id(self, source: np.ndarray, ref: ShmRef, key) -> None:
         # Freeze the table before trusting its identity: an id()-keyed hit
@@ -496,11 +668,7 @@ class ProcessExecutor(ChunkExecutor):
             pool.close()
             pool.join()  # graceful drain: running chunk scans finish
         for seg in published:
-            seg.close()
-            try:
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+            self._release_segment(seg)
 
     def __del__(self):  # pragma: no cover - best-effort safety net
         try:
@@ -516,14 +684,23 @@ class ProcessExecutor(ChunkExecutor):
 EXECUTOR_NAMES = ("serial", "threads", "processes")
 
 
-def make_executor(name: str, num_workers: Optional[int] = None) -> ChunkExecutor:
-    """Build a fresh executor by backend name (caller owns its lifetime)."""
+def make_executor(
+    name: str,
+    num_workers: Optional[int] = None,
+    directory: Optional[SegmentDirectory] = None,
+) -> ChunkExecutor:
+    """Build a fresh executor by backend name (caller owns its lifetime).
+
+    ``directory`` (process backend only) plugs the executor into a
+    pre-fork :class:`SegmentDirectory` so table publications are shared
+    across sibling worker processes.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "threads":
         return ThreadExecutor(num_workers or (os.cpu_count() or 1))
     if name == "processes":
-        return ProcessExecutor(num_workers)
+        return ProcessExecutor(num_workers, directory=directory)
     raise MatchEngineError(
         f"unknown executor {name!r} (choose from {', '.join(EXECUTOR_NAMES)})"
     )

@@ -99,11 +99,12 @@ class ServiceClient:
         """
         try:
             self._sock.sendall(encode_message(header, payload))
-        except (BrokenPipeError, ConnectionResetError) as e:
+        except OSError as e:
             # Surface a dead server as a ServiceError, not a raw pipe
             # error: the CLI maps BrokenPipeError to a *quiet* SIGPIPE
             # exit (downstream reader hung up), which must never mask a
-            # service outage.
+            # service outage.  OSError covers the whole mid-drain family
+            # (ECONNRESET, EPIPE, EBADF after a local close, timeouts).
             raise ServiceError(
                 f"server closed the connection: {e}", kind="protocol"
             ) from None
@@ -130,10 +131,12 @@ class ServiceClient:
     def _read_message(self) -> Tuple[Dict[str, Any], int]:
         try:
             line = self._rfile.readline(MAX_HEADER_BYTES + 1)
-        except ConnectionError as e:
-            # A hard hangup (RST) must surface the same way a clean EOF
-            # does: the contract is "dead server -> ServiceError", never a
-            # raw socket exception.
+        except OSError as e:
+            # A hard hangup (RST), a timeout, or any other socket-level
+            # failure must surface the same way a clean EOF does: the
+            # contract is "dead server -> ServiceError", never a raw
+            # socket exception — a client caught mid-drain by a shutdown
+            # gets a clean exit-2 error, not a traceback.
             raise ServiceError(
                 f"server closed the connection: {e}", kind="protocol"
             ) from None
@@ -148,7 +151,7 @@ class ServiceClient:
         while len(out) < n:
             try:
                 chunk = self._rfile.read(n - len(out))
-            except ConnectionError as e:
+            except OSError as e:
                 raise ServiceError(
                     f"server closed the connection mid-payload: {e}",
                     kind="protocol",
@@ -169,6 +172,15 @@ class ServiceClient:
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})
+
+    def reload(self) -> Dict[str, Any]:
+        """Hot-reload the server's named rulesets from their files.
+
+        Returns ``{"version": v, "rulesets": {name: {...}}}``; in
+        pre-fork mode the reply arrives only after the new version has
+        propagated to the worker answering this connection.
+        """
+        return self.request({"op": "reload"})
 
     def compile(
         self,
@@ -293,9 +305,10 @@ class ServiceClient:
 
     def multiscan(
         self,
-        rules: Rules,
-        data: bytes,
+        rules: Optional[Rules] = None,
+        data: bytes = b"",
         *,
+        ruleset: Optional[str] = None,
         mode: str = "search",
         ignore_case: bool = False,
         chunks: Optional[int] = None,
@@ -303,14 +316,23 @@ class ServiceClient:
         plan: PlanField = None,
         backend: Optional[str] = None,
     ) -> List[int]:
+        """Matched rule indices — from inline ``rules`` or a server-side
+        named ``ruleset`` (hot-reloadable, see :meth:`reload`)."""
         header: Dict[str, Any] = {
-            "op": "multiscan",
-            "rules": [
+            "op": "multiscan", "mode": mode, "ignore_case": ignore_case,
+        }
+        if ruleset is not None:
+            header["ruleset"] = ruleset
+        elif rules is not None:
+            header["rules"] = [
                 r if isinstance(r, str) else [r[0], bool(r[1])]
                 for r in rules
-            ],
-            "mode": mode, "ignore_case": ignore_case,
-        }
+            ]
+        else:
+            raise ServiceError(
+                "multiscan needs rules or a ruleset name",
+                kind="bad-request",
+            )
         if backend is not None:
             header["backend"] = backend
         reply = self.request(

@@ -1,0 +1,399 @@
+"""Service observability: latency reservoirs and the cross-worker board.
+
+The ``stats`` op promises *real* metrics — per-worker and aggregate
+req/s, cache hit rate, and p50/p95/p99 latency — without unbounded
+growth.  Two pieces deliver that (DESIGN.md §3.12):
+
+* :class:`LatencyRing` — a fixed-size ring-buffer reservoir of the most
+  recent request latencies plus their monotonic timestamps.  Percentiles
+  are computed over the retained window, and the timestamp ring doubles
+  as a recent-req/s estimator; memory is O(ring size) forever.
+* :class:`MetricsBoard` — one shared-memory segment with a fixed slot
+  per pre-fork worker.  Each slot holds the worker's counters and its
+  latency ring; a slot has exactly **one writer** (its worker's event
+  loop), so no cross-process lock is needed, and *any* worker can read
+  every slot to answer a ``stats`` request with true aggregates.  Reads
+  are deliberately lock-free: a torn read skews one sample of a
+  statistical summary, which is the right trade for a hot path.
+
+:class:`ServiceMetrics` is the per-process front end the server calls:
+one lock guards the counter dict and the plan distribution (handler-pool
+threads record plans concurrently — see the ``plan_counts`` lost-update
+fix this layer pins), and the latency ring writes through to the board
+slot when one is attached.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+#: Latencies retained per worker (ring capacity; ~4 KiB of float64 each
+#: for values + timestamps — bounded however long the server runs).
+RING_SIZE = 512
+
+#: Window (seconds) over which ``req_per_s_recent`` counts timestamps.
+RECENT_WINDOW = 10.0
+
+#: Reported percentile points, in reply-field order.
+PERCENTILES = (50, 95, 99)
+
+# Slot layout: one int64 counter block, one float64 block.
+_I_SEQ = 0          # bumped per write: liveness + torn-read detector
+_I_PID = 1
+_I_REQUESTS = 2
+_I_ERRORS = 3
+_I_CONNECTIONS = 4
+_I_BYTES_IN = 5
+_I_BYTES_OUT = 6
+_I_CACHE_HITS = 7
+_I_CACHE_MISSES = 8
+_I_RULESET_VERSION = 9
+_I_LAT_COUNT = 10   # lifetime latencies recorded (ring write cursor)
+_NUM_INTS = 12      # one spare slot for forward compatibility
+
+_F_STARTED = 0      # time.monotonic() at worker start
+_NUM_FLOATS = 1
+
+_SLOT_BYTES = _NUM_INTS * 8 + (_NUM_FLOATS + 2 * RING_SIZE) * 8
+
+_COUNTER_FIELDS = {
+    "requests": _I_REQUESTS,
+    "errors": _I_ERRORS,
+    "connections": _I_CONNECTIONS,
+    "bytes_in": _I_BYTES_IN,
+    "bytes_out": _I_BYTES_OUT,
+    "cache_hits": _I_CACHE_HITS,
+    "cache_misses": _I_CACHE_MISSES,
+    "ruleset_version": _I_RULESET_VERSION,
+}
+
+
+class LatencyRing:
+    """Bounded reservoir of the newest request latencies.
+
+    Backed by caller-supplied numpy views (a board slot) or by private
+    arrays.  ``record`` overwrites the oldest sample once full, so the
+    footprint never grows; ``percentiles`` and ``recent_rate`` summarize
+    whatever the ring currently retains.
+    """
+
+    def __init__(
+        self,
+        values: Optional[np.ndarray] = None,
+        stamps: Optional[np.ndarray] = None,
+        size: int = RING_SIZE,
+    ):
+        if values is None:
+            values = np.zeros(size, dtype=np.float64)
+            stamps = np.zeros(size, dtype=np.float64)
+        if len(values) != len(stamps):
+            raise ServiceError(
+                f"{len(values)} latency cells vs {len(stamps)} stamps",
+                kind="bad-request",
+            )
+        self.values = values
+        self.stamps = stamps
+        self.count = 0  # lifetime records; ring cursor = count % size
+
+    def record(self, seconds: float, now: Optional[float] = None) -> None:
+        i = self.count % len(self.values)
+        self.values[i] = seconds
+        self.stamps[i] = time.monotonic() if now is None else now
+        self.count += 1
+
+    def filled(self) -> np.ndarray:
+        """The retained latency samples (any order)."""
+        n = min(self.count, len(self.values))
+        return self.values[:n]
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ms, "p95": ms, "p99": ms}`` over the retained window
+        (``None`` before the first request)."""
+        return summarize_ring(self.filled())
+
+    def recent_rate(self, window: float = RECENT_WINDOW) -> float:
+        """Requests/second over the trailing ``window`` (ring-bounded:
+        once the ring wraps inside the window this is a lower bound)."""
+        n = min(self.count, len(self.stamps))
+        if n == 0:
+            return 0.0
+        cutoff = time.monotonic() - window
+        recent = int(np.count_nonzero(self.stamps[:n] >= cutoff))
+        return recent / window
+
+
+def summarize_ring(values: np.ndarray) -> Dict[str, Optional[float]]:
+    """Percentile summary (milliseconds) of raw latency samples."""
+    if len(values) == 0:
+        return {f"p{p}": None for p in PERCENTILES}
+    pts = np.percentile(values, PERCENTILES)
+    return {
+        f"p{p}": round(float(v) * 1e3, 4) for p, v in zip(PERCENTILES, pts)
+    }
+
+
+class ServiceMetrics:
+    """Per-process metrics front end: counters + plan distribution + ring.
+
+    All mutation goes through one lock, because increments arrive from
+    two places — the event loop (request accounting) and the handler
+    thread pool (plan notes) — and ``d[k] = d.get(k, 0) + 1`` is a
+    read-modify-write that silently loses updates under that mix.
+    """
+
+    def __init__(self, slot: Optional["BoardSlot"] = None):
+        self._lock = threading.Lock()
+        self.slot = slot
+        self.started = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "connections": 0, "requests": 0, "errors": 0,
+            "bytes_in": 0, "bytes_out": 0,
+        }
+        self.plan_counts: Dict[str, int] = {}
+        if slot is not None:
+            slot.reset(started=self.started)
+            self.ring = LatencyRing(slot.lat_values, slot.lat_stamps)
+        else:
+            self.ring = LatencyRing()
+
+    # -- mutation --------------------------------------------------------
+    def bump(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+            if self.slot is not None:
+                self.slot.bump(name, delta)
+
+    def note_plan(self, summary: str) -> None:
+        with self._lock:
+            self.plan_counts[summary] = self.plan_counts.get(summary, 0) + 1
+
+    def record_request(self, seconds: float, ok: bool) -> None:
+        """One finished request: latency sample + request/error counters."""
+        with self._lock:
+            self.counters["requests"] += 1
+            if not ok:
+                self.counters["errors"] += 1
+            self.ring.record(seconds)
+            if self.slot is not None:
+                self.slot.bump("requests", 1)
+                if not ok:
+                    self.slot.bump("errors", 1)
+                self.slot.ints[_I_LAT_COUNT] = self.ring.count
+                self.slot.ints[_I_SEQ] += 1
+
+    def set_gauge(self, name: str, value: int) -> None:
+        """Publish an absolute value (cache hits/misses, ruleset version)
+        to the board slot; no-op without a board."""
+        if self.slot is not None:
+            with self._lock:
+                self.slot.set(name, value)
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(
+        self, cache_hits: int = 0, cache_misses: int = 0
+    ) -> Dict[str, Any]:
+        """This process's metrics block for the ``stats`` reply."""
+        with self._lock:
+            counters = dict(self.counters)
+            plans = dict(self.plan_counts)
+            pct = self.ring.percentiles()
+            recent = self.ring.recent_rate()
+            count = self.ring.count
+        uptime = max(time.monotonic() - self.started, 1e-9)
+        lookups = cache_hits + cache_misses
+        return {
+            "requests": counters["requests"],
+            "errors": counters["errors"],
+            "req_per_s": round(counters["requests"] / uptime, 3),
+            "req_per_s_recent": round(recent, 3),
+            "cache_hit_rate": (
+                round(cache_hits / lookups, 4) if lookups else None
+            ),
+            "latency_ms": pct,
+            "latency_samples": min(count, RING_SIZE),
+            "uptime_seconds": round(uptime, 3),
+            "plan_distribution": plans,
+        }
+
+
+class BoardSlot:
+    """One worker's single-writer region of the metrics board."""
+
+    def __init__(self, ints: np.ndarray, floats: np.ndarray,
+                 lat_values: np.ndarray, lat_stamps: np.ndarray):
+        self.ints = ints
+        self.floats = floats
+        self.lat_values = lat_values
+        self.lat_stamps = lat_stamps
+
+    def reset(self, started: Optional[float] = None) -> None:
+        """Zero the slot and claim it for this process (respawned workers
+        restart their slot rather than inheriting a dead one's history)."""
+        self.ints[:] = 0
+        self.floats[:] = 0.0
+        self.lat_values[:] = 0.0
+        self.lat_stamps[:] = 0.0
+        self.ints[_I_PID] = os.getpid()
+        self.floats[_F_STARTED] = (
+            time.monotonic() if started is None else started
+        )
+        self.ints[_I_SEQ] = 1
+
+    def bump(self, name: str, delta: int) -> None:
+        self.ints[_COUNTER_FIELDS[name]] += delta
+
+    def set(self, name: str, value: int) -> None:
+        self.ints[_COUNTER_FIELDS[name]] = int(value)
+
+    # -- read side (any process) ----------------------------------------
+    def live(self) -> bool:
+        return int(self.ints[_I_PID]) != 0 and int(self.ints[_I_SEQ]) != 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Read-side per-worker summary (tolerates concurrent writes)."""
+        count = int(self.ints[_I_LAT_COUNT])
+        n = min(count, RING_SIZE)
+        values = np.array(self.lat_values[:n], copy=True)
+        stamps = np.array(self.lat_stamps[:n], copy=True)
+        uptime = max(time.monotonic() - float(self.floats[_F_STARTED]), 1e-9)
+        requests = int(self.ints[_I_REQUESTS])
+        hits = int(self.ints[_I_CACHE_HITS])
+        misses = int(self.ints[_I_CACHE_MISSES])
+        lookups = hits + misses
+        cutoff = time.monotonic() - RECENT_WINDOW
+        return {
+            "pid": int(self.ints[_I_PID]),
+            "requests": requests,
+            "errors": int(self.ints[_I_ERRORS]),
+            "connections": int(self.ints[_I_CONNECTIONS]),
+            "bytes_in": int(self.ints[_I_BYTES_IN]),
+            "bytes_out": int(self.ints[_I_BYTES_OUT]),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / lookups, 4) if lookups else None,
+            "ruleset_version": int(self.ints[_I_RULESET_VERSION]),
+            "req_per_s": round(requests / uptime, 3),
+            "req_per_s_recent": round(
+                int(np.count_nonzero(stamps >= cutoff)) / RECENT_WINDOW, 3
+            ),
+            "latency_ms": summarize_ring(values),
+            "uptime_seconds": round(uptime, 3),
+            "_lat_values": values,  # stripped before the wire reply
+        }
+
+
+class MetricsBoard:
+    """The cross-worker stats board: N single-writer slots in one shared
+    memory segment.
+
+    The pre-fork master creates the board before forking; each worker
+    attaches its own slot (write side) and may read all slots to answer
+    ``stats`` with per-worker *and* aggregate numbers without any
+    master round-trip.  The master owns the segment's lifetime.
+    """
+
+    def __init__(self, num_slots: int, name: Optional[str] = None,
+                 create: bool = True):
+        from multiprocessing import shared_memory
+
+        if num_slots < 1:
+            raise ServiceError("board needs at least one slot",
+                               kind="bad-request")
+        self.num_slots = num_slots
+        size = num_slots * _SLOT_BYTES
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self.name = self._shm.name
+        self._owner = create
+        if create:
+            np.frombuffer(self._shm.buf, dtype=np.uint8)[:] = 0
+
+    def slot(self, index: int) -> BoardSlot:
+        if not 0 <= index < self.num_slots:
+            raise ServiceError(
+                f"slot {index} out of range 0..{self.num_slots - 1}",
+                kind="bad-request",
+            )
+        base = index * _SLOT_BYTES
+        buf = self._shm.buf
+        ints = np.frombuffer(buf, dtype=np.int64, count=_NUM_INTS,
+                             offset=base)
+        off = base + _NUM_INTS * 8
+        floats = np.frombuffer(buf, dtype=np.float64, count=_NUM_FLOATS,
+                               offset=off)
+        off += _NUM_FLOATS * 8
+        values = np.frombuffer(buf, dtype=np.float64, count=RING_SIZE,
+                               offset=off)
+        off += RING_SIZE * 8
+        stamps = np.frombuffer(buf, dtype=np.float64, count=RING_SIZE,
+                               offset=off)
+        return BoardSlot(ints, floats, values, stamps)
+
+    # -- read side -------------------------------------------------------
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """Per-worker snapshots of every live slot, in slot order."""
+        out = []
+        for i in range(self.num_slots):
+            s = self.slot(i)
+            if s.live():
+                snap = s.snapshot()
+                snap["worker"] = i
+                out.append(snap)
+        return out
+
+    def aggregate(
+        self, snaps: Optional[Sequence[Dict[str, Any]]] = None
+    ) -> Dict[str, Any]:
+        """Sum counters and merge latency rings across live workers."""
+        if snaps is None:
+            snaps = self.snapshots()
+        total: Dict[str, Any] = {
+            k: sum(int(s[k]) for s in snaps)
+            for k in ("requests", "errors", "connections",
+                      "bytes_in", "bytes_out", "cache_hits", "cache_misses")
+        }
+        lookups = total["cache_hits"] + total["cache_misses"]
+        total["cache_hit_rate"] = (
+            round(total["cache_hits"] / lookups, 4) if lookups else None
+        )
+        total["workers"] = len(snaps)
+        total["req_per_s"] = round(
+            sum(float(s["req_per_s"]) for s in snaps), 3
+        )
+        total["req_per_s_recent"] = round(
+            sum(float(s["req_per_s_recent"]) for s in snaps), 3
+        )
+        rings = [s["_lat_values"] for s in snaps if len(s["_lat_values"])]
+        merged = np.concatenate(rings) if rings else np.zeros(0)
+        total["latency_ms"] = summarize_ring(merged)
+        total["ruleset_version"] = min(
+            (int(s["ruleset_version"]) for s in snaps), default=0
+        )
+        return total
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self) -> "MetricsBoard":
+        """A read/write view of the same board in another process."""
+        return MetricsBoard(self.num_slots, name=self.name, create=False)
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        if unlink is None:
+            unlink = self._owner
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views remain
+            return
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass

@@ -1,0 +1,633 @@
+"""Pre-fork sharded front end for ``repro serve`` (DESIGN.md §3.12).
+
+One master process forks N workers, each running its own asyncio
+:class:`~repro.service.server.MatchService` event loop.  Connections are
+sharded by the kernel: every worker binds the same ``(host, port)`` with
+``SO_REUSEPORT``, so accepted connections are load-balanced across
+workers with no userspace broker.  Where ``SO_REUSEPORT`` is missing the
+master falls back to accepting itself and shipping connected sockets to
+workers over Unix socketpairs (``socket.send_fds`` round-robin).
+
+Shared state crosses the fork boundary through two shared-memory
+structures created *before* forking:
+
+* :class:`~repro.service.metrics.MetricsBoard` — one single-writer slot
+  per worker; any worker answers ``stats`` with per-worker and aggregate
+  numbers without asking the master.
+* :class:`~repro.parallel.executor.SegmentDirectory` — the content-
+  addressed table registry, so a transition table compiled by one worker
+  is published to shared memory once and attached by all (the
+  cross-worker artifact cache).
+
+Coordination (SyncMS-style — the master is the version authority) runs
+over one duplex :func:`multiprocessing.Pipe` per worker:
+
+* worker -> master: ``ready`` (post-bind handshake), ``reload_request``
+  and ``shutdown_request`` (a wire op escalating to the fleet),
+  ``reloaded`` / ``reload_failed`` acks.
+* master -> worker: ``{"cmd": "reload", "version": v}`` broadcast (each
+  worker re-reads its rule files, atomically swaps, and pulses the
+  version event the requesting handler awaits) and ``{"cmd":
+  "shutdown"}`` (graceful drain).
+
+Lifecycle: crashed workers are respawned with their board slot reset
+(fast crash-loops abort the server rather than spinning); SIGTERM/SIGINT
+to the master broadcasts a drain, waits ``drain_timeout``, then
+terminates stragglers and unlinks every owned shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import threading
+import time
+from multiprocessing import connection
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.metrics import MetricsBoard
+from repro.service.server import MatchService
+
+#: Seconds the master waits for a freshly spawned worker's ``ready``
+#: handshake (covers compiling large ``--ruleset`` files at start).
+READY_TIMEOUT = 60.0
+
+#: A worker that dies this soon after spawn counts as a crash-loop step.
+FAST_CRASH_WINDOW = 1.0
+
+#: Consecutive fast crashes of one slot before the master gives up.
+MAX_FAST_CRASHES = 5
+
+
+class _ConnWriter:
+    """Thread-safe writer around one pipe end (event loop + control
+    thread both send on the worker side)."""
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, msg: Dict[str, Any]) -> bool:
+        with self._lock:
+            try:
+                self.conn.send(msg)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in the forked child)
+# ---------------------------------------------------------------------------
+
+
+def _worker_control_loop(service: MatchService, conn, writer: _ConnWriter,
+                         loop: asyncio.AbstractEventLoop) -> None:
+    """Daemon thread: apply master commands until the pipe closes."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            # Master is gone: drain rather than serve unsupervised.
+            loop.call_soon_threadsafe(service._shutdown.set)
+            return
+        cmd = msg.get("cmd")
+        if cmd == "shutdown":
+            loop.call_soon_threadsafe(service._shutdown.set)
+        elif cmd == "reload":
+            version = int(msg.get("version", 0))
+            try:
+                # Compile in this thread (it is exactly a handler thread's
+                # job); the swap pulses the event loop's version waiter.
+                service._apply_reload(version)
+            except Exception as e:
+                writer.send({
+                    "event": "reload_failed", "version": version,
+                    "error": f"{type(e).__name__}: {e}",
+                })
+            else:
+                writer.send({"event": "reloaded", "version": version})
+        elif cmd == "ping":
+            writer.send({"event": "pong", "pid": os.getpid()})
+
+
+def _worker_recv_fds_loop(service: MatchService, fd_sock) -> None:
+    """Daemon thread (fd-passing mode): adopt sockets the master ships."""
+    while True:
+        try:
+            msg, fds, _flags, _addr = socket.recv_fds(fd_sock, 16, 8)
+        except OSError:
+            return
+        if not msg and not fds:
+            return  # EOF: master closed its end
+        for fd in fds:
+            try:
+                sock = socket.socket(fileno=fd)
+            except OSError:
+                os.close(fd)
+                continue
+            try:
+                service.attach_socket(sock)
+            except ServiceError:
+                sock.close()
+
+
+async def _worker_async_main(service: MatchService, conn,
+                             writer: _ConnWriter, mode: str,
+                             fd_sock) -> None:
+    loop = asyncio.get_running_loop()
+    await service.start(listen=(mode == "reuseport"),
+                        reuse_port=(mode == "reuseport"))
+    # Graceful drain on SIGTERM/SIGINT (the master signals the group);
+    # registered after start() so the shutdown event exists.
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, service._shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    threading.Thread(
+        target=_worker_control_loop, args=(service, conn, writer, loop),
+        name="prefork-control", daemon=True,
+    ).start()
+    if fd_sock is not None:
+        threading.Thread(
+            target=_worker_recv_fds_loop, args=(service, fd_sock),
+            name="prefork-recv-fds", daemon=True,
+        ).start()
+    writer.send({
+        "event": "ready", "pid": os.getpid(), "port": service.port,
+    })
+    try:
+        await service._shutdown.wait()
+    finally:
+        await service.stop()
+        writer.send({"event": "stopped", "pid": os.getpid()})
+
+
+def _worker_main(index: int, conn, fd_sock, board: MetricsBoard,
+                 directory, cfg: Dict[str, Any], mode: str,
+                 ruleset_version: int) -> None:
+    """Forked child entry point: build the service and run its loop."""
+    # The child inherited the board/directory objects over fork; their
+    # segments belong to the master — never unlink from here.
+    board._owner = False
+    writer = _ConnWriter(conn)
+    try:
+        service = MatchService(
+            worker_index=index,
+            board=board,
+            executor_directory=directory,
+            on_shutdown_request=lambda: writer.send(
+                {"event": "shutdown_request"}),
+            on_reload_request=lambda: writer.send(
+                {"event": "reload_request"}),
+            **cfg,
+        )
+        # Make the initial self-assigned load land on the master's
+        # current version (respawned workers join mid-history).
+        service.ruleset_version = max(0, ruleset_version - 1)
+        asyncio.run(_worker_async_main(service, conn, writer, mode, fd_sock))
+    except Exception as e:
+        writer.send({
+            "event": "failed", "pid": os.getpid(),
+            "error": f"{type(e).__name__}: {e}",
+        })
+        raise SystemExit(1)
+    raise SystemExit(0)
+
+
+# ---------------------------------------------------------------------------
+# Master side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "proc", "conn", "fd_sock", "spawned_at",
+                 "fast_crashes", "ready")
+
+    def __init__(self, index: int, proc, conn, fd_sock):
+        self.index = index
+        self.proc = proc
+        self.conn = conn          # master end of the control pipe
+        self.fd_sock = fd_sock    # master end of the fd-passing pair
+        self.spawned_at = time.monotonic()
+        self.fast_crashes = 0
+        self.ready = False
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def close(self) -> None:
+        for closer in (self.conn, self.fd_sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self.conn = None
+        self.fd_sock = None
+
+
+class PreforkServer:
+    """The ``repro serve --workers N`` master process.
+
+    ``service_options`` are forwarded verbatim to every worker's
+    :class:`MatchService` (cache size, executor, payload cap, rulesets,
+    ...).  ``mode`` is ``"reuseport"`` (default where the platform has
+    ``SO_REUSEPORT``), ``"fdpass"``, or ``None`` for auto.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        *,
+        mode: Optional[str] = None,
+        drain_timeout: float = 10.0,
+        **service_options: Any,
+    ):
+        if workers < 1:
+            raise ServiceError("need at least one worker",
+                               kind="bad-request")
+        if mode not in (None, "reuseport", "fdpass"):
+            raise ServiceError(f"unknown prefork mode {mode!r}",
+                               kind="bad-request")
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                "pre-fork serving needs the fork start method "
+                "(unavailable on this platform); run with --workers 1",
+                kind="bad-request",
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        if mode is None:
+            mode = ("reuseport" if hasattr(socket, "SO_REUSEPORT")
+                    else "fdpass")
+        self.mode = mode
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.drain_timeout = drain_timeout
+        self.service_options = dict(service_options)
+        self.service_options.setdefault("drain_timeout", drain_timeout)
+        self.ruleset_version = (
+            1 if self.service_options.get("rulesets") else 0
+        )
+        self.board: Optional[MetricsBoard] = None
+        self.directory = None
+        self._anchor: Optional[socket.socket] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handles: List[Optional[_WorkerHandle]] = [None] * workers
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._started = False
+        self._rr = 0  # fd-passing round-robin cursor
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "PreforkServer":
+        """Bind, create shared state, fork all workers, await readiness."""
+        if self._started:
+            raise ServiceError("prefork server already started",
+                               kind="bad-request")
+        self.board = MetricsBoard(self.workers)
+        if self.service_options.get("executor") == "processes":
+            from repro.parallel.executor import SegmentDirectory
+
+            self.directory = SegmentDirectory()
+        try:
+            if self.mode == "reuseport":
+                # The anchor reserves a concrete port for ``port=0``
+                # without joining the accept group (it never listens);
+                # each worker then binds the same port with SO_REUSEPORT.
+                self._anchor = socket.socket(socket.AF_INET,
+                                             socket.SOCK_STREAM)
+                self._anchor.setsockopt(socket.SOL_SOCKET,
+                                        socket.SO_REUSEADDR, 1)
+                self._anchor.setsockopt(socket.SOL_SOCKET,
+                                        socket.SO_REUSEPORT, 1)
+                self._anchor.bind((self.host, self.port))
+                self.port = self._anchor.getsockname()[1]
+            else:
+                self._listen_sock = socket.create_server(
+                    (self.host, self.port), backlog=512, reuse_port=False
+                )
+                self.port = self._listen_sock.getsockname()[1]
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            for i in range(self.workers):
+                self._spawn(i)
+            self._await_ready()
+            if self.mode == "fdpass":
+                self._accept_thread = threading.Thread(
+                    target=self._accept_loop, name="prefork-accept",
+                    daemon=True,
+                )
+                self._accept_thread.start()
+        except BaseException:
+            self._teardown(terminate=True)
+            raise
+        self._started = True
+        return self
+
+    def _worker_cfg(self) -> Dict[str, Any]:
+        cfg = dict(self.service_options)
+        cfg["host"] = self.host
+        cfg["port"] = self.port
+        return cfg
+
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        m_sock = w_sock = None
+        if self.mode == "fdpass":
+            m_sock, w_sock = socket.socketpair(socket.AF_UNIX,
+                                               socket.SOCK_STREAM)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, child_conn, w_sock, self.board, self.directory,
+                  self._worker_cfg(), self.mode, self.ruleset_version),
+            name=f"repro-serve-worker-{index}",
+        )
+        proc.start()
+        # The child inherited its ends over fork; close the master's
+        # copies so worker death is visible as EOF on parent_conn.
+        child_conn.close()
+        if w_sock is not None:
+            w_sock.close()
+        old = self._handles[index]
+        handle = _WorkerHandle(index, proc, parent_conn, m_sock)
+        if old is not None:
+            handle.fast_crashes = old.fast_crashes
+        self._handles[index] = handle
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + READY_TIMEOUT
+        for handle in self._handles:
+            assert handle is not None
+            while not handle.ready:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not handle.conn.poll(
+                        max(0.0, remaining)):
+                    raise ServiceError(
+                        f"worker {handle.index} did not become ready "
+                        f"within {READY_TIMEOUT:.0f}s",
+                        kind="engine",
+                    )
+                try:
+                    msg = handle.conn.recv()
+                except (EOFError, OSError):
+                    raise ServiceError(
+                        f"worker {handle.index} died during startup"
+                        + self._exit_detail(handle),
+                        kind="engine",
+                    ) from None
+                if msg.get("event") == "ready":
+                    handle.ready = True
+                elif msg.get("event") == "failed":
+                    raise ServiceError(
+                        f"worker {handle.index} failed to start: "
+                        f"{msg.get('error', 'unknown error')}",
+                        kind="engine",
+                    )
+
+    def _exit_detail(self, handle: _WorkerHandle) -> str:
+        handle.proc.join(timeout=1.0)
+        code = handle.proc.exitcode
+        return f" (exit code {code})" if code is not None else ""
+
+    # -- fd-passing accept loop -----------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen_sock.accept()
+            except OSError:
+                return  # listen socket closed: shutting down
+            self._ship(sock)
+
+    def _ship(self, sock: socket.socket) -> None:
+        """Hand one accepted connection to the next live worker."""
+        for _ in range(len(self._handles)):
+            handle = self._handles[self._rr % len(self._handles)]
+            self._rr += 1
+            if handle is None or not handle.alive():
+                continue
+            if handle.fd_sock is None:
+                continue
+            try:
+                socket.send_fds(handle.fd_sock, [b"c"], [sock.fileno()])
+            except OSError:
+                continue
+            sock.close()  # the worker holds its own duplicate now
+            return
+        sock.close()  # no live worker: refuse by reset
+
+    # -- supervision -----------------------------------------------------
+    def run(self) -> int:
+        """Blocking: :meth:`start` (if needed) then supervise to exit."""
+        if not self._started:
+            self.start()
+        return self.supervise()
+
+    def supervise(self) -> int:
+        """The master main loop: react to worker events and signals."""
+        self._install_signal_handlers()
+        try:
+            while True:
+                waitables: List[Any] = [
+                    h.conn for h in self._handles
+                    if h is not None and h.conn is not None
+                ]
+                if self._wake_r is not None:
+                    waitables.append(self._wake_r)
+                if not waitables:
+                    break
+                for obj in connection.wait(waitables, timeout=0.5):
+                    if obj is self._wake_r:
+                        self._drain_wakeups()
+                        self._begin_shutdown()
+                    else:
+                        self._handle_worker_event(obj)
+                if self._draining:
+                    if self._reap_drained():
+                        break
+                    if time.monotonic() > self._drain_deadline:
+                        self._terminate_stragglers()
+                        break
+        finally:
+            self._teardown(terminate=True)
+        return 0
+
+    def _install_signal_handlers(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return  # supervised from a thread (tests): signals stay default
+
+        def _on_signal(signum, frame):  # pragma: no cover - signal path
+            if self._wake_w is not None:
+                try:
+                    self._wake_w.send(b"s")
+                except OSError:
+                    pass
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(sig, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_r.recv(64):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def request_shutdown(self) -> None:
+        """Thread-safe external shutdown trigger (tests, embedders)."""
+        if self._wake_w is not None:
+            try:
+                self._wake_w.send(b"s")
+            except OSError:  # pragma: no cover
+                pass
+
+    def _handle_worker_event(self, conn) -> None:
+        handle = next(
+            (h for h in self._handles if h is not None and h.conn is conn),
+            None,
+        )
+        if handle is None:  # stale conn from a replaced handle
+            return
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_exit(handle)
+            return
+        event = msg.get("event")
+        if event == "reload_request":
+            self._broadcast_reload()
+        elif event == "shutdown_request":
+            self._begin_shutdown()
+        elif event == "ready":
+            handle.ready = True
+        # reloaded / reload_failed / stopped / pong: informational only —
+        # the requesting worker's handler observes propagation through
+        # its own version counter.
+
+    def _broadcast_reload(self) -> None:
+        self.ruleset_version += 1
+        for handle in self._handles:
+            if handle is not None and handle.conn is not None \
+                    and handle.alive():
+                try:
+                    handle.conn.send({
+                        "cmd": "reload", "version": self.ruleset_version,
+                    })
+                except (OSError, ValueError, BrokenPipeError):
+                    pass  # EOF will surface on the next wait()
+
+    def _on_worker_exit(self, handle: _WorkerHandle) -> None:
+        handle.proc.join(timeout=self.drain_timeout)
+        handle.close()
+        if self._draining:
+            self._handles[handle.index] = None
+            return
+        # Crash: respawn into the same slot (the new worker resets its
+        # board slot), unless this slot is crash-looping.
+        if time.monotonic() - handle.spawned_at < FAST_CRASH_WINDOW:
+            handle.fast_crashes += 1
+        else:
+            handle.fast_crashes = 0
+        self._handles[handle.index] = handle  # keep crash count visible
+        if handle.fast_crashes >= MAX_FAST_CRASHES:
+            self._begin_shutdown()
+            return
+        self._spawn(handle.index)
+        new = self._handles[handle.index]
+        try:
+            deadline = time.monotonic() + READY_TIMEOUT
+            while not new.ready:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not new.conn.poll(
+                        max(0.0, remaining)):
+                    raise EOFError
+                msg = new.conn.recv()
+                if msg.get("event") == "ready":
+                    new.ready = True
+        except (EOFError, OSError):
+            # The respawn itself died; the next supervision pass sees
+            # its EOF and applies the crash-loop accounting again.
+            pass
+
+    def _begin_shutdown(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_deadline = (
+            time.monotonic() + self.drain_timeout + 5.0
+        )
+        if self._listen_sock is not None:
+            # Stop accepting before telling workers to drain.
+            try:
+                self._listen_sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listen_sock = None
+        for handle in self._handles:
+            if handle is not None and handle.conn is not None \
+                    and handle.alive():
+                try:
+                    handle.conn.send({"cmd": "shutdown"})
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+
+    def _reap_drained(self) -> bool:
+        """Join exited workers; True when every slot is empty."""
+        done = True
+        for i, handle in enumerate(self._handles):
+            if handle is None:
+                continue
+            if handle.alive():
+                done = False
+                continue
+            handle.proc.join(timeout=0.1)
+            handle.close()
+            self._handles[i] = None
+        return done
+
+    def _terminate_stragglers(self) -> None:
+        for i, handle in enumerate(self._handles):
+            if handle is None:
+                continue
+            if handle.alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=2.0)
+                if handle.alive():  # pragma: no cover - last resort
+                    handle.proc.kill()
+                    handle.proc.join(timeout=2.0)
+            handle.close()
+            self._handles[i] = None
+
+    def _teardown(self, terminate: bool = False) -> None:
+        if terminate:
+            self._terminate_stragglers()
+        for sock_attr in ("_anchor", "_listen_sock", "_wake_r", "_wake_w"):
+            sock = getattr(self, sock_attr)
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                setattr(self, sock_attr, None)
+        if self.directory is not None:
+            self.directory.close(unlink_segments=True)
+            self.directory = None
+        if self.board is not None:
+            self.board.close(unlink=True)
+            self.board = None
+        self._started = False

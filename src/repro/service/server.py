@@ -29,13 +29,16 @@ so a slow-reading client throttles only itself.
 from __future__ import annotations
 
 import asyncio
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RegexSyntaxError, ReproError, ServiceError
 from repro.planning.plan import Plan, resolve_plan
 from repro.service.cache import ArtifactCache
+from repro.service.metrics import MetricsBoard, ServiceMetrics
 from repro.service.protocol import (
     DEFAULT_MAX_PAYLOAD,
     DRAIN_CEILING,
@@ -48,6 +51,44 @@ from repro.service.protocol import (
 
 #: Per-connection cap on simultaneously open stream sessions.
 MAX_STREAMS_PER_CONNECTION = 64
+
+#: How long a worker waits for a master-propagated ruleset reload to
+#: reach it before answering the ``reload`` request with an error.
+RELOAD_PROPAGATION_TIMEOUT = 15.0
+
+
+def load_rules_file(path: str) -> List[str]:
+    """Rule sources from a text pattern file (one regex per line, ``#``
+    comments) — the named-ruleset loader ``reload`` re-runs."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+    except UnicodeDecodeError:
+        raise ServiceError(
+            f"{path} is not a text pattern file", kind="compile"
+        ) from None
+    except OSError as e:
+        raise ServiceError(
+            f"cannot read ruleset file {path}: {e.strerror or e}",
+            kind="compile",
+        ) from None
+    rules = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not rules:
+        raise ServiceError(f"no rules found in {path}", kind="compile")
+    return rules
+
+
+class NamedRuleset:
+    """One hot-reloadable ruleset: a name, its source file, the compiled
+    set currently serving, and the version it was loaded at."""
+
+    __slots__ = ("name", "path", "mps", "version")
+
+    def __init__(self, name: str, path: str, mps, version: int):
+        self.name = name
+        self.path = path
+        self.mps = mps
+        self.version = version
 
 
 def _pattern_analysis(m) -> Dict[str, Any]:
@@ -144,6 +185,24 @@ class MatchService:
     allow_shutdown:
         Whether the wire ``shutdown`` op is honored (the CLI default) or
         answered with an error (embedding servers may want the latter).
+    rulesets:
+        ``{name: path}`` of *named* hot-reloadable rulesets, compiled at
+        :meth:`start` and swapped atomically by the ``reload`` op.
+        Requests reference them with a ``"ruleset": name`` header field
+        instead of shipping ``rules``.
+    worker_index, board:
+        Pre-fork plumbing (DESIGN.md §3.12): the worker's slot index on
+        the cross-worker :class:`~repro.service.metrics.MetricsBoard`.
+        With a board attached, ``stats`` replies carry per-worker and
+        aggregate metrics read straight from shared memory.
+    executor_directory:
+        A :class:`~repro.parallel.executor.SegmentDirectory` so this
+        server's process executor shares published tables with sibling
+        pre-fork workers instead of republishing per worker.
+    on_shutdown_request, on_reload_request:
+        Pre-fork hooks: called (on the event loop) when the wire asks to
+        shut down / reload, so the worker can escalate to the master
+        instead of acting alone.
     """
 
     def __init__(
@@ -158,9 +217,13 @@ class MatchService:
         handler_threads: Optional[int] = None,
         drain_timeout: float = 10.0,
         allow_shutdown: bool = True,
+        rulesets: Optional[Dict[str, str]] = None,
+        worker_index: Optional[int] = None,
+        board: Optional[MetricsBoard] = None,
+        executor_directory=None,
+        on_shutdown_request: Optional[Callable[[], None]] = None,
+        on_reload_request: Optional[Callable[[], None]] = None,
     ):
-        import os
-
         if max_payload < 1:
             raise ServiceError("max_payload must be >= 1", kind="bad-request")
         if executor not in (None, "serial", "threads", "processes"):
@@ -180,18 +243,42 @@ class MatchService:
         self.handler_threads = max(1, handler_threads)
         self._threads: Optional[ThreadPoolExecutor] = None
         self._executor = None  # the shared ChunkExecutor (owned)
+        self._executor_directory = executor_directory
         self._server: Optional[asyncio.AbstractServer] = None
         self._gate: Optional[asyncio.Semaphore] = None
         self._shutdown = None  # asyncio.Event, created on start
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = False
         self._conn_tasks: set = set()
         self._started_at = 0.0
-        self.counters: Dict[str, int] = {
-            "connections": 0, "requests": 0, "errors": 0,
-            "bytes_in": 0, "bytes_out": 0,
-        }
-        #: plan-summary -> times a scan ran under it (the ``stats`` op's
-        #: plan distribution).
-        self.plan_counts: Dict[str, int] = {}
+        self.worker_index = worker_index
+        self.board = board
+        slot = None
+        if board is not None and worker_index is not None:
+            slot = board.slot(worker_index)
+        #: All request/error/byte counters and the plan distribution live
+        #: here — one lock, because handler-pool threads note plans while
+        #: the event loop counts requests (the PR 9 lost-update fix).
+        self.metrics = ServiceMetrics(slot=slot)
+        self._on_shutdown_request = on_shutdown_request
+        self._on_reload_request = on_reload_request
+        #: name -> NamedRuleset currently serving (swapped wholesale by
+        #: reload; in-flight scans keep the object they already resolved).
+        self.ruleset_paths = dict(rulesets or {})
+        self._named: Dict[str, NamedRuleset] = {}
+        self.ruleset_version = 0
+        self._reload_lock = threading.Lock()
+        self._version_event: Optional[asyncio.Event] = None
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Live counter view (the ``stats`` reply copies it under lock)."""
+        return self.metrics.counters
+
+    @property
+    def plan_counts(self) -> Dict[str, int]:
+        """Plan-summary -> scans run under it (``stats`` distribution)."""
+        return self.metrics.plan_counts
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -201,33 +288,77 @@ class MatchService:
             return self._server.sockets[0].getsockname()[1]
         return self._requested_port
 
-    async def start(self) -> "MatchService":
-        if self._server is not None:
+    async def start(
+        self, *, listen: bool = True, reuse_port: bool = False
+    ) -> "MatchService":
+        if self._started:
             raise ServiceError("server already started", kind="bad-request")
         from repro.parallel.executor import make_executor
 
         if self.executor_name is not None:
-            self._executor = make_executor(self.executor_name, self.num_workers)
+            self._executor = make_executor(
+                self.executor_name, self.num_workers,
+                directory=self._executor_directory,
+            )
         self._threads = ThreadPoolExecutor(
             max_workers=self.handler_threads,
             thread_name_prefix="repro-serve",
         )
         self._gate = asyncio.Semaphore(self.handler_threads + 2)
         self._shutdown = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port,
-            limit=MAX_HEADER_BYTES,
-        )
+        self._loop = asyncio.get_running_loop()
+        if self.ruleset_paths:
+            # Compile the named rulesets before accepting traffic: a
+            # server that cannot serve its configured rules must fail at
+            # start, not on the first request.
+            await self._in_thread(self._apply_reload, None)
+        if listen:
+            # ``reuse_port=True`` is the pre-fork sharding mode: every
+            # worker binds the same (host, port) and the kernel
+            # load-balances accepted connections across them.
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port,
+                limit=MAX_HEADER_BYTES, reuse_port=reuse_port or None,
+            )
+        self._started = True
         self._started_at = time.monotonic()
         return self
 
+    def attach_socket(self, sock) -> None:
+        """Adopt one already-accepted connection (thread-safe).
+
+        This is the fd-passing fallback's entry point: where
+        ``SO_REUSEPORT`` is unavailable, the pre-fork master accepts and
+        ships connected sockets to workers, which hand them here.
+        """
+        if not self._started or self._loop is None:
+            raise ServiceError("server not started", kind="bad-request")
+        self._loop.call_soon_threadsafe(
+            lambda: self._loop.create_task(self._adopt(sock))
+        )
+
+    async def _adopt(self, sock) -> None:
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=MAX_HEADER_BYTES, loop=loop)
+        protocol = asyncio.StreamReaderProtocol(reader, loop=loop)
+        try:
+            transport, _ = await loop.connect_accepted_socket(
+                lambda: protocol, sock
+            )
+        except (OSError, ValueError):  # client already gone
+            sock.close()
+            return
+        writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+        await self._handle_connection(reader, writer)
+
     async def stop(self) -> None:
         """Graceful drain: refuse new work, finish in-flight, free pools."""
-        if self._server is None:
+        if not self._started:
             return
         self._shutdown.set()
-        self._server.close()
-        await self._server.wait_closed()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
         if self._conn_tasks:
             done, pending = await asyncio.wait(
                 self._conn_tasks, timeout=self.drain_timeout
@@ -237,6 +368,7 @@ class MatchService:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         self._server = None
+        self._started = False
         if self._threads is not None:
             self._threads.shutdown(wait=True)
             self._threads = None
@@ -246,7 +378,7 @@ class MatchService:
 
     async def serve_until_shutdown(self) -> None:
         """Serve until :meth:`stop` or a wire ``shutdown`` request."""
-        if self._server is None:
+        if not self._started:
             await self.start()
         try:
             await self._shutdown.wait()
@@ -263,7 +395,7 @@ class MatchService:
     ) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
-        self.counters["connections"] += 1
+        self.metrics.bump("connections")
         streams: Dict[int, _StreamSession] = {}
         next_stream = [1]
         # Shutdown must wake connections parked in readline() — a
@@ -286,6 +418,7 @@ class MatchService:
                 try:
                     line = read.result()
                 except (asyncio.LimitOverrunError, ValueError):
+                    self.metrics.record_request(0.0, ok=False)
                     await self._reply(writer, error_reply(
                         "protocol",
                         f"header line exceeds {MAX_HEADER_BYTES} bytes",
@@ -297,18 +430,27 @@ class MatchService:
                     break  # clean EOF
                 if line == b"\n":
                     continue  # blank keep-alive line
+                t0 = time.perf_counter()
                 try:
                     reply = await self._serve_one(
                         reader, line, streams, next_stream
                     )
                 except ProtocolError as e:
-                    self.counters["errors"] += 1
+                    self.metrics.record_request(
+                        time.perf_counter() - t0, ok=False
+                    )
                     await self._reply(writer, error_reply(e.kind, str(e)))
                     break  # framing broken: the stream cannot be trusted
                 except (ConnectionError, asyncio.IncompleteReadError):
                     break  # client went away mid-payload
-                ok = await self._reply(writer, reply)
-                if not ok:
+                sent = await self._reply(writer, reply)
+                # Latency covers parse -> handler -> reply flushed: what a
+                # client experiences minus its own network stack.
+                self.metrics.record_request(
+                    time.perf_counter() - t0, ok=bool(reply.get("ok"))
+                )
+                self._publish_gauges()
+                if not sent:
                     break
         finally:
             stop_wait.cancel()
@@ -320,6 +462,13 @@ class MatchService:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    def _publish_gauges(self) -> None:
+        """Push cache/version gauges to the board slot (no-op unboarded)."""
+        if self.metrics.slot is not None:
+            self.metrics.set_gauge("cache_hits", self.cache.hits)
+            self.metrics.set_gauge("cache_misses", self.cache.misses)
+            self.metrics.set_gauge("ruleset_version", self.ruleset_version)
+
     async def _reply(self, writer: asyncio.StreamWriter, reply: Dict[str, Any]) -> bool:
         data = encode_message(reply)
         try:
@@ -327,7 +476,7 @@ class MatchService:
             await writer.drain()  # slow readers throttle themselves only
         except (ConnectionError, OSError):
             return False
-        self.counters["bytes_out"] += len(data)
+        self.metrics.bump("bytes_out", len(data))
         return True
 
     async def _serve_one(
@@ -357,7 +506,6 @@ class MatchService:
         if declared >= 0:
             if declared > self.max_payload:
                 await self._drain_payload(reader, declared)
-                self.counters["errors"] += 1
                 return error_reply(
                     "payload-too-large",
                     f"declared payload of {declared} bytes exceeds the "
@@ -368,12 +516,13 @@ class MatchService:
             if body[-1:] != b"\n":
                 raise ProtocolError("payload not newline-terminated")
             payload = body[:-1]
-            self.counters["bytes_in"] += declared
-        self.counters["requests"] += 1
+            self.metrics.bump("bytes_in", declared)
+        # requests/errors are counted once per message when the reply is
+        # recorded (``metrics.record_request``) — never at handler sites,
+        # so the two can't skew.
         op = header.get("op")
         handler = self._HANDLERS.get(op)
         if handler is None:
-            self.counters["errors"] += 1
             return error_reply(
                 "bad-request",
                 f"unknown op {op!r} (choose from "
@@ -384,14 +533,12 @@ class MatchService:
         except ProtocolError:
             raise
         except ReproError as e:
-            self.counters["errors"] += 1
             return error_reply(_error_kind(e), str(e))
         except Exception as e:
             # The contract is that a malformed request never drops the
             # connection: anything a handler failed to classify (e.g. a
             # non-hashable field where a scalar was expected) still gets
             # a structured reply instead of killing the connection task.
-            self.counters["errors"] += 1
             return error_reply(
                 "internal", f"{type(e).__name__}: {e}", op=str(op)
             )
@@ -468,6 +615,23 @@ class MatchService:
         return sources, flags, mode
 
     def _ruleset_of(self, header: Dict[str, Any]):
+        name = header.get("ruleset")
+        if name is not None:
+            if not isinstance(name, str):
+                raise ServiceError(
+                    f"'ruleset' must be a string name, got {name!r}",
+                    kind="bad-request",
+                )
+            entry = self._named.get(name)
+            if entry is None:
+                loaded = ", ".join(sorted(self._named)) or "none loaded"
+                raise ServiceError(
+                    f"unknown ruleset {name!r} (loaded: {loaded})",
+                    kind="bad-request",
+                )
+            # Named rulesets are pre-compiled at load/reload time; a
+            # lookup is always a "hit" from the caller's perspective.
+            return entry.mps, True
         sources, flags, mode = self._rule_sources(header)
         backend = self._backend_arg(header)
         return self.cache.get_ruleset(sources, flags, mode, backend)
@@ -524,9 +688,14 @@ class MatchService:
         )
 
     def _note_plan(self, plan: Plan) -> str:
-        """Count one scan under ``plan`` and return its reply summary."""
+        """Count one scan under ``plan`` and return its reply summary.
+
+        Increments go through :class:`ServiceMetrics` (one lock): the
+        bare ``dict.get() + 1`` this replaces was a lost-update race —
+        handler-pool threads and the event loop both reach this path.
+        """
         s = plan.summary()
-        self.plan_counts[s] = self.plan_counts.get(s, 0) + 1
+        self.metrics.note_plan(s)
         return s
 
     # -- ops -------------------------------------------------------------
@@ -537,9 +706,10 @@ class MatchService:
         from repro.planning.calibration import calibration_stats
         from repro.planning.planner import planner_stats
 
-        return {
+        cache_stats = self.cache.stats()
+        reply: Dict[str, Any] = {
             "ok": True,
-            "cache": self.cache.stats(),
+            "cache": cache_stats,
             "counters": dict(self.counters),
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "executor": self.executor_name or "none",
@@ -550,7 +720,30 @@ class MatchService:
                 "calibration": calibration_stats(),
                 **planner_stats(),
             },
+            "metrics": self.metrics.snapshot(
+                cache_stats["hits"], cache_stats["misses"]
+            ),
+            "worker": {"index": self.worker_index, "pid": os.getpid()},
         }
+        if self._named or self.ruleset_paths:
+            reply["rulesets"] = {
+                "version": self.ruleset_version,
+                "loaded": {
+                    name: {"path": e.path, "rules": e.mps.num_rules}
+                    for name, e in sorted(self._named.items())
+                },
+            }
+        if self.board is not None:
+            self._publish_gauges()
+            snaps = self.board.snapshots()
+            workers = []
+            for snap in snaps:
+                snap = dict(snap)
+                snap.pop("_lat_values", None)
+                workers.append(snap)
+            reply["workers"] = workers
+            reply["aggregate"] = self.board.aggregate(snaps)
+        return reply
 
     async def _op_shutdown(self, header, payload, streams, next_stream):
         if not self.allow_shutdown:
@@ -558,7 +751,103 @@ class MatchService:
                 "shutdown over the wire is disabled", kind="shutdown"
             )
         self._shutdown.set()
+        if self._on_shutdown_request is not None:
+            # Pre-fork mode: tell the master so it drains *every* worker,
+            # not just the one that happened to field this request.
+            self._on_shutdown_request()
         return {"ok": True, "stopping": True}
+
+    # -- hot ruleset reload (DESIGN.md §3.12) ----------------------------
+    #
+    # The master is the version authority, SyncMS-style: a worker that
+    # receives the ``reload`` op asks the master, the master bumps the
+    # version and broadcasts it, every worker re-reads its rule files
+    # and atomically swaps the compiled sets. In-flight scans keep the
+    # object they already resolved, so no connection ever observes a
+    # half-swapped ruleset. Single-process servers skip the round trip
+    # and apply locally.
+
+    def _apply_reload(self, version: Optional[int]) -> int:
+        """(Re)load every named ruleset from disk and swap atomically.
+
+        Runs in a worker thread (compile is CPU-bound). ``version`` is
+        the master-assigned version, or ``None`` to self-assign
+        (single-process mode / initial load).
+        """
+        from repro.matching.multi import MultiPatternSet
+
+        with self._reload_lock:
+            fresh: Dict[str, NamedRuleset] = {}
+            new_version = (
+                version if version is not None else self.ruleset_version + 1
+            )
+            for name, path in sorted(self.ruleset_paths.items()):
+                sources = load_rules_file(path)
+                try:
+                    mps = MultiPatternSet(sources, backend="auto")
+                except ReproError as e:
+                    raise ServiceError(
+                        f"ruleset {name!r} ({path}): {e}", kind="compile"
+                    ) from e
+                fresh[name] = NamedRuleset(name, path, mps, new_version)
+            self._named = fresh
+            if new_version > self.ruleset_version:
+                self.ruleset_version = new_version
+            self.metrics.set_gauge("ruleset_version", self.ruleset_version)
+            if self._loop is not None and self._version_event is not None:
+                event = self._version_event
+                self._loop.call_soon_threadsafe(event.set)
+            return self.ruleset_version
+
+    async def _wait_version_above(
+        self, floor: int, timeout: float = RELOAD_PROPAGATION_TIMEOUT
+    ) -> int:
+        """Block until this worker's ruleset version exceeds ``floor``."""
+        deadline = time.monotonic() + timeout
+        while self.ruleset_version <= floor:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"reload did not propagate within {timeout:.0f}s "
+                    f"(version still {self.ruleset_version})",
+                    kind="engine",
+                )
+            event = asyncio.Event()
+            self._version_event = event
+            # Re-check after publishing the event: _apply_reload may have
+            # finished between the version test and the event swap.
+            if self.ruleset_version > floor:
+                break
+            try:
+                await asyncio.wait_for(event.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                continue
+        return self.ruleset_version
+
+    async def _op_reload(self, header, payload, streams, next_stream):
+        if not self.ruleset_paths:
+            raise ServiceError(
+                "no named rulesets configured (start the server with "
+                "--ruleset NAME=PATH to enable hot reload)",
+                kind="bad-request",
+            )
+        floor = self.ruleset_version
+        if self._on_reload_request is not None:
+            # Pre-fork mode: the master owns the version counter and
+            # broadcasts the reload to every worker; wait for the new
+            # version to land on this one before replying.
+            self._on_reload_request()
+            version = await self._wait_version_above(floor)
+        else:
+            version = await self._in_thread(self._apply_reload, None)
+        return {
+            "ok": True,
+            "version": version,
+            "rulesets": {
+                name: {"path": e.path, "rules": e.mps.num_rules}
+                for name, e in sorted(self._named.items())
+            },
+        }
 
     async def _op_compile(self, header, payload, streams, next_stream):
         stages = header.get("stages", ["sfa"])
@@ -847,6 +1136,7 @@ class MatchService:
         "ping": _op_ping,
         "stats": _op_stats,
         "shutdown": _op_shutdown,
+        "reload": _op_reload,
         "compile": _op_compile,
         "analyze": _op_analyze,
         "match": _op_match,

@@ -470,6 +470,43 @@ class TestGrepDedupe:
         assert code == 0
         assert out == f"{f}:1\n"  # listed explicitly, then seen in the walk
 
+    def test_symlinked_dir_arg_walked_once(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.cli as cli
+
+        d = tmp_path / "d"
+        d.mkdir()
+        (d / "log.txt").write_bytes(b"ERROR 1\n")
+        ld = tmp_path / "ld"
+        ld.symlink_to(d, target_is_directory=True)
+
+        walked = []
+        real_walk = os.walk
+
+        def counting_walk(top, **kw):
+            walked.append(top)
+            return real_walk(top, **kw)
+
+        monkeypatch.setattr(cli.os, "walk", counting_walk)
+        code = main(["grep", "-c", "ERROR", str(d), str(ld)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert out == f"{d}/log.txt:1\n"  # one deduped file, scanned once
+        assert len(walked) == 1  # the aliased tree is never re-walked
+
+    def test_symlink_loop_in_tree_terminates(self, capsys, tmp_path):
+        d = tmp_path / "d"
+        d.mkdir()
+        (d / "log.txt").write_bytes(b"ERROR 1\n")
+        # a cycle: d/loop -> tmp_path, whose walk would revisit d forever
+        # if directory symlinks were followed without loop protection
+        (d / "loop").symlink_to(tmp_path, target_is_directory=True)
+        code = main(["grep", "-c", "ERROR", str(tmp_path)])
+        out, _ = capsys.readouterr()
+        assert code == 0
+        assert out == f"{d}/log.txt:1\n"
+
     def test_distinct_files_not_deduped(self, capsys, tmp_path):
         a = tmp_path / "a.log"
         a.write_bytes(b"ERROR 1\n")

@@ -1,0 +1,270 @@
+"""Pre-fork sharded serving (DESIGN.md §3.12): master/worker lifecycle.
+
+Each test boots a real :class:`PreforkServer` — fork()ed workers, a
+shared-memory metrics board, the actual `SO_REUSEPORT` (or fd-passing)
+accept path — and drives it over loopback TCP with the blocking client,
+exactly as ``repro serve --workers N`` does.  Slow by unit-test
+standards (a fork per worker) but the only way to pin the multi-process
+contracts: kernel load-balancing, aggregate stats, crash respawn, and
+hot-reload version propagation.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.prefork import PreforkServer
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving needs fork()"
+)
+
+RULES = ["abc", "a[0-9]+b", "zz*top"]
+
+
+class _PreforkHandle:
+    """Boot a PreforkServer with supervise() on a background thread."""
+
+    def __init__(self, workers: int = 2, **kw):
+        self.srv = PreforkServer("127.0.0.1", 0, workers, **kw)
+        self.srv.start()
+        self.port = self.srv.port
+        self.exit_code = None
+
+        def run():
+            self.exit_code = self.srv.supervise()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+
+    def client(self, timeout: float = 30.0) -> ServiceClient:
+        return ServiceClient(port=self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 30.0):
+        self.srv.request_shutdown()
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "prefork master failed to stop"
+
+    def worker_pids(self) -> set:
+        with self.client() as c:
+            return {w["pid"] for w in c.stats()["workers"]}
+
+    def wait_stats(self, predicate, deadline: float = 15.0):
+        """Poll ``stats`` until ``predicate(stats)`` holds (metrics are
+        recorded *after* the reply flush, so cross-connection reads can
+        momentarily trail by a request)."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                with self.client(timeout=5.0) as c:
+                    stats = c.stats()
+                if predicate(stats):
+                    return stats
+            except ServiceError:
+                pass  # a worker may be mid-respawn
+            if time.monotonic() > end:
+                return stats
+            time.sleep(0.05)
+
+
+def _spread_requests(handle, n: int = 24) -> set:
+    """One request per fresh connection; return the set of serving pids."""
+    pids = set()
+    for i in range(n):
+        with handle.client() as c:
+            assert c.match("a[0-9]+b", b"a%db" % i)
+            pids.add(c.stats()["worker"]["pid"])
+    return pids
+
+
+class TestPreforkLifecycle:
+    def test_two_workers_share_one_port(self):
+        handle = _PreforkHandle(workers=2, cache_size=16)
+        try:
+            pids = _spread_requests(handle, n=24)
+            assert len(pids) == 2, f"kernel never balanced: {pids}"
+            assert pids == handle.worker_pids()
+        finally:
+            handle.stop()
+        assert handle.exit_code == 0
+
+    def test_aggregate_stats_sum_worker_counters(self):
+        handle = _PreforkHandle(workers=2, cache_size=16)
+        try:
+            n = 16
+            _spread_requests(handle, n=n)
+            # each loop iteration was match + stats = 2 requests
+            stats = handle.wait_stats(
+                lambda s: s["aggregate"]["requests"] >= 2 * n
+            )
+            agg = stats["aggregate"]
+            per_worker = stats["workers"]
+            assert agg["workers"] == 2
+            assert agg["requests"] == sum(w["requests"] for w in per_worker)
+            assert agg["errors"] == 0
+            assert agg["req_per_s"] > 0
+            assert set(agg["latency_ms"]) == {"p50", "p95", "p99"}
+            assert 0.0 <= agg["cache_hit_rate"] <= 1.0
+        finally:
+            handle.stop()
+
+    def test_fdpass_mode_round_robins(self):
+        handle = _PreforkHandle(workers=2, cache_size=16, mode="fdpass")
+        try:
+            assert handle.srv.mode == "fdpass"
+            pids = _spread_requests(handle, n=8)
+            assert len(pids) == 2  # strict round-robin: 8 conns, both serve
+        finally:
+            handle.stop()
+        assert handle.exit_code == 0
+
+    def test_crashed_worker_respawns(self):
+        handle = _PreforkHandle(workers=2, cache_size=16)
+        try:
+            before = handle.worker_pids()
+            assert len(before) == 2
+            victim = sorted(before)[0]
+            os.kill(victim, signal.SIGKILL)
+            stats = handle.wait_stats(
+                lambda s: len(s["workers"]) == 2
+                and victim not in {w["pid"] for w in s["workers"]}
+            )
+            after = {w["pid"] for w in stats["workers"]}
+            assert len(after) == 2
+            assert victim not in after
+            assert before - {victim} < after  # survivor kept its slot
+            # the respawned worker serves real traffic
+            pids = _spread_requests(handle, n=24)
+            assert pids == after
+        finally:
+            handle.stop()
+        assert handle.exit_code == 0
+
+
+class TestPreforkReload:
+    def test_hot_reload_propagates_to_all_workers(self, tmp_path):
+        rules = tmp_path / "main.rules"
+        rules.write_text("abc\nerror [0-9]+\n")
+        handle = _PreforkHandle(
+            workers=2, cache_size=16, rulesets={"main": str(rules)}
+        )
+        try:
+            with handle.client() as c:
+                assert c.multiscan(data=b"error 7", ruleset="main") == [1]
+            rules.write_text("abc\nerror [0-9]+\nzz*top\n")
+            with handle.client() as c:
+                reply = c.reload()
+            assert reply["version"] == 2
+            assert reply["rulesets"]["main"]["rules"] == 3
+            # every worker answers at the new version with the new rule
+            seen = set()
+            for _ in range(24):
+                with handle.client() as c:
+                    assert c.multiscan(data=b"zztop", ruleset="main") == [2]
+                    stats = c.stats()
+                    assert stats["rulesets"]["version"] == 2
+                    seen.add(stats["worker"]["pid"])
+                if len(seen) == 2:
+                    break
+            assert len(seen) == 2
+        finally:
+            handle.stop()
+
+    def test_reload_under_load_is_equivalent(self, tmp_path):
+        """Clients hammering a named ruleset across a reload only ever
+        see old-version or new-version results — never errors, never a
+        mix within one reply."""
+        rules = tmp_path / "main.rules"
+        rules.write_text("abc\nerror [0-9]+\n")
+        handle = _PreforkHandle(
+            workers=2, cache_size=16, rulesets={"main": str(rules)}
+        )
+        data = b"x abc error 9 zztop x"
+        old = [0, 1]  # rules matching under version 1
+        new = [0, 1, 2]  # after zz*top is appended
+        raw: list = []
+        results: list = []
+        done = threading.Event()
+
+        def hammer():
+            try:
+                while not done.is_set():
+                    with handle.client(timeout=10.0) as c:
+                        for _ in range(5):
+                            results.append(
+                                c.multiscan(data=data, ruleset="main")
+                            )
+            except Exception as exc:  # pragma: no cover
+                raw.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        try:
+            for w in workers:
+                w.start()
+            time.sleep(0.3)
+            rules.write_text("abc\nerror [0-9]+\nzz*top\n")
+            with handle.client() as c:
+                assert c.reload()["version"] == 2
+            time.sleep(0.3)
+            done.set()
+            for w in workers:
+                w.join(30)
+            assert not raw, raw
+            assert results
+            assert all(r in (old, new) for r in results), set(map(tuple, results))
+            assert results[-1] == new  # post-reload answers use v2
+            # and a fresh connection is guaranteed the new version
+            with handle.client() as c:
+                assert c.multiscan(data=data, ruleset="main") == new
+        finally:
+            done.set()
+            handle.stop()
+
+    def test_respawned_worker_keeps_ruleset_version(self, tmp_path):
+        rules = tmp_path / "main.rules"
+        rules.write_text("abc\n")
+        handle = _PreforkHandle(
+            workers=2, cache_size=16, rulesets={"main": str(rules)}
+        )
+        try:
+            rules.write_text("abc\nzz*top\n")
+            with handle.client() as c:
+                assert c.reload()["version"] == 2
+            victim = sorted(handle.worker_pids())[0]
+            os.kill(victim, signal.SIGKILL)
+            stats = handle.wait_stats(
+                lambda s: len(s["workers"]) == 2
+                and victim not in {w["pid"] for w in s["workers"]}
+            )
+            assert len(stats["workers"]) == 2
+            # every worker — including the fresh fork — reports v2
+            for _ in range(24):
+                with handle.client() as c:
+                    assert c.stats()["rulesets"]["version"] == 2
+                    assert c.multiscan(data=b"zzztop", ruleset="main") == [1]
+        finally:
+            handle.stop()
+
+
+class TestPreforkValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ServiceError):
+            PreforkServer("127.0.0.1", 0, 0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            PreforkServer("127.0.0.1", 0, 2, mode="smoke-signals")
+
+    @pytest.mark.skipif(
+        not hasattr(socket, "SO_REUSEPORT"),
+        reason="platform lacks SO_REUSEPORT",
+    )
+    def test_auto_mode_prefers_reuseport(self):
+        srv = PreforkServer("127.0.0.1", 0, 2)
+        assert srv.mode == "reuseport"

@@ -656,3 +656,153 @@ class TestServiceBackends:
                     set(st.feed(data[:10]) + st.feed(data[10:]) + st.finish())
                 )
             assert got == want
+
+
+# ---------------------------------------------------------------------------
+# Metrics accounting, named rulesets, drain behavior (DESIGN.md §3.12)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceMetrics:
+    def test_stats_carry_metrics_block(self, server):
+        with server.client() as c:
+            c.match("abc", b"xxabcxx")
+            m = c.stats()["metrics"]
+        assert m["requests"] >= 1
+        assert m["errors"] == 0
+        assert m["req_per_s"] > 0
+        assert set(m["latency_ms"]) == {"p50", "p95", "p99"}
+        assert m["latency_samples"] >= 1
+        assert m["cache_hit_rate"] is None or 0.0 <= m["cache_hit_rate"] <= 1.0
+
+    def test_no_lost_counter_updates_under_16_threads(self):
+        """The §3.12 lost-update fix: 16 threads hammer match/multiscan
+        and every single request must land in both ``counters`` and the
+        plan distribution — exact equality, zero lost updates."""
+        threads, per_thread = 16, 25
+        handle = _ServerHandle(cache_size=32)
+        try:
+            errors: list = []
+
+            def hammer(tid: int):
+                try:
+                    with handle.client() as c:
+                        for i in range(per_thread):
+                            if (tid + i) % 2:
+                                assert c.match("a[0-9]+b", b"a42b")
+                            else:
+                                assert c.multiscan(RULES, b"x abc x") == [0]
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=hammer, args=(t,))
+                for t in range(threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(60)
+            assert not errors, errors
+
+            total = threads * per_thread
+            with handle.client() as c:
+                stats = c.stats()
+            assert stats["counters"]["requests"] == total
+            assert stats["counters"]["errors"] == 0
+            dist = stats["plans"]["distribution"]
+            assert sum(dist.values()) == total
+            assert stats["metrics"]["requests"] == total
+        finally:
+            handle.stop()
+
+    def test_named_ruleset_and_hot_reload(self, tmp_path):
+        rules = tmp_path / "main.rules"
+        rules.write_text("abc\nerror [0-9]+\n")
+        handle = _ServerHandle(cache_size=8, rulesets={"main": str(rules)})
+        try:
+            with handle.client() as c:
+                assert c.multiscan(data=b"x error 9", ruleset="main") == [1]
+                stats = c.stats()
+                assert stats["rulesets"]["version"] == 1
+                assert stats["rulesets"]["loaded"]["main"]["rules"] == 2
+                # grow the file on disk, then hot-swap it in
+                rules.write_text("abc\nerror [0-9]+\nzz*top\n")
+                reply = c.reload()
+                assert reply["version"] == 2
+                assert reply["rulesets"]["main"]["rules"] == 3
+                assert c.multiscan(data=b"zztop", ruleset="main") == [2]
+        finally:
+            handle.stop()
+
+    def test_unknown_ruleset_is_bad_request(self, tmp_path):
+        rules = tmp_path / "main.rules"
+        rules.write_text("abc\n")
+        handle = _ServerHandle(cache_size=8, rulesets={"main": str(rules)})
+        try:
+            with handle.client() as c:
+                err = c.request(
+                    {"op": "multiscan", "ruleset": "nope"}, b"x", check=False
+                )
+                assert err["ok"] is False
+                assert err["error"]["kind"] == "bad-request"
+                assert "main" in err["error"]["message"]  # lists loaded names
+        finally:
+            handle.stop()
+
+    def test_reload_without_rulesets_is_bad_request(self, server):
+        with server.client() as c:
+            err = c.request({"op": "reload"}, check=False)
+            assert err["ok"] is False
+            assert err["error"]["kind"] == "bad-request"
+
+
+class TestServiceDrain:
+    def test_request_after_shutdown_is_clean_service_error(self):
+        """A client caught mid-drain gets a structured ServiceError —
+        never a raw OSError traceback, never a false success."""
+        handle = _ServerHandle(cache_size=8)
+        bystander = handle.client()
+        assert bystander.ping()  # established before the drain starts
+        with handle.client() as c:
+            assert c.shutdown()["ok"] is True
+        handle.thread.join(10)
+        assert not handle.thread.is_alive()
+        with pytest.raises(ServiceError) as excinfo:
+            for _ in range(3):  # buffered writes may need a round-trip
+                bystander.request({"op": "ping"})
+        assert excinfo.value.kind in ("protocol", "io")
+        bystander.close()
+
+    def test_requests_racing_shutdown_never_raise_raw_errors(self):
+        """Threads hammering the server while another shuts it down must
+        only ever see clean replies or ServiceError — nothing raw."""
+        handle = _ServerHandle(cache_size=8)
+        raw: list = []
+        done = threading.Event()
+
+        def hammer():
+            try:
+                with handle.client(timeout=5.0) as c:
+                    while not done.is_set():
+                        c.match("abc", b"xabcx")
+            except ServiceError:
+                pass  # the clean outcome
+            except Exception as exc:  # pragma: no cover
+                raw.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        time.sleep(0.2)
+        try:
+            with handle.client() as c:
+                c.shutdown()
+        except ServiceError:
+            pass  # shutdown reply may race the drain
+        handle.thread.join(10)
+        done.set()
+        for w in workers:
+            w.join(10)
+        assert not raw, raw
+        assert not handle.thread.is_alive()
