@@ -12,9 +12,26 @@ from the AST alone — no determinization, no scan:
 * :mod:`~repro.analysis.report` — structured diagnostics
   (:class:`PatternReport` / :class:`RulesetReport`) behind
   ``repro analyze`` and the service ``analyze`` op.
+* :mod:`~repro.analysis.rewrite` — the semantics-preserving AST
+  canonicalizer (DESIGN.md §3.13) with per-rule provenance.
+* :mod:`~repro.analysis.decide` — exact, budgeted decision procedures
+  (equivalence / containment / intersection emptiness) over lazy
+  product automata.
+* :mod:`~repro.analysis.optimize` — the ruleset optimizer behind
+  ``repro optimize`` and ``MultiPatternSet(optimize=True)``: rewrite,
+  duplicate/equivalent elimination, and the id-remapping table that
+  keeps reported match ids unchanged.
 """
 
+from repro.analysis.decide import (
+    Verdict,
+    contains,
+    equivalent,
+    intersection_empty,
+)
 from repro.analysis.facts import PatternFacts, compute_facts
+from repro.analysis.optimize import OptimizeResult, optimize_ruleset
+from repro.analysis.rewrite import RewriteResult, canonical, rewrite
 from repro.analysis.literals import (
     Factor,
     LiteralInfo,
@@ -37,16 +54,25 @@ __all__ = [
     "ANALYSIS_SCHEMA_VERSION",
     "Factor",
     "LiteralInfo",
+    "OptimizeResult",
     "PatternFacts",
     "PatternReport",
     "PrefilterPlan",
+    "RewriteResult",
     "RulesetReport",
+    "Verdict",
     "analyze_ast",
     "analyze_pattern",
     "analyze_ruleset",
+    "canonical",
     "choose_prefilter",
     "compute_facts",
+    "contains",
+    "equivalent",
     "format_pattern_report",
     "format_ruleset_report",
+    "intersection_empty",
     "literal_info",
+    "optimize_ruleset",
+    "rewrite",
 ]

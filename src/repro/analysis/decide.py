@@ -1,0 +1,208 @@
+"""Exact decision procedures over pattern languages (DESIGN.md §3.13).
+
+``equivalent(a, b)``, ``contains(a, b)`` and ``intersection_empty(a, b)``
+decide the classic automata-theoretic questions *exactly* — no
+approximation, no heuristics — by walking a lazy product of the two
+patterns' Glushkov NFAs, determinized on the fly (the same
+on-demand-subset idea as :mod:`repro.automata.lazy`, but over pairs):
+
+* **containment** ``L(a) ⊆ L(b)``: BFS over pairs ``(Sa, Sb)`` of
+  subset-states; a counterexample is a reachable pair where ``Sa``
+  accepts and ``Sb`` does not.  Visited pairs are memoized, and an
+  *antichain* prunes dominated work: a pair is already safe when some
+  processed pair ``(Ta, Tb)`` has ``Ta ⊇ Sa`` and ``Tb ⊆ Sb`` (whatever
+  ``(Sa, Sb)`` could reach, the dominating pair reaches with a larger
+  left side and smaller right side, so its clean verdict covers).
+* **equivalence**: the same product with a symmetric test (acceptance
+  must agree on both sides); decided in one walk, not two containments.
+* **intersection emptiness**: plain product reachability of a pair where
+  both sides accept.
+
+Every procedure is *total and budgeted*: past ``budget`` explored
+product states (or past :data:`MAX_POSITIONS` Glushkov positions, where
+building the NFA itself would be the explosion) it returns
+:data:`Verdict.UNKNOWN` — it never raises and never hangs, which is what
+lets the ruleset optimizer and the ``subsumed-rule`` lint call it
+speculatively on every candidate pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.automata.nfa import NFA, glushkov_nfa
+from repro.regex.ast import Node
+from repro.regex.charclass import ByteClassPartition, CharSet
+
+#: Default cap on explored product states per call.
+DEFAULT_BUDGET = 2_000
+
+#: Patterns whose expanded Glushkov position count exceeds this are not
+#: worth determinizing pairwise; the procedures answer UNKNOWN instead.
+MAX_POSITIONS = 400
+
+
+class Verdict(enum.Enum):
+    """Three-valued answer: proven true, proven false, or out of budget."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        # A verdict is not a boolean; force callers to compare explicitly
+        # instead of letting UNKNOWN truthy-default to "proven".
+        raise TypeError(
+            "Verdict is three-valued; compare against Verdict.TRUE/"
+            "FALSE/UNKNOWN explicitly"
+        )
+
+
+def _product_nfas(a: Node, b: Node) -> Optional[Tuple[NFA, NFA]]:
+    """Glushkov NFAs for both patterns over one shared partition."""
+    from repro.analysis.facts import position_count
+
+    if position_count(a) > MAX_POSITIONS or position_count(b) > MAX_POSITIONS:
+        return None
+    charsets: List[CharSet] = [CharSet.any_byte()]
+    charsets.extend(a.charsets())
+    charsets.extend(b.charsets())
+    partition = ByteClassPartition(charsets)
+    return glushkov_nfa(a, partition), glushkov_nfa(b, partition)
+
+
+def contains(a: Node, b: Node, *, budget: int = DEFAULT_BUDGET) -> Verdict:
+    """Is ``L(a) ⊆ L(b)``?  Exact, budgeted, total."""
+    try:
+        nfas = _product_nfas(a, b)
+        if nfas is None:
+            return Verdict.UNKNOWN
+        return _contains_nfa(nfas[0], nfas[1], budget)
+    except Exception:
+        return Verdict.UNKNOWN
+
+
+def equivalent(a: Node, b: Node, *, budget: int = DEFAULT_BUDGET) -> Verdict:
+    """Is ``L(a) == L(b)``?  Exact, budgeted, total."""
+    try:
+        if a == b:
+            return Verdict.TRUE
+        nfas = _product_nfas(a, b)
+        if nfas is None:
+            return Verdict.UNKNOWN
+        return _equivalent_nfa(nfas[0], nfas[1], budget)
+    except Exception:
+        return Verdict.UNKNOWN
+
+
+def intersection_empty(
+    a: Node, b: Node, *, budget: int = DEFAULT_BUDGET
+) -> Verdict:
+    """Is ``L(a) ∩ L(b) == ∅``?  Exact, budgeted, total."""
+    try:
+        nfas = _product_nfas(a, b)
+        if nfas is None:
+            return Verdict.UNKNOWN
+        return _intersection_empty_nfa(nfas[0], nfas[1], budget)
+    except Exception:
+        return Verdict.UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Product walks (subset-determinized on the fly)
+# ---------------------------------------------------------------------------
+
+
+def _contains_nfa(na: NFA, nb: NFA, budget: int) -> Verdict:
+    fa, fb = na.final, nb.final
+    k = na.num_classes
+    start = (na.initial, nb.initial)
+    if _accepts(start[0], fa) and not _accepts(start[1], fb):
+        return Verdict.FALSE
+    visited = {start}
+    # Antichain of processed pairs: (Sa, Sb) is dominated by (Ta, Tb)
+    # when Ta ⊇ Sa and Tb ⊆ Sb — the dominating pair over-approximates
+    # the left (counterexample-seeking) side and under-approximates the
+    # right (witness-providing) side, so "no counterexample from
+    # (Ta, Tb)" implies none from (Sa, Sb) either.
+    frontier: deque = deque([start])
+    explored = 0
+    while frontier:
+        sa, sb = frontier.popleft()
+        explored += 1
+        if explored > budget:
+            return Verdict.UNKNOWN
+        for cls in range(k):
+            ta = na.step_set(sa, cls)
+            tb = nb.step_set(sb, cls)
+            if _accepts(ta, fa) and not _accepts(tb, fb):
+                return Verdict.FALSE
+            pair = (ta, tb)
+            if pair in visited:
+                continue
+            if any(
+                (ta | va) == va and (vb | tb) == tb
+                for va, vb in visited
+            ):
+                continue  # dominated: some visited pair covers it
+            visited.add(pair)
+            frontier.append(pair)
+    return Verdict.TRUE
+
+
+def _equivalent_nfa(na: NFA, nb: NFA, budget: int) -> Verdict:
+    fa, fb = na.final, nb.final
+    k = na.num_classes
+    start = (na.initial, nb.initial)
+    if _accepts(start[0], fa) != _accepts(start[1], fb):
+        return Verdict.FALSE
+    visited = {start}
+    frontier: deque = deque([start])
+    explored = 0
+    while frontier:
+        sa, sb = frontier.popleft()
+        explored += 1
+        if explored > budget:
+            return Verdict.UNKNOWN
+        for cls in range(k):
+            pair = (na.step_set(sa, cls), nb.step_set(sb, cls))
+            if pair in visited:
+                continue
+            if _accepts(pair[0], fa) != _accepts(pair[1], fb):
+                return Verdict.FALSE
+            visited.add(pair)
+            frontier.append(pair)
+    return Verdict.TRUE
+
+
+def _intersection_empty_nfa(na: NFA, nb: NFA, budget: int) -> Verdict:
+    fa, fb = na.final, nb.final
+    k = na.num_classes
+    start = (na.initial, nb.initial)
+    if _accepts(start[0], fa) and _accepts(start[1], fb):
+        return Verdict.FALSE
+    visited = {start}
+    frontier: deque = deque([start])
+    explored = 0
+    while frontier:
+        sa, sb = frontier.popleft()
+        explored += 1
+        if explored > budget:
+            return Verdict.UNKNOWN
+        if not sa or not sb:
+            continue  # one side died: nothing joint is reachable
+        for cls in range(k):
+            pair = (na.step_set(sa, cls), nb.step_set(sb, cls))
+            if pair in visited:
+                continue
+            if _accepts(pair[0], fa) and _accepts(pair[1], fb):
+                return Verdict.FALSE
+            visited.add(pair)
+            frontier.append(pair)
+    return Verdict.TRUE
+
+
+def _accepts(mask: int, final: int) -> bool:
+    return (mask & final) != 0

@@ -1,0 +1,247 @@
+"""Ruleset optimization: rewrite, dedupe, and prove rules away (§3.13).
+
+The union automaton behind :class:`~repro.matching.multi.MultiPatternSet`
+pays for every redundant rule twice: once in Glushkov positions (which
+multiply through the union subset construction) and once in compile
+time.  :func:`optimize_ruleset` removes the redundancy *before* anything
+is determinized, in three budgeted tiers:
+
+1. **rewrite** — every rule's AST is canonicalized by
+   :func:`repro.analysis.rewrite.rewrite` (language-preserving by
+   construction), so different spellings of one idiom meet in one form;
+2. **duplicate elimination** — rules whose canonical ASTs are
+   structurally equal accept the same language; only the first survives
+   (procedure ``"duplicate"``).  Rules whose canonical form is ``Never``
+   can never fire and are dropped outright (``"never-matching"``);
+3. **equivalence proving** — remaining rules are fingerprinted on exact
+   language invariants (nullability, length bounds, first/last byte
+   sets) and same-fingerprint pairs are handed to
+   :func:`repro.analysis.decide.equivalent` under a shared product-state
+   budget; a proven-``TRUE`` pair collapses (``"equivalent"``).  The
+   budget makes the worst case cheap: a ruleset with no redundancy pays
+   a bounded number of bounded walks, nothing more.
+
+**The id-remapping contract.**  Elimination must be invisible in the
+output: ``matches``/``finditer`` report *original* rule indices, exactly
+as the unoptimized set would.  That is only sound for rules with *equal*
+languages — a kept representative fires iff each rule it replaced would
+have fired — which is why tiers 2–3 collapse only duplicates and proven
+equivalences and never strict subsumptions (a subsuming rule can fire
+without the subsumed one; those surface as lint warnings instead, see
+:mod:`repro.analysis.report`).  The mapping is ``groups``: per kept
+rule, the sorted original ids it answers for; never-matching rules map
+to no group (they are never reported, before or after).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.decide import DEFAULT_BUDGET, Verdict, equivalent
+from repro.analysis.facts import (
+    first_bytes,
+    last_bytes,
+    length_bounds,
+    matches_nothing,
+    position_count,
+)
+from repro.analysis.rewrite import rewrite
+from repro.regex.ast import Node
+
+#: Total product-state budget shared by every equivalence proof of one
+#: :func:`optimize_ruleset` call.  Each pair is charged its worst case
+#: up front, so optimization cost is hard-bounded regardless of ruleset
+#: size — the "< 10% overhead on a non-redundant 1000-rule compile"
+#: acceptance bar.
+DEFAULT_TOTAL_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Optimized rules plus the provenance to reverse the id mapping.
+
+    ``asts[k]`` is the canonical AST compiled for kept slot ``k``;
+    ``kept[k]`` its original index; ``groups[k]`` every original id it
+    reports for.  ``eliminations`` records each dropped rule as
+    ``(dropped, kept_into, procedure)`` with ``kept_into = -1`` for
+    never-matching rules (mapped to nothing).
+    """
+
+    asts: Tuple[Node, ...]
+    kept: Tuple[int, ...]
+    groups: Tuple[Tuple[int, ...], ...]
+    rewrites: Tuple[Tuple[str, int], ...]
+    eliminations: Tuple[Tuple[int, int, str], ...]
+    positions_before: int
+    positions_after: int
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.kept) + len(self.eliminations)
+
+    @property
+    def num_kept(self) -> int:
+        return len(self.kept)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.eliminations) or bool(self.rewrites)
+
+    def to_meta(self) -> Dict[str, object]:
+        """JSON-able provenance (no ASTs) for ``.npz`` round-tripping."""
+        return {
+            "kept": [int(i) for i in self.kept],
+            "groups": [[int(r) for r in g] for g in self.groups],
+            "rewrites": {name: int(n) for name, n in self.rewrites},
+            "eliminations": [
+                [int(d), int(k), str(p)] for d, k, p in self.eliminations
+            ],
+            "positions_before": int(self.positions_before),
+            "positions_after": int(self.positions_after),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Dict[str, Any]) -> "OptimizeResult":
+        """Rebuild provenance persisted by :meth:`to_meta` (ASTs are not
+        persisted; a loaded result carries none)."""
+        kept: List[Any] = list(meta["kept"])
+        groups: List[Any] = list(meta["groups"])
+        fired: Dict[Any, Any] = dict(meta.get("rewrites", {}))
+        elim: List[Any] = list(meta.get("eliminations", []))
+        return cls(
+            asts=(),
+            kept=tuple(int(i) for i in kept),
+            groups=tuple(tuple(int(r) for r in g) for g in groups),
+            rewrites=tuple(sorted(
+                (str(k), int(v)) for k, v in fired.items()
+            )),
+            eliminations=tuple((int(d), int(k), str(p)) for d, k, p in elim),
+            positions_before=int(meta.get("positions_before", 0)),
+            positions_after=int(meta.get("positions_after", 0)),
+        )
+
+
+def _fingerprint(node: Node) -> tuple:
+    """Exact language invariants: equivalent languages must collide.
+
+    Nullability and length bounds are exact language properties of the
+    AST; the Glushkov first/last byte sets are exact too (a byte is in
+    the set iff some accepted string starts/ends with it), so distinct
+    fingerprints *prove* non-equivalence and the expensive product walk
+    runs only inside a bucket.
+    """
+    lo, hi = length_bounds(node)
+    return (
+        node.nullable,
+        lo,
+        -1 if hi is None else hi,
+        tuple(first_bytes(node).ranges()),
+        tuple(last_bytes(node).ranges()),
+    )
+
+
+def optimize_ruleset(
+    asts: Sequence[Node],
+    *,
+    budget: int = DEFAULT_TOTAL_BUDGET,
+    pair_budget: int = DEFAULT_BUDGET,
+) -> OptimizeResult:
+    """Rewrite and minimize a ruleset; sound by the id-remapping contract.
+
+    ``budget`` caps the *total* product states every equivalence proof of
+    this call may explore (each attempt is charged ``pair_budget`` up
+    front); at 0 the decision tier is skipped entirely and only the free
+    tiers (rewrite, structural duplicates, never-matching) run.
+    """
+    if not asts:
+        return OptimizeResult(
+            asts=(), kept=(), groups=(), rewrites=(), eliminations=(),
+            positions_before=0, positions_after=0,
+        )
+    rewrites: Counter = Counter()
+    canon: List[Node] = []
+    positions_before = 0
+    for a in asts:
+        positions_before += position_count(a)
+        r = rewrite(a)
+        rewrites.update(dict(r.fired))
+        canon.append(r.node)
+
+    eliminations: List[Tuple[int, int, str]] = []
+    # tier 2a: never-matching rules are dropped outright (never reported).
+    alive: List[int] = []
+    for i, node in enumerate(canon):
+        if matches_nothing(node):
+            eliminations.append((i, -1, "never-matching"))
+        else:
+            alive.append(i)
+    # tier 2b: canonical-form duplicates collapse to their first spelling.
+    rep_of: Dict[int, int] = {}
+    by_form: Dict[Node, int] = {}
+    reps: List[int] = []
+    for i in alive:
+        j = by_form.setdefault(canon[i], i)
+        if j == i:
+            reps.append(i)
+        else:
+            rep_of[i] = j
+            eliminations.append((i, j, "duplicate"))
+    # tier 3: exact equivalence inside fingerprint buckets, budgeted.
+    buckets: Dict[tuple, List[int]] = {}
+    for i in reps:
+        buckets.setdefault(_fingerprint(canon[i]), []).append(i)
+    remaining = budget
+    dropped: Set[int] = set()
+    for bucket in buckets.values():
+        if len(bucket) < 2:
+            continue
+        kept_in_bucket: List[int] = []
+        for i in bucket:
+            rep: Optional[int] = None
+            for j in kept_in_bucket:
+                if remaining < pair_budget:
+                    break  # out of proof budget: keep the rule
+                remaining -= pair_budget  # charge the worst case up front
+                if equivalent(
+                    canon[i], canon[j], budget=pair_budget
+                ) == Verdict.TRUE:
+                    rep = j
+                    break
+            if rep is None:
+                kept_in_bucket.append(i)
+            else:
+                rep_of[i] = rep
+                dropped.add(i)
+                eliminations.append((i, rep, "equivalent"))
+
+    kept = [i for i in reps if i not in dropped]
+    if not kept:
+        # Every rule proved never-matching: keep rule 0 as a compilable
+        # guard (its canonical Never automaton accepts nothing, so the
+        # observable output — no rule ever reported — is unchanged).
+        kept = [0]
+        eliminations = [e for e in eliminations if e[0] != 0]
+
+    groups: List[Tuple[int, ...]] = []
+    members: Dict[int, List[int]] = {i: [i] for i in kept}
+    for i, rep in rep_of.items():
+        # Representatives were always chosen among kept rules, but a
+        # duplicate's target may itself have been collapsed by tier 3.
+        while rep in rep_of:
+            rep = rep_of[rep]
+        if rep in members:
+            members[rep].append(i)
+    for i in kept:
+        groups.append(tuple(sorted(members[i])))
+    positions_after = sum(position_count(canon[i]) for i in kept)
+    return OptimizeResult(
+        asts=tuple(canon[i] for i in kept),
+        kept=tuple(kept),
+        groups=tuple(groups),
+        rewrites=tuple(sorted(rewrites.items())),
+        eliminations=tuple(eliminations),
+        positions_before=positions_before,
+        positions_after=positions_after,
+    )

@@ -36,10 +36,14 @@ index (the CLI contract is exit 2 with a structured message).
     a nullable rule under search mode fires on *every* payload.
 ``never-matching-rule`` (error)
     the rule's language is empty.
-``subsumed-rule`` (info)
-    every match of rule *i* contains a match of rule *j* (proved via a
-    required factor of *i* containing a full literal of *j*), so *i*
-    firing implies *j* firing — search mode only.
+``subsumed-rule`` (warning or info)
+    rule *i* firing implies rule *j* firing — search mode only.  Small
+    rulesets are *proved* via the exact containment procedure of
+    :mod:`repro.analysis.decide` over the Σ*·L·Σ* search closures
+    (severity ``warning``, ``procedure: "product-automaton"``); past the
+    size/budget gate the literal heuristic takes over (a required factor
+    of *i* contains a full literal of *j*; severity ``info``,
+    ``procedure: "literal-heuristic"``).
 """
 
 from __future__ import annotations
@@ -73,12 +77,20 @@ RuleSpec = Union[str, Tuple[str, bool]]
 
 @dataclass(frozen=True)
 class Warning:
-    """One structured diagnostic."""
+    """One structured diagnostic.
+
+    ``procedure`` names how the finding was established when more than
+    one method exists for the code (e.g. ``subsumed-rule`` is either
+    ``"product-automaton"`` — an exact containment proof — or
+    ``"literal-heuristic"``).  Empty for single-method codes and absent
+    from the JSON form, keeping legacy output byte-identical.
+    """
 
     code: str
     severity: str  # "error" | "warning" | "info"
     message: str
     rules: Tuple[int, ...] = ()
+    procedure: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -88,12 +100,20 @@ class Warning:
         }
         if self.rules:
             out["rules"] = list(self.rules)
+        if self.procedure:
+            out["procedure"] = self.procedure
         return out
 
 
 @dataclass
 class PatternReport:
-    """Full static analysis of one pattern."""
+    """Full static analysis of one pattern.
+
+    ``optimize`` is the §3.13 before/after section (rewrite provenance
+    and state bounds); it is attached only when analysis was asked to
+    optimize, and the key is absent otherwise — the base JSON schema is
+    unchanged.
+    """
 
     pattern: str
     ignore_case: bool
@@ -101,8 +121,15 @@ class PatternReport:
     literals: LiteralInfo
     prefilter: Optional[PrefilterPlan]
     warnings: List[Warning] = field(default_factory=list)
+    optimize: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
+        out = self._base_dict()
+        if self.optimize is not None:
+            out["optimize"] = self.optimize
+        return out
+
+    def _base_dict(self) -> Dict[str, Any]:
         return {
             "schema": ANALYSIS_SCHEMA_VERSION,
             "kind": "pattern",
@@ -127,11 +154,18 @@ class PatternReport:
 
 @dataclass
 class RulesetReport:
-    """Per-rule reports plus cross-rule lint findings."""
+    """Per-rule reports plus cross-rule lint findings.
+
+    ``optimize`` carries the §3.13 ruleset optimizer provenance
+    (:meth:`repro.analysis.optimize.OptimizeResult.to_meta` plus the
+    union state bounds before/after); attached only on request or when
+    analyzing an archive that was compiled with ``optimize=True``.
+    """
 
     mode: str
     rules: List[PatternReport]
     warnings: List[Warning] = field(default_factory=list)
+    optimize: Optional[Dict[str, Any]] = None
 
     def all_warnings(self) -> List[Warning]:
         out = list(self.warnings)
@@ -143,7 +177,7 @@ class RulesetReport:
         return out
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "schema": ANALYSIS_SCHEMA_VERSION,
             "kind": "ruleset",
             "mode": self.mode,
@@ -157,6 +191,9 @@ class RulesetReport:
                 "warnings": len(self.all_warnings()),
             },
         }
+        if self.optimize is not None:
+            out["optimize"] = self.optimize
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -210,13 +247,44 @@ def analyze_pattern(
     *,
     ignore_case: bool = False,
     stride_budget: Optional[int] = None,
+    optimize: bool = False,
 ) -> PatternReport:
-    """Statically analyze one pattern (parse errors propagate)."""
+    """Statically analyze one pattern (parse errors propagate).
+
+    With ``optimize=True`` the report additionally carries the §3.13
+    before/after section: the canonical rewritten form, the rewrite
+    rules that fired, and the position/DFA-bound reduction.
+    """
     ast = parse(pattern, ignore_case=ignore_case)
-    return analyze_ast(
+    report = analyze_ast(
         ast, pattern=pattern, ignore_case=ignore_case,
         stride_budget=stride_budget,
     )
+    if optimize:
+        report.optimize = _pattern_optimize_section(ast, report.facts)
+    return report
+
+
+def _pattern_optimize_section(
+    ast: Node, before: PatternFacts
+) -> Dict[str, Any]:
+    from repro.analysis.rewrite import rewrite
+    from repro.regex.printer import to_pattern
+
+    res = rewrite(ast)
+    after = compute_facts(res.node)
+    return {
+        "canonical": to_pattern(res.node),
+        "changed": res.node != ast,
+        "rewrites": {name: int(n) for name, n in res.fired},
+        "positions": {
+            "before": before.positions, "after": after.positions,
+        },
+        "dfa_states_bound": {
+            "before": before.dfa_states_bound,
+            "after": after.dfa_states_bound,
+        },
+    }
 
 
 def analyze_ast(
@@ -255,12 +323,17 @@ def analyze_ruleset(
     ignore_case: bool = False,
     mode: str = "search",
     stride_budget: Optional[int] = None,
+    optimize: bool = False,
 ) -> RulesetReport:
     """Analyze and cross-lint a ruleset.
 
     A rule that fails to parse aborts with
     :class:`~repro.errors.RegexSyntaxError` whose message names the rule
     index — the CLI turns that into a structured exit-2 error.
+
+    With ``optimize=True`` the report additionally carries the §3.13
+    ruleset optimizer section: elimination provenance, the id-remapping
+    groups, and union state bounds before/after.
     """
     reports: List[PatternReport] = []
     asts: List[Node] = []
@@ -278,11 +351,41 @@ def analyze_ruleset(
             ast, pattern=source, ignore_case=fold,
             stride_budget=stride_budget,
         ))
-    return RulesetReport(
+    report = RulesetReport(
         mode=mode,
         rules=reports,
         warnings=_lint_ruleset(reports, asts, mode),
     )
+    if optimize:
+        report.optimize = _ruleset_optimize_section(asts, reports)
+    return report
+
+
+def _union_bound(bounds: Sequence[int]) -> int:
+    from repro.analysis.facts import _sat_mul
+
+    b = 1
+    for x in bounds:
+        b = _sat_mul(b, max(1, x))
+    return b
+
+
+def _ruleset_optimize_section(
+    asts: Sequence[Node], reports: Sequence[PatternReport]
+) -> Dict[str, Any]:
+    from repro.analysis.optimize import optimize_ruleset
+
+    info = optimize_ruleset(list(asts))
+    section: Dict[str, Any] = dict(info.to_meta())
+    section["union"] = {
+        "dfa_bound_before": _union_bound(
+            [r.facts.dfa_states_bound for r in reports]
+        ),
+        "dfa_bound_after": _union_bound(
+            [compute_facts(a).dfa_states_bound for a in info.asts]
+        ),
+    }
+    return section
 
 
 def _lint_ruleset(
@@ -318,7 +421,7 @@ def _lint_ruleset(
             ))
     out.extend(_lint_union_blowup(reports))
     if mode == "search":
-        out.extend(_lint_subsumption(reports))
+        out.extend(_lint_subsumption(reports, asts))
     return out
 
 
@@ -361,16 +464,75 @@ def _lint_union_blowup(reports: Sequence[PatternReport]) -> List[Warning]:
     )]
 
 
-def _lint_subsumption(reports: Sequence[PatternReport]) -> List[Warning]:
-    """Implication between rules, proved through literals.
+#: Size gate for the exact subsumption tier: past this many rules the
+#: pairwise containment sweep (O(n²) budgeted product walks) is skipped
+#: and only the literal heuristic runs.
+_SUBSUME_MAX_RULES = 24
 
-    If rule *j*'s language is a known finite set of strings and rule *i*
-    has a required factor containing one of them, then any payload where
-    *i* fires contains a full match of *j* — *i* firing implies *j*
-    firing (search mode).  Sound but deliberately incomplete: only
-    literal-exact rules can be proved implied.
+#: Total product-state budget shared by all containment proofs of one
+#: lint pass; each attempted pair is charged its worst case up front.
+_SUBSUME_TOTAL_BUDGET = 40_000
+
+
+def _lint_subsumption(
+    reports: Sequence[PatternReport], asts: Sequence[Node]
+) -> List[Warning]:
+    """Implication between rules: rule *i* firing implies rule *j* firing.
+
+    Two tiers.  On small rulesets every ordered pair is *decided* via
+    :func:`repro.analysis.decide.contains` over the Σ*·L·Σ* search
+    closures — ``L(Σ*·i·Σ*) ⊆ L(Σ*·j·Σ*)`` is exactly "every payload
+    where *i* fires, *j* fires too" — and a proof is reported at severity
+    ``warning`` with ``procedure="product-automaton"``.  Pairs the budget
+    (or the size gate) leaves undecided fall back to the literal
+    heuristic: if rule *j*'s language is a known finite set of strings
+    and rule *i* has a required factor containing one of them, implication
+    follows (severity ``info``, ``procedure="literal-heuristic"``).  A
+    pair proved exactly suppresses its heuristic duplicate.
+
+    Skipped rule roles: empty languages (nothing to imply from),
+    nullable *j* (it fires on every payload; ``empty-matching-rule``
+    already says so), and mutually-contained pairs in the *i < j*
+    direction (language-equal rules get one finding, not two).
     """
+    from repro.analysis.decide import Verdict, contains
+    from repro.regex.ast import Concat, Literal, Star
+    from repro.regex.charclass import CharSet
+
+    proved: Dict[Tuple[int, int], bool] = {}
+    if len(reports) <= _SUBSUME_MAX_RULES:
+        any_star = Star(Literal(CharSet.any_byte()))
+        closures = [Concat([any_star, a, any_star]) for a in asts]
+        remaining = _SUBSUME_TOTAL_BUDGET
+        pair_budget = min(2_000, _SUBSUME_TOTAL_BUDGET)
+        for i, ri in enumerate(reports):
+            if ri.facts.matches_nothing:
+                continue
+            for j, rj in enumerate(reports):
+                if i == j or rj.facts.matches_nothing or rj.facts.nullable:
+                    continue
+                if remaining < pair_budget:
+                    break
+                remaining -= pair_budget
+                v = contains(closures[i], closures[j], budget=pair_budget)
+                if v is Verdict.TRUE:
+                    proved[(i, j)] = True
+
     out: List[Warning] = []
+    emitted: set = set()
+    for (i, j) in sorted(proved):
+        if proved.get((j, i)) and j < i:
+            continue  # language-equal pair: the (j, i) direction reported
+        emitted.add((i, j))
+        out.append(Warning(
+            "subsumed-rule", "warning",
+            f"rule {i} ({reports[i].pattern!r}) firing implies rule {j} "
+            f"({reports[j].pattern!r}): containment proved on the "
+            "product automaton",
+            (i, j),
+            procedure="product-automaton",
+        ))
+
     exact_rules = [
         (j, r.literals.exact) for j, r in enumerate(reports)
         if r.literals.exact and not r.facts.nullable
@@ -380,7 +542,7 @@ def _lint_subsumption(reports: Sequence[PatternReport]) -> List[Warning]:
         if not claims or r.facts.matches_nothing:
             continue
         for j, lang in exact_rules:
-            if i == j:
+            if i == j or (i, j) in emitted or (j, i) in emitted:
                 continue
             if any(s in f.text for f in claims for s in lang):
                 out.append(Warning(
@@ -389,6 +551,7 @@ def _lint_subsumption(reports: Sequence[PatternReport]) -> List[Warning]:
                     f"({reports[j].pattern!r}): every match of rule {i} "
                     f"contains a literal of rule {j}",
                     (i, j),
+                    procedure="literal-heuristic",
                 ))
     return out
 
@@ -458,7 +621,26 @@ def format_pattern_report(r: PatternReport, *, label: str = "") -> str:
         lines.append("  prefilter: none")
     for w in r.warnings:
         lines.append(f"  {w.severity}[{w.code}]: {w.message}")
+    if r.optimize is not None:
+        o = r.optimize
+        fired = ", ".join(
+            f"{k}×{v}" for k, v in sorted(o["rewrites"].items())
+        ) or "none"
+        lines.append(
+            f"  optimize: canonical {o['canonical']!r} (rules fired: "
+            f"{fired})"
+        )
+        lines.append(
+            f"  optimize: positions {o['positions']['before']} → "
+            f"{o['positions']['after']}, DFA bound "
+            f"{o['dfa_states_bound']['before']:,} → "
+            f"{o['dfa_states_bound']['after']:,}"
+        )
     return "\n".join(lines)
+
+
+def _show_procedure(w: Warning) -> str:
+    return f" ({w.procedure})" if w.procedure else ""
 
 
 def format_ruleset_report(r: RulesetReport) -> str:
@@ -469,7 +651,48 @@ def format_ruleset_report(r: RulesetReport) -> str:
     cross = r.warnings
     if cross:
         for w in cross:
-            lines.append(f"  {w.severity}[{w.code}]: {w.message}")
+            lines.append(
+                f"  {w.severity}[{w.code}]{_show_procedure(w)}: {w.message}"
+            )
     else:
         lines.append("  lint: clean")
+    if r.optimize is not None:
+        lines.extend(format_optimize_section(r.optimize))
     return "\n".join(lines)
+
+
+def format_optimize_section(o: Dict[str, Any]) -> List[str]:
+    """Human rendering of a ruleset optimizer section (§3.13) — shared by
+    ``repro analyze`` and ``repro optimize``."""
+    lines: List[str] = []
+    kept = o.get("kept", [])
+    elim = o.get("eliminations", [])
+    lines.append(
+        f"  optimize: {len(kept) + len(elim)} rules → {len(kept)} compiled "
+        f"({len(elim)} eliminated)"
+    )
+    for dropped, into, procedure in elim:
+        if int(into) < 0:
+            lines.append(
+                f"    rule {dropped} dropped: {procedure} (never reported)"
+            )
+        else:
+            lines.append(
+                f"    rule {dropped} → rule {into}: {procedure}"
+            )
+    fired = ", ".join(
+        f"{k}×{v}" for k, v in sorted(dict(o.get("rewrites", {})).items())
+    )
+    if fired:
+        lines.append(f"    rewrites fired: {fired}")
+    lines.append(
+        f"  optimize: total positions {o.get('positions_before', 0)} → "
+        f"{o.get('positions_after', 0)}"
+    )
+    union = o.get("union")
+    if union:
+        lines.append(
+            f"  optimize: union DFA bound {union['dfa_bound_before']:,} → "
+            f"{union['dfa_bound_after']:,}"
+        )
+    return lines

@@ -1,0 +1,419 @@
+"""Semantics-preserving AST rewriting (DESIGN.md §3.13).
+
+A canonicalizer/simplifier over :mod:`repro.regex.ast`: every rule here
+is *language-preserving* — ``L(rewrite(e)) == L(e)`` — and exists to
+shrink the Glushkov position count (and therefore the subset-construction
+and ``|D|^|D|`` bounds of :mod:`repro.analysis.facts`) before anything is
+determinized.  The rule families, by provenance name:
+
+``never-propagation`` / ``epsilon-propagation``
+    ∅ and ε absorb through the combinators: ``∅·e → ∅``, ``∅|e → e``,
+    ``∅* → ε``, ``ε{m,n} → ε``, ``e{m,0} → ε``.
+``charclass-union``
+    sibling single-byte alternatives merge: ``[a-f]|[0-9]|x → [0-9a-fx]``.
+    Overlapping-but-unequal classes are the classic position multiplier
+    (two live positions excited by the shared bytes), so this rule cuts
+    real subset states, not just bounds.
+``duplicate-alternative``
+    structurally equal alternatives collapse to one.
+``alternative-ordering``
+    alternation is commutative; children sort under a structural key so
+    ``b|a`` and ``a|b`` share one canonical form (what makes duplicate
+    and equivalence detection across rules cheap).
+``concat-run-fusion`` / ``counting-merge``
+    adjacent factors with the same base fuse arithmetically:
+    ``e e → e{2}``, ``e* e* → e*``, ``e e* → e{1,}``,
+    ``e{1,2} e{0,3} → e{1,5}``; nested bounds multiply out when the
+    count set stays contiguous (``(e{1,2}){2,3} → e{2,6}``, while
+    ``(e{2}){3,}`` is left alone — its count set has holes).
+``star-idempotence`` / ``star-absorption`` / ``star-of-repeat``
+    ``(e*)* → e*``, ``(e?)* → e*``, ``(e{0,n})* → e*``,
+    ``(e*|f)* → (e|f)*``, ``e{m,n}* → e*`` for ``m ≤ 1``.
+``nullable-lower-bound``
+    ``e{m,n} → e{0,n}`` when ``e`` is nullable (the lower bound is
+    unreachable information).
+``optional-form``
+    ``ε|e|f → (e|f){0,1}`` — one canonical spelling of "optional", so
+    run fusion sees ``a a a? a?`` as four runs of one base
+    (``→ a{2,4}``).
+``prefix-factoring`` / ``suffix-factoring``
+    distributivity in reverse: ``abc|abd → ab(c|d)``,
+    ``xz|yz → (x|y)z`` — the only rules that *restructure* rather than
+    delete, factoring shared material out of every alternative.
+
+The result is canonical enough that two important properties hold (both
+pinned by tests): a node matches nothing iff it rewrites to ``Never()``
+exactly, and structurally different spellings of common idioms
+(``a{2,4}`` vs ``aaa?a?``, ``[0-9]|[0-5]`` vs ``[0-9]``) meet in one
+form, which is what the ruleset optimizer's duplicate elimination keys
+on (:mod:`repro.analysis.optimize`).
+
+Every :func:`rewrite` returns a provenance record — ``(rule, count)``
+pairs for the rules that fired — so ``repro optimize`` and the ``.npz``
+metadata can report *why* a pattern shrank.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Never,
+    Node,
+    Repeat,
+    Star,
+)
+
+#: Hard cap on whole-tree passes; each pass is bottom-up and normalizing,
+#: so a fixpoint is normally reached in one or two.
+MAX_PASSES = 8
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """A rewritten AST plus the provenance of which rules fired."""
+
+    node: Node
+    fired: Tuple[Tuple[str, int], ...]  # (rule name, fire count), sorted
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fired)
+
+    def fired_dict(self) -> Dict[str, int]:
+        return dict(self.fired)
+
+
+def rewrite(node: Node) -> RewriteResult:
+    """Canonicalize ``node``; language-preserving by construction."""
+    fired: Counter = Counter()
+    current = node
+    for _ in range(MAX_PASSES):
+        rw = _Rewriter()
+        out = rw.rw(current)
+        if out == current:
+            break
+        fired.update(rw.fired)
+        current = out
+    return RewriteResult(
+        node=current, fired=tuple(sorted(fired.items()))
+    )
+
+
+def canonical(node: Node) -> Node:
+    """The canonical form alone (no provenance)."""
+    return rewrite(node).node
+
+
+# ---------------------------------------------------------------------------
+# Structural ordering (canonical alternation order)
+# ---------------------------------------------------------------------------
+
+_RANK = {Empty: 0, Never: 1, Literal: 2, Star: 3, Repeat: 4,
+         Concat: 5, Alternation: 6}
+
+
+def _struct_key(node: Node) -> tuple:
+    """A total, deterministic order on ASTs (language-irrelevant)."""
+    rank = _RANK[type(node)]
+    if isinstance(node, Literal):
+        return (rank, tuple(node.charset.ranges()))
+    if isinstance(node, Star):
+        return (rank, _struct_key(node.child))
+    if isinstance(node, Repeat):
+        hi = -1 if node.hi is None else node.hi
+        return (rank, node.lo, hi, _struct_key(node.child))
+    if isinstance(node, (Concat, Alternation)):
+        return (rank, tuple(_struct_key(c) for c in node.children))
+    return (rank,)
+
+
+# ---------------------------------------------------------------------------
+# The rewriter
+# ---------------------------------------------------------------------------
+
+
+class _Rewriter:
+    """One bottom-up normalization pass with memoization."""
+
+    def __init__(self) -> None:
+        self.fired: Counter = Counter()
+        self._memo: Dict[Node, Node] = {}
+
+    def note(self, rule: str, n: int = 1) -> None:
+        if n > 0:
+            self.fired[rule] += n
+
+    # -- dispatch --------------------------------------------------------
+    def rw(self, node: Node) -> Node:
+        got = self._memo.get(node)
+        if got is not None:
+            return got
+        if isinstance(node, (Empty, Never, Literal)):
+            out: Node = node
+        elif isinstance(node, Concat):
+            out = self.concat([self.rw(c) for c in node.children])
+        elif isinstance(node, Alternation):
+            out = self.alternation([self.rw(c) for c in node.children])
+        elif isinstance(node, Star):
+            out = self.star(self.rw(node.child))
+        elif isinstance(node, Repeat):
+            out = self.repeat(self.rw(node.child), node.lo, node.hi)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown AST node {node!r}")
+        self._memo[node] = out
+        return out
+
+    # -- concatenation ---------------------------------------------------
+    @staticmethod
+    def _as_run(node: Node) -> Tuple[Node, int, Optional[int]]:
+        """View a factor as ``base{lo,hi}`` for run fusion."""
+        if isinstance(node, Star):
+            return (node.child, 0, None)
+        if isinstance(node, Repeat):
+            return (node.child, node.lo, node.hi)
+        return (node, 1, 1)
+
+    def _emit_run(self, base: Node, lo: int, hi: Optional[int]) -> Node:
+        if hi == 0:
+            return Empty()
+        if (lo, hi) == (1, 1):
+            return base
+        if (lo, hi) == (0, None):
+            return Star(base)
+        return self.repeat(base, lo, hi)
+
+    def concat(self, children: List[Node]) -> Node:
+        flat: List[Node] = []
+        for c in children:
+            if isinstance(c, Concat):
+                flat.extend(c.children)
+            elif isinstance(c, Empty):
+                self.note("epsilon-propagation")
+            else:
+                flat.append(c)
+        if any(isinstance(c, Never) for c in flat):
+            self.note("never-propagation")
+            return Never()
+        # Fuse adjacent factors over the same base:  e e* -> e{1,},
+        # e* e* -> e*,  e{1,2} e{0,3} -> e{1,5},  e e -> e{2}.
+        runs: List[Tuple[Node, int, Optional[int]]] = []
+        for c in flat:
+            base, lo, hi = self._as_run(c)
+            if runs and runs[-1][0] == base:
+                plo, phi = runs[-1][1], runs[-1][2]
+                nhi = None if (phi is None or hi is None) else phi + hi
+                runs[-1] = (base, plo + lo, nhi)
+                self.note("concat-run-fusion")
+            else:
+                runs.append((base, lo, hi))
+        out: List[Node] = []
+        for base, lo, hi in runs:
+            emitted = self._emit_run(base, lo, hi)
+            if isinstance(emitted, Never):
+                self.note("never-propagation")
+                return Never()
+            if not isinstance(emitted, Empty):
+                out.append(emitted)
+        if not out:
+            return Empty()
+        if len(out) == 1:
+            return out[0]
+        return Concat(out)
+
+    # -- alternation -----------------------------------------------------
+    def alternation(self, children: List[Node]) -> Node:
+        flat: List[Node] = []
+        for c in children:
+            if isinstance(c, Alternation):
+                flat.extend(c.children)
+            elif isinstance(c, Never):
+                self.note("never-propagation")
+            else:
+                flat.append(c)
+        # Duplicate alternatives collapse (set semantics of union).
+        seen = set()
+        uniq: List[Node] = []
+        for c in flat:
+            if c in seen:
+                self.note("duplicate-alternative")
+            else:
+                seen.add(c)
+                uniq.append(c)
+        # Single-byte alternatives merge into one character class.
+        lits = [c for c in uniq if isinstance(c, Literal)]
+        if len(lits) >= 2:
+            cs = lits[0].charset
+            for lit in lits[1:]:
+                cs = cs | lit.charset
+            merged = Literal(cs)
+            placed = False
+            rebuilt: List[Node] = []
+            for c in uniq:
+                if isinstance(c, Literal):
+                    if not placed:
+                        rebuilt.append(merged)
+                        placed = True
+                else:
+                    rebuilt.append(c)
+            uniq = rebuilt
+            self.note("charclass-union", len(lits) - 1)
+        # ε is redundant next to a nullable alternative; otherwise it
+        # folds into the canonical optional form: ε|e|f -> (e|f){0,1}
+        # (one spelling of "optional" repo-wide, so concat run fusion
+        # sees a a a? a? as four runs of the same base).
+        if any(isinstance(c, Empty) for c in uniq):
+            rest = [c for c in uniq if not isinstance(c, Empty)]
+            if not rest:
+                return Empty()
+            if any(c.nullable for c in rest):
+                self.note("epsilon-propagation")
+                uniq = rest
+            else:
+                self.note("optional-form")
+                return self.repeat(self.alternation(rest), 0, 1)
+        if not uniq:
+            return Never()
+        if len(uniq) == 1:
+            return uniq[0]
+        factored = self._factor(uniq)
+        if factored is not None:
+            return factored
+        ordered = sorted(uniq, key=_struct_key)
+        if ordered != uniq:
+            self.note("alternative-ordering")
+        return Alternation(ordered)
+
+    def _factor(self, children: List[Node]) -> Optional[Node]:
+        """Common prefix/suffix factoring: ``abc|abd -> ab(c|d)``.
+
+        Factors only material shared by *every* alternative (sound by
+        distributivity); the residual alternation is re-simplified.
+        """
+        seqs = [
+            list(c.children) if isinstance(c, Concat) else [c]
+            for c in children
+        ]
+        prefix = 0
+        while all(len(s) > prefix for s in seqs) and all(
+            s[prefix] == seqs[0][prefix] for s in seqs[1:]
+        ):
+            prefix += 1
+        rests = [s[prefix:] for s in seqs]
+        suffix = 0
+        while all(len(r) > suffix for r in rests) and all(
+            r[-1 - suffix] == rests[0][-1 - suffix] for r in rests[1:]
+        ):
+            suffix += 1
+        if prefix == 0 and suffix == 0:
+            return None
+        if prefix:
+            self.note("prefix-factoring")
+        if suffix:
+            self.note("suffix-factoring")
+        head = seqs[0][:prefix]
+        tail = rests[0][len(rests[0]) - suffix:] if suffix else []
+        mids: List[Node] = []
+        for r in rests:
+            mid = r[: len(r) - suffix] if suffix else r
+            mids.append(self.concat(list(mid)) if mid else Empty())
+        middle = self.alternation(mids)
+        return self.concat(head + [middle] + tail)
+
+    # -- star ------------------------------------------------------------
+    def star(self, child: Node) -> Node:
+        if isinstance(child, (Empty, Never)):
+            self.note("star-trivial")
+            return Empty()
+        if isinstance(child, Star):
+            self.note("star-idempotence")
+            return child
+        if isinstance(child, Repeat):
+            # (e{m,n})* == e* whenever a single copy is reachable.
+            if child.lo <= 1 and (child.hi is None or child.hi >= 1):
+                self.note("star-of-repeat")
+                return self.star(child.child)
+        if isinstance(child, Alternation):
+            # Under a star, each alternative contributes only its block
+            # language: (e*|f)* == (e|f)*, (e{0,3}|f)* == (e|f)*.
+            stripped: List[Node] = []
+            changed = False
+            for c in child.children:
+                if isinstance(c, Empty):
+                    changed = True
+                elif isinstance(c, Star):
+                    stripped.append(c.child)
+                    changed = True
+                elif (
+                    isinstance(c, Repeat)
+                    and c.lo <= 1
+                    and (c.hi is None or c.hi >= 1)
+                ):
+                    stripped.append(c.child)
+                    changed = True
+                else:
+                    stripped.append(c)
+            if changed:
+                self.note("star-absorption")
+                return self.star(self.alternation(stripped))
+        return Star(child)
+
+    # -- bounded repetition ----------------------------------------------
+    def repeat(self, child: Node, lo: int, hi: Optional[int]) -> Node:
+        if isinstance(child, Empty) or hi == 0:
+            self.note("epsilon-propagation")
+            return Empty()
+        if isinstance(child, Never):
+            self.note("never-propagation")
+            return Empty() if lo == 0 else Never()
+        if child.nullable and lo > 0:
+            # ε ∈ L(e) makes every count below lo reachable too.
+            self.note("nullable-lower-bound")
+            lo = 0
+        if isinstance(child, Star):
+            # (e*){m,n} == e* once one copy is allowed (hi != 0 here).
+            self.note("star-absorption")
+            return child
+        if isinstance(child, Repeat):
+            merged = _merge_counts(child.lo, child.hi, lo, hi)
+            if merged is not None:
+                self.note("counting-merge")
+                return self.repeat(child.child, merged[0], merged[1])
+        if (lo, hi) == (1, 1):
+            self.note("unit-repeat")
+            return child
+        if (lo, hi) == (0, None):
+            return self.star(child)
+        return Repeat(child, lo, hi)
+
+
+def _merge_counts(
+    a: int, b: Optional[int], lo: int, hi: Optional[int]
+) -> Optional[Tuple[int, Optional[int]]]:
+    """Bounds of ``(e{a,b}){lo,hi}`` as one ``e{A,B}``, or ``None``.
+
+    The repeat-of-repeat count set is ``⋃_{i∈[lo,hi]} [a·i, b·i]``; it
+    collapses to the single interval ``[a·lo, b·hi]`` iff consecutive
+    per-``i`` intervals overlap or touch: ``a·(i+1) ≤ b·i + 1``.  With
+    ``b ≥ a`` the gap is monotone in ``i``, so checking ``i = lo``
+    suffices; ``b = None`` (unbounded copies) covers everything past the
+    first interval.  ``(e{2}){3,}`` fails the check (holes) and is kept.
+    """
+    if hi is not None and hi == lo:
+        new_hi = 0 if hi == 0 else (None if b is None else b * hi)
+        return (a * lo, new_hi)
+    # hi > lo (or unbounded): contiguity check at the first step.
+    if b is None:
+        ok = lo >= 1 or a <= 1
+    else:
+        ok = a * (lo + 1) <= b * lo + 1
+    if not ok:
+        return None
+    new_hi = None if (b is None or hi is None) else b * hi
+    return (a * lo, new_hi)

@@ -250,6 +250,14 @@ def save_ruleset(
         "flags": [bool(f) for f in ruleset.rule_flags],
         "has_sfa": bool(include_sfa),
     }
+    # §3.13 optimizer provenance: the persisted rule_sets already carry
+    # original ids (remapped at compile time), so the archive stays
+    # loadable by older readers; the provenance is additive metadata that
+    # lets `repro analyze` explain why the tables are smaller than the
+    # rule count suggests.
+    opt_info = getattr(ruleset, "optimize_info", None)
+    if opt_info is not None:
+        meta["optimize"] = opt_info.to_meta()
     arrays = {
         "table": dfa.table,
         "accept": dfa.accept,
@@ -350,15 +358,24 @@ def load_ruleset(path_or_file: Union[str, io.IOBase]):
             raise AutomatonError("union D-SFA origin size != union DFA size")
         if not np.array_equal(sfa.origin_final, dfa.accept):
             raise AutomatonError("union D-SFA origin_final != DFA acceptance")
-    return MultiPatternSet.from_components(
-        patterns=patterns,
-        flags=flags,
-        mode=mode,
-        partition=partition,
-        dfa=dfa,
-        rule_sets=rule_sets,
-        sfa=sfa,
-    )
+    optimize_meta = meta.get("optimize")
+    if optimize_meta is not None and not isinstance(optimize_meta, dict):
+        raise AutomatonError("malformed optimize provenance in archive")
+    try:
+        return MultiPatternSet.from_components(
+            patterns=patterns,
+            flags=flags,
+            mode=mode,
+            partition=partition,
+            dfa=dfa,
+            rule_sets=rule_sets,
+            sfa=sfa,
+            optimize_meta=optimize_meta,
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        raise AutomatonError(
+            f"malformed optimize provenance in archive: {e}"
+        ) from None
 
 
 def _validate_sfa(sfa: SFA) -> None:

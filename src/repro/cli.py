@@ -3,6 +3,8 @@
     python -m repro sizes  '(ab)*'
     python -m repro analyze 'ERROR [0-9]+' --json
     python -m repro analyze --rules-file rules.txt
+    python -m repro optimize 'aaa?a?'
+    python -m repro optimize --rules-file rules.txt -o opt.npz
     python -m repro match  '(ab)*' input.bin --engine lockstep --chunks 8
     python -m repro match  '(ab)*' input.bin --engine sfa --chunks 8 \
         --executor processes --workers 8
@@ -52,6 +54,12 @@ requests.  ``client`` drives it: one-shot ``match``/``scan``/
 union-automaton pass and prints every matching rule; ``--rules-file``
 takes either a pattern file (one regex per line, ``#`` comments) or a
 compiled ``.npz`` ruleset written by ``save --stage ruleset``.
+
+``optimize`` is the §3.13 optimizer surface: a pattern argument prints
+its canonical rewritten form and the rules that fired; ``--rules-file``
+rewrites + minimizes a ruleset (duplicates and proven-equivalent rules
+collapse; reported rule ids never change) and ``-o`` compiles the
+optimized set to an ``.npz`` archive with persisted provenance.
 
 ``analyze`` is the static analysis surface (DESIGN.md §3.9): language
 facts, blowup predictions, required literal factors and the derived
@@ -124,12 +132,15 @@ def _read_rule_lines(rules_file: str) -> List[str]:
 
 
 def _load_ruleset_arg(rules_file: str, ignore_case: bool,
-                      backend: str = "eager"):
+                      backend: str = "eager", optimize: bool = False):
     """A scan-ready MultiPatternSet from a pattern file or ``.npz`` archive.
 
     ``backend`` selects the union-automaton backend (DESIGN.md §3.11) for
     pattern files; archives hold materialized tables and are eager by
-    construction, so the flag does not apply to them.
+    construction, so the flag does not apply to them.  ``optimize`` runs
+    the §3.13 ruleset optimizer before compilation (pattern files only —
+    an archive was optimized, or not, when it was saved); reported rule
+    ids are unchanged either way.
     """
     from repro.matching.multi import MultiPatternSet
 
@@ -146,7 +157,8 @@ def _load_ruleset_arg(rules_file: str, ignore_case: bool,
                 f"{rules_file} is not a ruleset archive: {e}"
             ) from None
     return MultiPatternSet(
-        _read_rule_lines(rules_file), ignore_case=ignore_case, backend=backend
+        _read_rule_lines(rules_file), ignore_case=ignore_case,
+        backend=backend, optimize=optimize,
     )
 
 
@@ -432,13 +444,19 @@ def _cmd_save(args: argparse.Namespace) -> int:
         mps = _load_ruleset_arg(
             args.rules_file, args.ignore_case,
             backend=getattr(args, "backend", "eager"),
+            optimize=getattr(args, "optimize", False),
         )
         # A lazy/sharded set is frozen by save_ruleset itself (archives
         # are eager tables); afterwards mps.dfa is always materialized.
         save_ruleset(mps, args.output)
+        info = getattr(mps, "optimize_info", None)
+        optimized = (
+            f", {info.num_kept}/{info.num_rules} rules compiled"
+            if info is not None else ""
+        )
         print(
             f"wrote ruleset ({mps.num_rules} rules, union DFA "
-            f"{mps.dfa.num_states} states) to {args.output}"
+            f"{mps.dfa.num_states} states{optimized}) to {args.output}"
         )
         return 0
     if args.rules_file is not None:
@@ -464,6 +482,7 @@ def _cmd_matchset(args: argparse.Namespace) -> int:
     mps = _load_ruleset_arg(
         args.rules_file, args.ignore_case,
         backend=getattr(args, "backend", "auto"),
+        optimize=getattr(args, "optimize", False),
     )
     data = _read_input(args.input)
     plan, knobs = _plan_and_knobs(args)
@@ -493,27 +512,38 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         format_ruleset_report,
     )
 
+    optimize = getattr(args, "optimize", False)
     if args.rules_file is not None:
         if args.pattern is not None:
             raise MatchEngineError(
                 "analyze takes a pattern or --rules-file, not both"
             )
+        stored = None
         if args.rules_file.endswith(".npz"):
             # An archive is analyzed through its persisted sources, flags
             # and mode — analysis itself never needs the compiled tables.
             mps = _load_ruleset_arg(args.rules_file, args.ignore_case)
             rules = [(p, bool(f)) for p, f in zip(mps.patterns, mps.rule_flags)]
             mode = mps.mode
+            info = getattr(mps, "optimize_info", None)
+            if info is not None:
+                stored = info.to_meta()
         else:
             rules = [(ln, args.ignore_case) for ln in
                      _read_rule_lines(args.rules_file)]
             mode = args.mode
-        report = analyze_ruleset(rules, mode=mode)
+        report = analyze_ruleset(rules, mode=mode, optimize=optimize)
+        if stored is not None and report.optimize is None:
+            # The archive was compiled with optimize=True: surface the
+            # persisted §3.13 provenance even without --optimize.
+            report.optimize = stored
         text = format_ruleset_report(report)
     else:
         if args.pattern is None:
             raise MatchEngineError("analyze needs a pattern or --rules-file")
-        report = analyze_pattern(args.pattern, ignore_case=args.ignore_case)
+        report = analyze_pattern(
+            args.pattern, ignore_case=args.ignore_case, optimize=optimize
+        )
         text = format_pattern_report(report)
     payload = report.to_dict()
     if args.json:
@@ -521,6 +551,69 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 1 if _report_dirty(payload) else 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """The §3.13 optimizer surface: canonicalize a pattern, or rewrite +
+    minimize a ruleset (optionally compiling the result to ``.npz``)."""
+    import json
+
+    from repro.analysis import analyze_pattern, analyze_ruleset
+    from repro.analysis.report import format_optimize_section
+
+    if args.rules_file is not None:
+        if args.pattern is not None:
+            raise MatchEngineError(
+                "optimize takes a pattern or --rules-file, not both"
+            )
+        rules = [(ln, args.ignore_case) for ln in
+                 _read_rule_lines(args.rules_file)]
+        report = analyze_ruleset(rules, mode=args.mode, optimize=True)
+        section = report.optimize or {}
+        if args.output is not None:
+            from repro.automata.serialize import save_ruleset
+
+            out = (args.output if args.output.endswith(".npz")
+                   else args.output + ".npz")
+            mps = _load_ruleset_arg(
+                args.rules_file, args.ignore_case,
+                backend=args.backend, optimize=True,
+            )
+            save_ruleset(mps, out)
+            section = dict(section)
+            section["output"] = out
+        if args.json:
+            print(json.dumps(section, indent=2, sort_keys=True))
+        else:
+            for line in format_optimize_section(section):
+                print(line[2:] if line.startswith("  ") else line)
+            if "output" in section:
+                print(f"wrote optimized ruleset to {section['output']}")
+        return 0
+    if args.pattern is None:
+        raise MatchEngineError("optimize needs a pattern or --rules-file")
+    report = analyze_pattern(
+        args.pattern, ignore_case=args.ignore_case, optimize=True
+    )
+    o = report.optimize or {}
+    if args.json:
+        print(json.dumps(
+            {"pattern": args.pattern, **o}, indent=2, sort_keys=True
+        ))
+        return 0
+    print(f"pattern:   {args.pattern}")
+    print(f"canonical: {o.get('canonical', args.pattern)}")
+    fired = ", ".join(
+        f"{k}×{v}" for k, v in sorted(dict(o.get("rewrites", {})).items())
+    ) or "none (already canonical)"
+    print(f"rewrites:  {fired}")
+    pos = o.get("positions", {})
+    bound = o.get("dfa_states_bound", {})
+    print(
+        f"positions: {pos.get('before')} → {pos.get('after')}, "
+        f"DFA bound {bound.get('before'):,} → {bound.get('after'):,}"
+    )
+    return 0
 
 
 def _parse_ruleset_args(entries) -> dict:
@@ -890,7 +983,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the schema-stable JSON report instead of "
                    "the human rendering")
+    p.add_argument(
+        "--optimize", action="store_true",
+        help="add the §3.13 before/after section: canonical rewrite, "
+        "elimination provenance and state-bound reduction (archives "
+        "compiled with optimization show their stored provenance even "
+        "without this flag)",
+    )
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "optimize",
+        help="semantics-preserving pattern rewriting and ruleset "
+        "minimization (§3.13): canonicalize a pattern, or rewrite + "
+        "dedupe + prove-equivalent a ruleset, optionally compiling the "
+        "optimized set to .npz (reported rule ids are unchanged)",
+    )
+    p.add_argument("pattern", nargs="?", default=None,
+                   help="regular expression (or use --rules-file)")
+    p.add_argument("-i", "--ignore-case", action="store_true")
+    p.add_argument(
+        "--rules-file", default=None,
+        help="optimize a whole ruleset: a pattern file (one regex per "
+        "line, '#' comments)",
+    )
+    p.add_argument(
+        "--mode", choices=["search", "fullmatch"], default="search",
+        help="ruleset match semantics (for the analysis section)",
+    )
+    p.add_argument(
+        "--backend", choices=["auto", "eager", "lazy", "sharded"],
+        default="eager",
+        help="compile backend when writing an optimized archive with -o",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="compile the optimized ruleset and write it to this .npz "
+        "(loadable by matchset/analyze; provenance is persisted)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the optimizer section as JSON")
+    p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("match", help="whole-input membership test")
     add_common(p, with_input=True)
@@ -959,6 +1092,13 @@ def build_parser() -> argparse.ArgumentParser:
         "tables, so lazy/sharded sets are frozen before writing; a set "
         "whose closure exceeds the state budget cannot be saved)",
     )
+    p.add_argument(
+        "--optimize", action="store_true",
+        help="run the §3.13 ruleset optimizer before compiling "
+        "(--stage ruleset): rewrite, dedupe, prove-equivalent; reported "
+        "rule ids are unchanged and provenance is persisted in the "
+        "archive",
+    )
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_save)
 
@@ -984,6 +1124,12 @@ def build_parser() -> argparse.ArgumentParser:
         "large rulesets), 'lazy' determinizes on the fly, 'sharded' "
         "compiles rule groups with literal routing; 'auto' (default) "
         "lets the planner pick and never explodes where lazy can serve",
+    )
+    p.add_argument(
+        "--optimize", action="store_true",
+        help="run the §3.13 ruleset optimizer before compiling (pattern "
+        "files only): output is bit-identical, the union automaton is "
+        "smaller",
     )
     add_engine_knobs(p)
     p.set_defaults(func=_cmd_matchset)

@@ -57,6 +57,7 @@ class CompiledPattern:
         max_dfa_states: int = DEFAULT_MAX_DFA_STATES,
         max_sfa_states: int = DEFAULT_MAX_SFA_STATES,
         minimize_dfa: bool = True,
+        optimize: bool = False,
     ):
         self.pattern = pattern
         self.ignore_case = ignore_case
@@ -64,7 +65,18 @@ class CompiledPattern:
         self.max_dfa_states = max_dfa_states
         self.max_sfa_states = max_sfa_states
         self.minimize_dfa = minimize_dfa
+        self.optimize = optimize
+        self.rewrites: tuple = ()
         self.ast: Node = parse(pattern, ignore_case=ignore_case, dotall=dotall)
+        if optimize:
+            # §3.13 canonicalization: language-preserving, so matching is
+            # bit-identical; everything downstream (facts, literals, span
+            # engine, planner) works off the smaller rewritten AST.
+            from repro.analysis.rewrite import rewrite
+
+            res = rewrite(self.ast)
+            self.ast = res.node
+            self.rewrites = res.fired
         # Build the partition from the *search-augmented* charset list so the
         # membership and containment automata share one alphabet.
         charsets = list(self.ast.charsets()) + [CharSet.any_byte()]
@@ -372,6 +384,8 @@ class _SearchPattern(CompiledPattern):
         self.max_dfa_states = parent.max_dfa_states
         self.max_sfa_states = parent.max_sfa_states
         self.minimize_dfa = parent.minimize_dfa
+        self.optimize = parent.optimize  # parent AST is already rewritten
+        self.rewrites = parent.rewrites
         any_star = Star(Literal(CharSet.any_byte()))
         self.ast = Concat([any_star, parent.ast, any_star])
         self.partition = parent.partition
@@ -392,8 +406,14 @@ def compile_pattern(
     dotall: bool = False,
     max_dfa_states: int = DEFAULT_MAX_DFA_STATES,
     max_sfa_states: int = DEFAULT_MAX_SFA_STATES,
+    optimize: bool = False,
 ) -> CompiledPattern:
     """Compile a regex into a :class:`CompiledPattern` (the main entry point).
+
+    ``optimize`` canonicalizes the AST first (DESIGN.md §3.13) — the
+    language, and therefore every match result, is unchanged, but
+    redundant structure (duplicate alternatives, unfused runs, mergeable
+    classes) is gone before determinization pays for it.
 
     >>> m = compile_pattern("(ab)*")
     >>> m.fullmatch(b"abab")
@@ -407,4 +427,5 @@ def compile_pattern(
         dotall=dotall,
         max_dfa_states=max_dfa_states,
         max_sfa_states=max_sfa_states,
+        optimize=optimize,
     )

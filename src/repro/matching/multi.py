@@ -211,6 +211,16 @@ class MultiPatternSet:
     group_positions:
         sharded backend only: Glushkov-position budget per rule group
         (``None`` = :data:`DEFAULT_GROUP_POSITIONS`).
+    optimize:
+        run the §3.13 static optimizer before compiling: every rule's
+        AST is canonicalized (:mod:`repro.analysis.rewrite`) and
+        duplicate / proven-equivalent / never-matching rules are
+        eliminated (:mod:`repro.analysis.optimize`), shrinking the
+        union automaton the backends build.  Observable output is
+        unchanged — ``matches``/``finditer`` still report *original*
+        rule indices via the optimizer's id-remapping table, and
+        ``patterns``/``num_rules`` keep the full original rule list.
+        Provenance lands in :attr:`optimize_info`.
     """
 
     def __init__(
@@ -226,6 +236,7 @@ class MultiPatternSet:
         backend: str = "eager",
         max_lazy_states: Optional[int] = None,
         group_positions: Optional[int] = None,
+        optimize: bool = False,
     ):
         if mode not in ("search", "fullmatch"):
             raise MatchEngineError(f"unknown mode {mode!r}")
@@ -256,6 +267,15 @@ class MultiPatternSet:
             parse(p, ignore_case=f)
             for p, f in zip(self.patterns, self.rule_flags)
         ]
+        self.optimize_info = None
+        self._rule_map: Optional[List[Tuple[int, ...]]] = None
+        if optimize:
+            from repro.analysis.optimize import optimize_ruleset
+
+            info = optimize_ruleset(asts)
+            self.optimize_info = info
+            asts = list(info.asts)
+            self._rule_map = [tuple(g) for g in info.groups]
         if mode == "search":
             any_star = Star(Literal(CharSet.any_byte()))
             asts = [Concat([any_star, a, any_star]) for a in asts]
@@ -295,6 +315,11 @@ class MultiPatternSet:
                 self._dfa, self.rule_sets = _union_subset_construction(
                     self._nfas, self.partition, budget
                 )
+                # Bake original rule ids into the eager tables so every
+                # downstream consumer (streaming, serialization, the
+                # service) sees the unoptimized numbering for free.
+                if self._rule_map is not None:
+                    self.rule_sets = self._remap_sets(self.rule_sets)
                 return "eager"
             except StateExplosionError:
                 if backend != "auto":
@@ -357,6 +382,7 @@ class MultiPatternSet:
         sfa: Optional[SFA] = None,
         max_sfa_states: int = 2_000_000,
         stride_budget: Optional[int] = None,
+        optimize_meta: Optional[dict] = None,
     ) -> "MultiPatternSet":
         """Rebuild a compiled set from persisted tables, skipping parsing
         and subset construction entirely.
@@ -365,7 +391,10 @@ class MultiPatternSet:
         point; components are trusted to be mutually consistent (the
         loader validates them against the archive invariants).  Persisted
         tables are eager by definition, so the result always has
-        ``backend == "eager"``.
+        ``backend == "eager"``.  ``optimize_meta`` restores the §3.13
+        optimizer provenance of an optimized archive; the persisted
+        ``rule_sets`` already carry original ids (they were remapped at
+        compile time), so no further translation happens on load.
         """
         if mode not in ("search", "fullmatch"):
             raise MatchEngineError(f"unknown mode {mode!r}")
@@ -392,6 +421,12 @@ class MultiPatternSet:
         obj._union = None
         obj._groups = None
         obj._backend = "eager"
+        obj._rule_map = None  # persisted rule_sets already hold original ids
+        obj.optimize_info = None
+        if optimize_meta is not None:
+            from repro.analysis.optimize import OptimizeResult
+
+            obj.optimize_info = OptimizeResult.from_meta(optimize_meta)
         return obj
 
     # -- properties --------------------------------------------------------
@@ -466,27 +501,59 @@ class MultiPatternSet:
                 self._nfas, self.partition, self.max_dfa_states
             )
             self._groups = None
+        if self._rule_map is not None:
+            self.rule_sets = self._remap_sets(self.rule_sets)
         self._backend = "eager"
         return self
 
+    # -- optimizer id remapping ---------------------------------------------
+    def _remap_sets(
+        self, rule_sets: Sequence[Sequence[int]]
+    ) -> List[Tuple[int, ...]]:
+        """Translate compiled-rule sets to original-id sets (eager tables)."""
+        rm = self._rule_map
+        assert rm is not None
+        return [
+            tuple(sorted({o for r in rs for o in rm[r]}))
+            for rs in rule_sets
+        ]
+
+    def _report_rules(self, rules) -> Set[int]:
+        """Rule ids as the caller should see them (§3.13 contract).
+
+        Eager tables are remapped once at construction/freeze, so only
+        the lazy and sharded backends translate per verdict here.
+        """
+        rm = self._rule_map
+        if rm is None or self._backend == "eager":
+            return set(rules)
+        out: Set[int] = set()
+        for r in rules:
+            out.update(rm[r])
+        return out
+
     def sizes(self) -> Dict[str, int]:
         if self._backend == "lazy":
-            return {
+            out = {
                 "rules": self.num_rules,
                 "union_dfa_materialized": self._union.num_materialized,
             }
-        if self._backend == "sharded":
-            return {
+        elif self._backend == "sharded":
+            out = {
                 "rules": self.num_rules,
                 "groups": len(self._groups),
                 "group_states": sum(g.num_materialized for g in self._groups),
                 "lazy_groups": sum(1 for g in self._groups if g.lazy),
             }
-        return {
-            "rules": self.num_rules,
-            "union_dfa": self._dfa.num_states,
-            "union_d_sfa": self.sfa.num_states,
-        }
+        else:
+            out = {
+                "rules": self.num_rules,
+                "union_dfa": self._dfa.num_states,
+                "union_d_sfa": self.sfa.num_states,
+            }
+        if self.optimize_info is not None:
+            out["rules_compiled"] = self.optimize_info.num_kept
+        return out
 
     # -- matching ------------------------------------------------------------
     def _resolve(
@@ -546,7 +613,7 @@ class MultiPatternSet:
         if self._backend == "sharded":
             return self._sharded_matches(data, classes, p, ex)
         q = self._final_origin_state(classes, p, ex)
-        return set(self.rule_sets[q])
+        return self._report_rules(self.rule_sets[q])
 
     def matches_any(
         self,
@@ -710,13 +777,13 @@ class MultiPatternSet:
             return self._sharded_matches(data, classes, p, ex)
         if self._backend == "lazy":
             q = self._lazy_chunk_carry(classes, p.num_chunks)
-            return set(self.rule_sets[q])
+            return self._report_rules(self.rule_sets[q])
         res = parallel_sfa_run(
             self.sfa, classes, p.num_chunks, p.reduction,
             ex or p.resolve_executor(), p.kernel,
             stride_budget=self.stride_budget,
         )
-        return set(self.rule_sets[res.final_states[0]])
+        return self._report_rules(self.rule_sets[res.final_states[0]])
 
     # -- scan internals ------------------------------------------------------
     def _final_origin_state(
@@ -783,10 +850,16 @@ class MultiPatternSet:
         """Scan the groups the literal prefilter cannot rule out; union
         their matched-rule sets (optionally short-circuiting)."""
         survivors = set(self.prescreen(data))
-        live = [
-            g for g in self._groups
-            if any(r in survivors for r in g.rules)
-        ]
+        rm = self._rule_map
+
+        def group_live(g: _RuleGroup) -> bool:
+            # Prescreen survivors carry *original* ids; compiled group
+            # members answer for their whole id group under the optimizer.
+            if rm is None:
+                return any(r in survivors for r in g.rules)
+            return any(survivors.intersection(rm[r]) for r in g.rules)
+
+        live = [g for g in self._groups if group_live(g)]
         kernel, budget = plan.kernel, self.stride_budget
 
         def scan_group(g: _RuleGroup) -> Tuple[int, ...]:
@@ -796,7 +869,7 @@ class MultiPatternSet:
             for g in live:
                 hit = scan_group(g)
                 if hit:
-                    return set(hit)
+                    return self._report_rules(hit)
             return set()
         ex = ex_instance or plan.resolve_executor()
         if ex is None:
@@ -806,7 +879,7 @@ class MultiPatternSet:
         out: Set[int] = set()
         for r in results:
             out.update(r)
-        return out
+        return self._report_rules(out)
 
     def __repr__(self) -> str:
         if self._backend == "sharded":

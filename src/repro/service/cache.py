@@ -44,7 +44,7 @@ def pattern_key(pattern: str, ignore_case: bool = False) -> str:
 
 def ruleset_key(
     rules: Sequence[str], flags: Sequence[bool], mode: str,
-    backend: str = "eager",
+    backend: str = "eager", optimize: bool = False,
 ) -> str:
     """Stable digest of a ruleset cache entry (order-sensitive: rule
     indices are part of the observable result).
@@ -58,6 +58,13 @@ def ruleset_key(
     vs sharded are different objects (different automata, different
     observable sizes/stats), and a request for one must not be served the
     other.  The legacy default keeps pre-backend digests stable.
+
+    ``optimize`` is part of the key too (an optimized set differs in
+    ``sizes()``/``optimize_info``), and optimized entries hash each
+    rule's *canonical* form (§3.13): two spellings the rewriter maps to
+    one AST compile to the same object, so they share one cache entry —
+    the canonical-form-aware key.  Sources that fail to parse hash as-is
+    (the build will raise the real error).
     """
     h = hashlib.sha1()
     h.update(b"ruleset\0")
@@ -65,12 +72,28 @@ def ruleset_key(
     if backend != "eager":  # legacy digests unchanged for the default
         h.update(b"\0backend\0")
         h.update(backend.encode())
+    if optimize:
+        h.update(b"\0optimize\0")
+        rules = [_canonical_source(p, f) for p, f in zip(rules, flags)]
     for pat, flag in zip(rules, flags):
         raw = pat.encode("utf-8", "surrogatepass")
         h.update(b"i" if flag else b"-")
         h.update(len(raw).to_bytes(8, "big"))
         h.update(raw)
     return h.hexdigest()
+
+
+def _canonical_source(pattern: str, ignore_case: bool) -> str:
+    """Canonical spelling of one rule for optimize-aware keys; the raw
+    source on any failure (never raises — key derivation must be total)."""
+    try:
+        from repro.analysis.rewrite import canonical
+        from repro.regex.parser import parse
+        from repro.regex.printer import to_pattern
+
+        return to_pattern(canonical(parse(pattern, ignore_case=ignore_case)))
+    except Exception:
+        return pattern
 
 
 class _Entry:
@@ -129,12 +152,16 @@ class ArtifactCache:
         flags: Optional[Sequence[bool]] = None,
         mode: str = "search",
         backend: str = "eager",
+        optimize: bool = False,
     ):
         """``(MultiPatternSet, cache_hit)`` for a list of rule sources.
 
         ``backend`` selects the union-automaton backend (DESIGN.md §3.11)
         and is part of the cache key; ``"auto"`` resolves at compile time,
         so two auto requests share the entry whatever it resolved to.
+        ``optimize`` runs the §3.13 ruleset optimizer at compile time and
+        keys the entry on the rules' canonical forms, so equivalent
+        spellings of one ruleset share a single compiled object.
         """
         from repro.automata.backend import BACKEND_NAMES
         from repro.matching.multi import MultiPatternSet
@@ -151,11 +178,12 @@ class ArtifactCache:
             raise ServiceError(
                 f"{len(flags)} flags for {len(rules)} rules", kind="bad-request"
             )
-        key = ruleset_key(rules, flags, mode, backend)
+        key = ruleset_key(rules, flags, mode, backend, optimize)
         return self._get(
             key,
             lambda: MultiPatternSet(
-                list(zip(rules, flags)), mode=mode, backend=backend
+                list(zip(rules, flags)), mode=mode, backend=backend,
+                optimize=optimize,
             ),
         )
 

@@ -634,7 +634,25 @@ class MatchService:
             return entry.mps, True
         sources, flags, mode = self._rule_sources(header)
         backend = self._backend_arg(header)
-        return self.cache.get_ruleset(sources, flags, mode, backend)
+        return self.cache.get_ruleset(
+            sources, flags, mode, backend, self._optimize_arg(header)
+        )
+
+    def _optimize_arg(self, header: Dict[str, Any]) -> bool:
+        """The request's ``optimize`` flag (§3.13 ruleset optimizer).
+
+        Accepted by every ruleset-compiling op (``compile``,
+        ``multiscan``, ``stream-open``); optimized entries use
+        canonical-form-aware cache keys, so two spellings the rewriter
+        maps to one form share a compiled object.
+        """
+        optimize = header.get("optimize", False)
+        if not isinstance(optimize, bool):
+            raise ServiceError(
+                f"'optimize' must be a boolean, got {optimize!r}",
+                kind="bad-request",
+            )
+        return optimize
 
     def _backend_arg(self, header: Dict[str, Any]) -> str:
         """The request's union-automaton backend (DESIGN.md §3.11).
@@ -892,6 +910,9 @@ class MatchService:
         }
         if backend is not None:
             reply["backend"] = backend
+        opt_info = getattr(value, "optimize_info", None)
+        if opt_info is not None:
+            reply["optimize"] = opt_info.to_meta()
         return reply
 
     async def _op_analyze(self, header, payload, streams, next_stream):
@@ -899,11 +920,14 @@ class MatchService:
         no cache interaction, no payload — a pure function of sources."""
         from repro.analysis import analyze_pattern, analyze_ruleset
 
+        optimize = self._optimize_arg(header)
         if "rules" in header:
             sources, flags, mode = self._rule_sources(header)
 
             def work():
-                report = analyze_ruleset(list(zip(sources, flags)), mode=mode)
+                report = analyze_ruleset(
+                    list(zip(sources, flags)), mode=mode, optimize=optimize
+                )
                 return {"ok": True, "report": report.to_dict()}
         else:
             pattern = header.get("pattern")
@@ -914,7 +938,9 @@ class MatchService:
             fold = bool(header.get("ignore_case"))
 
             def work():
-                report = analyze_pattern(pattern, ignore_case=fold)
+                report = analyze_pattern(
+                    pattern, ignore_case=fold, optimize=optimize
+                )
                 return {"ok": True, "report": report.to_dict()}
 
         return await self._in_thread(work)
@@ -1043,7 +1069,7 @@ class MatchService:
                     num_chunks=chunks, executor=self._executor, kernel=kernel,
                 )
             hits = mps.matches(data, plan=p, executor=self._executor)
-            return {
+            out = {
                 "ok": True,
                 "rules": sorted(int(r) for r in hits),
                 "num_rules": mps.num_rules,
@@ -1051,6 +1077,10 @@ class MatchService:
                 "backend": mps.backend,
                 "plan": self._note_plan(p),
             }
+            info = getattr(mps, "optimize_info", None)
+            if info is not None:
+                out["rules_compiled"] = info.num_kept
+            return out
 
         return await self._in_thread(work)
 
